@@ -1,0 +1,111 @@
+// Ablation: price-model robustness. The headline results should not hinge
+// on the regime-switching generator's particulars — re-run the Fig. 6
+// comparison on prices produced by the *auction* model (endogenous
+// supply/demand clearing) and compare the two models' trace fingerprints.
+#include "bench_common.hpp"
+
+using namespace spothost;
+
+namespace {
+
+metrics::RunMetrics run_on_trace(trace::PriceTrace price_trace,
+                                 const sched::SchedulerConfig& cfg,
+                                 std::uint64_t seed) {
+  sim::RngFactory rng(seed);
+  sim::Simulation simulation;
+  cloud::CloudProvider provider(simulation, rng);
+  const sim::SimTime horizon = price_trace.end();
+  provider.set_allocation_latency("us-east-1a",
+                                  sched::table1_allocation_latency("us-east-1a"));
+  provider.add_market(cfg.home_market, std::move(price_trace), 0.06);
+  provider.start();
+  workload::AlwaysOnService service("svc", virt::VmSpec{});
+  sched::CloudScheduler scheduler(simulation, provider, service, cfg,
+                                  rng.stream("timing"));
+  scheduler.start();
+  simulation.run_until(horizon);
+  provider.finalize(horizon);
+  scheduler.finalize(horizon);
+  return metrics::compute_run_metrics(provider, scheduler, service, horizon, 0.06);
+}
+
+}  // namespace
+
+int main() {
+  const auto home = bench::market("us-east-1a", "small");
+  constexpr sim::SimTime kMonth = 30 * sim::kDay;
+  constexpr int kRuns = 5;
+
+  metrics::print_banner(std::cout,
+                        "Ablation: regime-switching vs auction price models");
+
+  // --- fingerprints -------------------------------------------------------
+  sim::RngFactory factory(bench::kBaseSeed);
+  auto rng_a = factory.stream("fingerprint/regime");
+  const auto regime_trace = trace::SyntheticSpotModel::generate(
+      trace::profile_for("us-east-1a", "small"), 0.06, kMonth, rng_a);
+  auto rng_b = factory.stream("fingerprint/auction");
+  trace::AuctionMarketParams auction_params;
+  // A pool tight enough that peak demand occasionally outbids p_on — the
+  // regime the hosting scheduler is designed for.
+  auction_params.capacity_units = 78.0;
+  const auto auction_trace =
+      trace::generate_auction_market(auction_params, 0.06, kMonth, rng_b);
+
+  const auto fa = trace::extract_features(regime_trace, 0.06);
+  const auto fb = trace::extract_features(auction_trace, 0.06);
+  metrics::TextTable fp({"feature", "regime-switching", "auction"});
+  fp.add_row({"mean $/hr", metrics::fmt(fa.mean_price, 4),
+              metrics::fmt(fb.mean_price, 4)});
+  fp.add_row({"stddev $/hr", metrics::fmt(fa.stddev, 4),
+              metrics::fmt(fb.stddev, 4)});
+  fp.add_row({"changes/day", metrics::fmt(fa.changes_per_day, 1),
+              metrics::fmt(fb.changes_per_day, 1)});
+  fp.add_row({"frac below p_on", metrics::fmt(fa.fraction_below_reference, 3),
+              metrics::fmt(fb.fraction_below_reference, 3)});
+  fp.add_row({"excursions above p_on",
+              std::to_string(fa.excursions_above_reference),
+              std::to_string(fb.excursions_above_reference)});
+  fp.add_row({"mean excursion (min)", metrics::fmt(fa.mean_excursion_minutes, 1),
+              metrics::fmt(fb.mean_excursion_minutes, 1)});
+  fp.add_row({"max / p_on", metrics::fmt(fa.max_over_reference, 2),
+              metrics::fmt(fb.max_over_reference, 2)});
+  fp.print(std::cout);
+  std::cout << "fingerprint distance: "
+            << metrics::fmt(trace::feature_distance(fa, fb), 3) << "\n";
+
+  // --- hosting outcomes on each model --------------------------------------
+  metrics::TextTable table({"model / policy", "cost %", "unavailability %",
+                            "forced/hr"});
+  for (const bool auction : {false, true}) {
+    for (const bool proactive : {true, false}) {
+      double cost = 0.0, unavail = 0.0, forced = 0.0;
+      for (int i = 0; i < kRuns; ++i) {
+        const std::uint64_t seed = bench::kBaseSeed + static_cast<std::uint64_t>(i);
+        sim::RngFactory f(seed);
+        auto rng = f.stream("model");
+        trace::PriceTrace price_trace =
+            auction ? trace::generate_auction_market(auction_params, 0.06,
+                                                     kMonth, rng)
+                    : trace::SyntheticSpotModel::generate(
+                          trace::profile_for("us-east-1a", "small"), 0.06,
+                          kMonth, rng);
+        const auto cfg = proactive ? sched::proactive_config(home)
+                                   : sched::reactive_config(home);
+        const auto m = run_on_trace(std::move(price_trace), cfg, seed);
+        cost += m.normalized_cost_pct;
+        unavail += m.unavailability_pct;
+        forced += m.forced_per_hour;
+      }
+      table.add_row({std::string(auction ? "auction" : "regime") + " / " +
+                         (proactive ? "proactive" : "reactive"),
+                     metrics::fmt(cost / kRuns, 1),
+                     metrics::fmt(unavail / kRuns, 4),
+                     metrics::fmt(forced / kRuns, 4)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "expected: the proactive-beats-reactive ordering and the 1/3-1/5\n"
+               "cost band survive a completely different price-formation model\n";
+  return 0;
+}

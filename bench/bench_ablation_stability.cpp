@@ -1,0 +1,36 @@
+// Ablation (paper Sec. 8 future work): stability-aware market selection —
+// penalise volatile markets when choosing a migration destination — versus
+// the paper's greedy cheapest-market rule, in the multi-region setting where
+// Fig. 9(c) showed greedy chasing cheap-but-volatile regions.
+#include "bench_common.hpp"
+
+using namespace spothost;
+
+int main() {
+  const auto runner = bench::default_runner();
+  sched::Scenario scenario = bench::full_scenario();
+  scenario.regions = {"us-east-1a", "eu-west-1a"};
+
+  metrics::print_banner(
+      std::cout, "Ablation: greedy vs stability-aware multi-region selection");
+  metrics::TextTable table({"policy", "cost %", "unavailability %", "forced/hr",
+                            "planned+reverse/hr"});
+
+  auto base = sched::proactive_config(bench::market("us-east-1a", "small"));
+  base.scope = sched::MarketScope::kMultiRegion;
+  base.allowed_regions = {"us-east-1a", "eu-west-1a"};
+
+  table.add_row(bench::hosting_row("greedy cheapest", runner.run(scenario, base)));
+
+  for (const double weight : {0.5, 1.0, 2.0, 4.0}) {
+    auto cfg = base;
+    cfg.stability_aware = true;
+    cfg.stability_penalty_weight = weight;
+    table.add_row(bench::hosting_row(
+        "stability w=" + metrics::fmt(weight, 1), runner.run(scenario, cfg)));
+  }
+  table.print(std::cout);
+  std::cout << "expected: increasing the stability penalty trades a little\n"
+               "cost for fewer migrations/disruptions (the paper's conjecture)\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared helpers for the experiment harness binaries. Each bench reproduces
+// one table or figure of the paper and prints the same rows/series the paper
+// reports, with the paper's value quoted alongside where applicable.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "spothost.hpp"
+
+namespace spothost::bench {
+
+inline constexpr int kDefaultRuns = 5;
+inline constexpr std::uint64_t kBaseSeed = 20150615;  // HPDC'15 opening day
+
+/// Scenario with the canonical four regions and four sizes, 30 days.
+inline sched::Scenario full_scenario() {
+  sched::Scenario s;
+  s.horizon = 30 * sim::kDay;
+  return s;
+}
+
+/// Scenario restricted to one region (all four sizes).
+inline sched::Scenario region_scenario(const std::string& region) {
+  sched::Scenario s = full_scenario();
+  s.regions = {region};
+  return s;
+}
+
+inline metrics::ExperimentRunner default_runner() {
+  return metrics::ExperimentRunner(kDefaultRuns, kBaseSeed);
+}
+
+inline cloud::MarketId market(const std::string& region, const char* size) {
+  return cloud::MarketId{region, cloud::size_from_string(size)};
+}
+
+/// Column block shared by the hosting benches.
+inline std::vector<std::string> hosting_row(
+    const std::string& label, const metrics::AggregatedMetrics& agg) {
+  return {label,
+          metrics::fmt(agg.normalized_cost_pct.mean, 1),
+          metrics::fmt(agg.unavailability_pct.mean, 4),
+          metrics::fmt(agg.forced_per_hour.mean, 4),
+          metrics::fmt(agg.planned_reverse_per_hour.mean, 4)};
+}
+
+}  // namespace spothost::bench

@@ -1,0 +1,46 @@
+// Figure 1: spot prices over a month-long period in us-east-1 for a small
+// and a large server. Prints a daily min/mean/max series plus the summary
+// features the figure illustrates (long cheap stretches, sharp spikes).
+#include "bench_common.hpp"
+
+using namespace spothost;
+
+namespace {
+
+void print_trace_series(const trace::PriceTrace& t, double pon,
+                        const std::string& label) {
+  metrics::print_banner(std::cout, "Fig 1: " + label + " (p_on = $" +
+                                       metrics::fmt(pon, 2) + "/hr)");
+  metrics::TextTable table({"day", "min $", "mean $", "max $", "frac < p_on"});
+  for (int day = 0; day < 30; ++day) {
+    const sim::SimTime from = day * sim::kDay;
+    const sim::SimTime to = (day + 1) * sim::kDay;
+    table.add_row({std::to_string(day + 1),
+                   metrics::fmt(t.min_price(from, to), 3),
+                   metrics::fmt(t.time_average(from, to), 3),
+                   metrics::fmt(t.max_price(from, to), 3),
+                   metrics::fmt(t.fraction_below(pon, from, to), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "month: mean $" << metrics::fmt(t.time_average(0, 30 * sim::kDay), 4)
+            << "/hr, max $" << metrics::fmt(t.max_price(0, 30 * sim::kDay), 3)
+            << "/hr (" << metrics::fmt(t.max_price(0, 30 * sim::kDay) / pon, 1)
+            << "x p_on), below p_on "
+            << metrics::fmt(100.0 * t.fraction_below(pon, 0, 30 * sim::kDay), 1)
+            << "% of the time\n";
+  std::cout << "paper shape: small stays under ~$0.5 with occasional bumps;\n"
+               "             large idles at cents and spikes to ~$3 (>10x p_on)\n";
+}
+
+}  // namespace
+
+int main() {
+  sched::World world(bench::full_scenario());
+  const auto& small =
+      world.provider().market(bench::market("us-east-1a", "small")).price_trace();
+  const auto& large =
+      world.provider().market(bench::market("us-east-1a", "large")).price_trace();
+  print_trace_series(small, 0.06, "small server, us-east-1a");
+  print_trace_series(large, 0.24, "large server, us-east-1a");
+  return 0;
+}

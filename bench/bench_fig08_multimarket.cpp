@@ -1,0 +1,57 @@
+// Figure 8(a-c): multi-market bidding within a region versus the average of
+// the four single-market schemes — cost, intra-region price correlation, and
+// unavailability.
+#include "bench_common.hpp"
+
+using namespace spothost;
+
+int main() {
+  const auto runner = bench::default_runner();
+
+  metrics::print_banner(std::cout, "Fig 8: multi-market vs single-market");
+  metrics::TextTable table({"region", "avg single-market cost %",
+                            "multi-market cost %", "cost reduction %",
+                            "avg single unavail %", "multi unavail %",
+                            "mean intra-region corr"});
+
+  for (const auto region_view : trace::canonical_regions()) {
+    const std::string region{region_view};
+    const auto scenario = bench::region_scenario(region);
+
+    double single_cost = 0.0, single_unavail = 0.0;
+    for (const char* size : {"small", "medium", "large", "xlarge"}) {
+      const auto agg =
+          runner.run(scenario, sched::proactive_config(bench::market(region, size)));
+      single_cost += agg.normalized_cost_pct.mean;
+      single_unavail += agg.unavailability_pct.mean;
+    }
+    single_cost /= 4.0;
+    single_unavail /= 4.0;
+
+    auto cfg = sched::proactive_config(bench::market(region, "small"));
+    cfg.scope = sched::MarketScope::kMultiMarket;
+    const auto multi = runner.run(scenario, cfg);
+
+    // Fig 8(b): mean pairwise correlation of the region's four markets.
+    sched::World world(scenario);
+    std::vector<trace::PriceTrace> traces;
+    for (const auto& m : world.provider().markets_in_region(region)) {
+      traces.push_back(world.provider().market(m).price_trace());
+    }
+    const double corr = trace::mean_pairwise_correlation(traces);
+
+    table.add_row(
+        {region, metrics::fmt(single_cost, 1),
+         metrics::fmt(multi.normalized_cost_pct.mean, 1),
+         metrics::fmt(100.0 * (single_cost - multi.normalized_cost_pct.mean) /
+                          single_cost,
+                      1),
+         metrics::fmt(single_unavail, 4),
+         metrics::fmt(multi.unavailability_pct.mean, 4), metrics::fmt(corr, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "paper: multi-market cuts cost 8-52% vs the single-market\n"
+               "average (a) because intra-region correlation is low (b), and\n"
+               "also lowers unavailability (c)\n";
+  return 0;
+}

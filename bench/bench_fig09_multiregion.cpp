@@ -1,0 +1,59 @@
+// Figure 9(a-c): multi-region bidding on region pairs versus the single-
+// region schemes — normalized cost (baseline: the cheaper region's on-demand
+// price), cross-region correlation, and unavailability.
+#include "bench_common.hpp"
+
+using namespace spothost;
+
+int main() {
+  const auto runner = bench::default_runner();
+  const std::vector<std::pair<std::string, std::string>> pairs{
+      {"us-east-1a", "us-east-1b"}, {"us-east-1a", "us-west-1a"},
+      {"us-east-1a", "eu-west-1a"}, {"us-east-1b", "us-west-1a"},
+      {"us-east-1b", "eu-west-1a"}, {"us-west-1a", "eu-west-1a"}};
+
+  metrics::print_banner(std::cout, "Fig 9: multi-region vs single-region pairs");
+  metrics::TextTable table({"pair", "avg single-region cost %",
+                            "multi-region cost %", "avg single unavail %",
+                            "multi unavail %", "cross-region corr"});
+
+  for (const auto& [ra, rb] : pairs) {
+    sched::Scenario scenario = bench::full_scenario();
+    scenario.regions = {ra, rb};
+
+    // Single-region schemes: multi-market within each region.
+    double single_cost = 0.0, single_unavail = 0.0;
+    for (const auto& region : {ra, rb}) {
+      auto cfg = sched::proactive_config(bench::market(region, "small"));
+      cfg.scope = sched::MarketScope::kMultiMarket;
+      const auto agg = runner.run(scenario, cfg);
+      single_cost += agg.normalized_cost_pct.mean;
+      single_unavail += agg.unavailability_pct.mean;
+    }
+    single_cost /= 2.0;
+    single_unavail /= 2.0;
+
+    auto cfg = sched::proactive_config(bench::market(ra, "small"));
+    cfg.scope = sched::MarketScope::kMultiRegion;
+    cfg.allowed_regions = {ra, rb};
+    const auto multi = runner.run(scenario, cfg);
+
+    // Fig 9(b): correlation of the small markets across the two regions.
+    sched::World world(scenario);
+    const double corr = trace::trace_correlation(
+        world.provider().market(bench::market(ra, "small")).price_trace(),
+        world.provider().market(bench::market(rb, "small")).price_trace());
+
+    table.add_row({ra + " + " + rb, metrics::fmt(single_cost, 1),
+                   metrics::fmt(multi.normalized_cost_pct.mean, 1),
+                   metrics::fmt(single_unavail, 4),
+                   metrics::fmt(multi.unavailability_pct.mean, 4),
+                   metrics::fmt(corr, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "paper: multi-region lands at 12-17% of the (cheaper) baseline,\n"
+               "5-28% below the single-region average (a); cross-region\n"
+               "correlation is low (b); unavailability can INCREASE when the\n"
+               "cheaper region is also the more volatile one (c)\n";
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 11(a-b): the proactive scheduler versus using spot instances alone
+// (no on-demand fallback) — cost and unavailability per size, us-east-1a.
+#include "bench_common.hpp"
+
+using namespace spothost;
+
+int main() {
+  const auto runner = bench::default_runner();
+  const auto scenario = bench::region_scenario("us-east-1a");
+
+  metrics::print_banner(std::cout, "Fig 11: proactive vs pure spot (us-east-1a)");
+  metrics::TextTable table({"size", "proactive cost %", "pure-spot cost %",
+                            "proactive unavail %", "pure-spot unavail %",
+                            "longest pure-spot outage (min)"});
+  for (const char* size : {"small", "medium", "large", "xlarge"}) {
+    const auto home = bench::market("us-east-1a", size);
+    const auto pro = runner.run(scenario, sched::proactive_config(home));
+    const auto spot = runner.run(scenario, sched::pure_spot_config(home));
+    double longest_s = 0.0;
+    for (const auto& run : spot.per_run) {
+      longest_s = std::max(longest_s, run.longest_outage_s);
+    }
+    table.add_row({size, metrics::fmt(pro.normalized_cost_pct.mean, 1),
+                   metrics::fmt(spot.normalized_cost_pct.mean, 1),
+                   metrics::fmt(pro.unavailability_pct.mean, 4),
+                   metrics::fmt(spot.unavailability_pct.mean, 3),
+                   metrics::fmt(longest_s / 60.0, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "paper: pure spot only slightly cheaper (a) but unavailability\n"
+               "exceeds 1% in most markets, with outages lasting hours (b) —\n"
+               "unusable for always-on services\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Engine performance microbenchmarks (google-benchmark): event-queue
+// throughput, synthetic trace generation, and complete hosting runs.
+#include <benchmark/benchmark.h>
+
+#include "spothost.hpp"
+
+namespace {
+
+using namespace spothost;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::uint64_t rng_state = 42;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.schedule(static_cast<sim::SimTime>(sim::splitmix64(rng_state) % 1000000),
+                 [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_EventQueueCancellation(benchmark::State& state) {
+  const std::size_t n = 10000;
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::vector<sim::EventId> ids;
+    ids.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ids.push_back(q.schedule(static_cast<sim::SimTime>(i), [] {}));
+    }
+    for (std::size_t i = 0; i < n; i += 2) q.cancel(ids[i]);
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().time);
+  }
+}
+BENCHMARK(BM_EventQueueCancellation);
+
+void BM_SyntheticTraceMonth(benchmark::State& state) {
+  sim::RngFactory factory(7);
+  const auto profile = trace::profile_for("us-east-1a", "small");
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto rng = factory.stream("bench", i++);
+    const auto t = trace::SyntheticSpotModel::generate(profile, 0.06,
+                                                       30 * sim::kDay, rng);
+    benchmark::DoNotOptimize(t.size());
+  }
+}
+BENCHMARK(BM_SyntheticTraceMonth);
+
+void BM_WorldConstruction(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sched::World world(sched::Scenario{.seed = seed++, .horizon = 30 * sim::kDay});
+    benchmark::DoNotOptimize(world.provider().all_markets().size());
+  }
+}
+BENCHMARK(BM_WorldConstruction);
+
+void BM_FullHostingMonth(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sched::Scenario s;
+    s.seed = seed++;
+    s.horizon = 30 * sim::kDay;
+    s.regions = {"us-east-1a"};
+    s.sizes = {cloud::InstanceSize::kSmall};
+    const auto m = metrics::run_hosting_scenario(
+        s, sched::proactive_config({"us-east-1a", cloud::InstanceSize::kSmall}));
+    benchmark::DoNotOptimize(m.total_cost);
+  }
+}
+BENCHMARK(BM_FullHostingMonth);
+
+void BM_MvaSolve(benchmark::State& state) {
+  const std::array<workload::Station, 2> stations{
+      workload::Station{"cpu", 0.022, false}, workload::Station{"io", 0.06, false}};
+  for (auto _ : state) {
+    const auto r = workload::solve_closed_mva(stations,
+                                              static_cast<int>(state.range(0)), 7.0);
+    benchmark::DoNotOptimize(r.response_time_s);
+  }
+}
+BENCHMARK(BM_MvaSolve)->Arg(100)->Arg(400);
+
+}  // namespace
+
+BENCHMARK_MAIN();

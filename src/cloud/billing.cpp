@@ -1,0 +1,52 @@
+#include "cloud/billing.hpp"
+
+#include <stdexcept>
+
+namespace spothost::cloud {
+
+double on_demand_cost(double price_per_hour, sim::SimTime launch, sim::SimTime end) {
+  if (end < launch) throw std::invalid_argument("on_demand_cost: end < launch");
+  if (end == launch) return 0.0;
+  const sim::SimTime duration = end - launch;
+  const sim::SimTime hours_started = (duration + sim::kHour - 1) / sim::kHour;
+  return price_per_hour * static_cast<double>(hours_started);
+}
+
+double spot_cost(const trace::PriceTrace& price_trace, sim::SimTime launch,
+                 sim::SimTime end, TerminationCause cause) {
+  if (end < launch) throw std::invalid_argument("spot_cost: end < launch");
+  if (end == launch) return 0.0;
+  double cost = 0.0;
+  // Bill every *completed* instance-hour at its start price; the final
+  // partial hour is billed only on customer termination.
+  for (sim::SimTime hour_start = launch; hour_start < end; hour_start += sim::kHour) {
+    const bool complete = hour_start + sim::kHour <= end;
+    if (complete || cause == TerminationCause::kCustomer) {
+      cost += price_trace.price_at(hour_start);
+    }
+  }
+  return cost;
+}
+
+void BillingLedger::add(BillingRecord record) {
+  total_ += record.cost;
+  records_.push_back(std::move(record));
+}
+
+double BillingLedger::total_cost(BillingMode mode) const {
+  double sum = 0.0;
+  for (const auto& r : records_) {
+    if (r.mode == mode) sum += r.cost;
+  }
+  return sum;
+}
+
+sim::SimTime BillingLedger::total_leased_time(BillingMode mode) const {
+  sim::SimTime sum = 0;
+  for (const auto& r : records_) {
+    if (r.mode == mode) sum += r.end - r.launch;
+  }
+  return sum;
+}
+
+}  // namespace spothost::cloud

@@ -1,0 +1,44 @@
+#include "cloud/instance_types.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace spothost::cloud {
+namespace {
+
+constexpr std::array<InstanceTypeInfo, 4> kCatalog{{
+    {InstanceSize::kSmall, "small", 0.06, 1.7, 8.0, 1, 1},
+    {InstanceSize::kMedium, "medium", 0.12, 3.75, 8.0, 2, 1},
+    {InstanceSize::kLarge, "large", 0.24, 7.5, 16.0, 4, 2},
+    {InstanceSize::kXLarge, "xlarge", 0.48, 15.0, 16.0, 8, 4},
+}};
+
+}  // namespace
+
+const InstanceTypeInfo& type_info(InstanceSize size) noexcept {
+  return kCatalog[static_cast<std::size_t>(size)];
+}
+
+std::string_view to_string(InstanceSize size) noexcept {
+  return type_info(size).name;
+}
+
+InstanceSize size_from_string(std::string_view name) {
+  for (const auto& info : kCatalog) {
+    if (info.name == name) return info.size;
+  }
+  throw std::invalid_argument("unknown instance size: " + std::string(name));
+}
+
+double region_price_multiplier(std::string_view region) noexcept {
+  if (region.starts_with("us-east")) return 1.0;
+  if (region.starts_with("us-west")) return 1.10;
+  if (region.starts_with("eu-west")) return 1.15;
+  return 1.0;
+}
+
+double on_demand_price(InstanceSize size, std::string_view region) noexcept {
+  return type_info(size).on_demand_price * region_price_multiplier(region);
+}
+
+}  // namespace spothost::cloud

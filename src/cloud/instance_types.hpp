@@ -1,0 +1,43 @@
+// Instance-type catalog: the four sizes the paper evaluates (Fig. 6, Fig. 10)
+// with EC2-2015-era on-demand prices ("from 6 cents per hour for the small
+// configuration", Sec. 2.1) and the resource figures the virtualization
+// models need.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace spothost::cloud {
+
+enum class InstanceSize { kSmall = 0, kMedium = 1, kLarge = 2, kXLarge = 3 };
+
+inline constexpr std::array<InstanceSize, 4> kAllSizes{
+    InstanceSize::kSmall, InstanceSize::kMedium, InstanceSize::kLarge,
+    InstanceSize::kXLarge};
+
+struct InstanceTypeInfo {
+  InstanceSize size;
+  std::string_view name;
+  double on_demand_price;  ///< $/hr in the reference region (us-east)
+  double memory_gb;
+  double disk_gb;          ///< root volume to copy on WAN migration
+  int capacity_units;      ///< how many "small" nested VMs it can pack
+  int vcpus;
+};
+
+/// Catalog entry for a size. Never fails.
+const InstanceTypeInfo& type_info(InstanceSize size) noexcept;
+
+std::string_view to_string(InstanceSize size) noexcept;
+
+/// Parses "small" | "medium" | "large" | "xlarge". Throws std::invalid_argument.
+InstanceSize size_from_string(std::string_view name);
+
+/// Regional price multiplier relative to the reference region: us-east is the
+/// cheapest; us-west and eu-west carry a premium (as on EC2 in 2015).
+double region_price_multiplier(std::string_view region) noexcept;
+
+/// On-demand $/hr for a size in a region.
+double on_demand_price(InstanceSize size, std::string_view region) noexcept;
+
+}  // namespace spothost::cloud

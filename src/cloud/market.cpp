@@ -1,0 +1,58 @@
+#include "cloud/market.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace spothost::cloud {
+
+SpotMarket::SpotMarket(sim::Simulation& simulation, MarketId id,
+                       trace::PriceTrace price_trace, double on_demand_price_per_hour)
+    : simulation_(simulation),
+      id_(std::move(id)),
+      trace_(std::move(price_trace)),
+      on_demand_price_(on_demand_price_per_hour) {
+  if (trace_.empty()) {
+    throw std::invalid_argument("SpotMarket: empty price trace for " + id_.str());
+  }
+  if (on_demand_price_ <= 0) {
+    throw std::invalid_argument("SpotMarket: on-demand price must be > 0");
+  }
+}
+
+double SpotMarket::price() const {
+  const sim::SimTime now = simulation_.now();
+  // Clamp to the trace window so queries exactly at the horizon still answer.
+  const sim::SimTime t = std::min(std::max(now, trace_.start()), trace_.end() - 1);
+  return trace_.price_at(t);
+}
+
+SpotMarket::SubscriptionId SpotMarket::subscribe(PriceObserver observer) {
+  const SubscriptionId sid = next_subscription_++;
+  observers_.emplace(sid, std::move(observer));
+  return sid;
+}
+
+void SpotMarket::unsubscribe(SubscriptionId id) {
+  observers_.erase(id);
+}
+
+void SpotMarket::start() {
+  if (started_) throw std::logic_error("SpotMarket::start called twice");
+  started_ = true;
+  schedule_next(simulation_.now());
+}
+
+void SpotMarket::schedule_next(sim::SimTime after_time) {
+  const auto next = trace_.next_change_after(after_time);
+  if (!next) return;
+  simulation_.at(next->time, [this, point = *next] {
+    // Copy observers first: a callback may (un)subscribe reentrantly.
+    std::vector<PriceObserver> snapshot;
+    snapshot.reserve(observers_.size());
+    for (const auto& [sid, obs] : observers_) snapshot.push_back(obs);
+    for (const auto& obs : snapshot) obs(*this, point.price);
+    schedule_next(point.time);
+  });
+}
+
+}  // namespace spothost::cloud

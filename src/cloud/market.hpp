@@ -1,0 +1,73 @@
+// Market identity and the price feed for one (region, size) spot market.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "cloud/instance_types.hpp"
+#include "simcore/simulation.hpp"
+#include "trace/price_trace.hpp"
+
+namespace spothost::cloud {
+
+/// A spot market is identified by (region, instance size) — "each server
+/// configuration has its own spot market" (Sec. 2.1).
+struct MarketId {
+  std::string region;
+  InstanceSize size = InstanceSize::kSmall;
+
+  bool operator==(const MarketId&) const = default;
+  [[nodiscard]] std::string str() const {
+    return region + "/" + std::string(to_string(size));
+  }
+};
+
+struct MarketIdHash {
+  std::size_t operator()(const MarketId& m) const noexcept {
+    return std::hash<std::string>{}(m.region) * 31u +
+           static_cast<std::size_t>(m.size);
+  }
+};
+
+/// One market: its price trace replayed as simulation events, with observer
+/// callbacks on every price change. The CloudProvider owns SpotMarkets and
+/// layers instance/revocation logic on top.
+class SpotMarket {
+ public:
+  using PriceObserver = std::function<void(const SpotMarket&, double new_price)>;
+  using SubscriptionId = std::uint64_t;
+
+  SpotMarket(sim::Simulation& simulation, MarketId id, trace::PriceTrace price_trace,
+             double on_demand_price_per_hour);
+
+  [[nodiscard]] const MarketId& id() const noexcept { return id_; }
+  [[nodiscard]] const trace::PriceTrace& price_trace() const noexcept { return trace_; }
+  [[nodiscard]] double on_demand_price() const noexcept { return on_demand_price_; }
+
+  /// Current spot price (at simulation now()).
+  [[nodiscard]] double price() const;
+
+  /// Registers a price-change observer; fires on every change event.
+  SubscriptionId subscribe(PriceObserver observer);
+  void unsubscribe(SubscriptionId id);
+
+  /// Begins replaying price-change events into the simulation. Call once.
+  void start();
+
+ private:
+  void schedule_next(sim::SimTime after_time);
+
+  sim::Simulation& simulation_;
+  MarketId id_;
+  trace::PriceTrace trace_;
+  double on_demand_price_;
+  // Ordered by subscription id so observer dispatch order is deterministic
+  // (the provider's revocation logic subscribes first and must run first).
+  std::map<SubscriptionId, PriceObserver> observers_;
+  SubscriptionId next_subscription_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace spothost::cloud

@@ -1,0 +1,288 @@
+#include "cloud/provider.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "simcore/logging.hpp"
+
+namespace spothost::cloud {
+
+CloudProvider::CloudProvider(sim::Simulation& simulation,
+                             const sim::RngFactory& rng_factory,
+                             sim::SimTime grace_period)
+    : simulation_(simulation), rng_factory_(rng_factory), grace_(grace_period) {
+  if (grace_ < 0) throw std::invalid_argument("CloudProvider: negative grace period");
+}
+
+void CloudProvider::add_market(MarketId id, trace::PriceTrace price_trace,
+                               double od_price) {
+  if (started_) throw std::logic_error("CloudProvider: add_market after start");
+  if (markets_.contains(id)) {
+    throw std::invalid_argument("CloudProvider: duplicate market " + id.str());
+  }
+  auto market_ptr = std::make_unique<SpotMarket>(simulation_, id,
+                                                 std::move(price_trace), od_price);
+  market_ptr->subscribe([this, mid = id](const SpotMarket&, double new_price) {
+    on_price_change(mid, new_price);
+  });
+  markets_.emplace(id, std::move(market_ptr));
+  market_order_.push_back(std::move(id));
+}
+
+void CloudProvider::set_allocation_latency(const std::string& region,
+                                           AllocationLatency latency) {
+  latency_by_region_[region] = latency;
+}
+
+AllocationLatency CloudProvider::allocation_latency(const std::string& region) const {
+  const auto it = latency_by_region_.find(region);
+  return it != latency_by_region_.end() ? it->second : AllocationLatency{};
+}
+
+void CloudProvider::start() {
+  if (started_) throw std::logic_error("CloudProvider::start called twice");
+  started_ = true;
+  for (const auto& id : market_order_) {
+    markets_.at(id)->start();
+  }
+}
+
+SpotMarket& CloudProvider::market(const MarketId& id) {
+  const auto it = markets_.find(id);
+  if (it == markets_.end()) {
+    throw std::out_of_range("CloudProvider: unknown market " + id.str());
+  }
+  return *it->second;
+}
+
+const SpotMarket& CloudProvider::market(const MarketId& id) const {
+  const auto it = markets_.find(id);
+  if (it == markets_.end()) {
+    throw std::out_of_range("CloudProvider: unknown market " + id.str());
+  }
+  return *it->second;
+}
+
+bool CloudProvider::has_market(const MarketId& id) const {
+  return markets_.contains(id);
+}
+
+std::vector<MarketId> CloudProvider::all_markets() const {
+  return market_order_;
+}
+
+std::vector<MarketId> CloudProvider::markets_in_region(const std::string& region) const {
+  std::vector<MarketId> out;
+  for (const auto& id : market_order_) {
+    if (id.region == region) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<std::string> CloudProvider::regions() const {
+  std::vector<std::string> out;
+  for (const auto& id : market_order_) {
+    if (std::find(out.begin(), out.end(), id.region) == out.end()) {
+      out.push_back(id.region);
+    }
+  }
+  return out;
+}
+
+InstanceId CloudProvider::request_on_demand(const MarketId& id, ReadyCallback on_ready) {
+  (void)market(id);  // validate
+  const InstanceId iid = next_instance_++;
+  Instance inst;
+  inst.id = iid;
+  inst.market = id;
+  inst.mode = BillingMode::kOnDemand;
+  inst.requested_at = simulation_.now();
+  instances_.emplace(iid, inst);
+
+  const AllocationLatency lat = allocation_latency(id.region);
+  auto& rng = latency_rng_[id.region];
+  if (!rng) {
+    rng = std::make_unique<sim::RngStream>(
+        rng_factory_.stream("alloc-latency/" + id.region));
+  }
+  const double delay_s = rng->lognormal_mean_cv(lat.on_demand_mean_s, lat.on_demand_cv);
+
+  Pending pending;
+  pending.on_ready = std::move(on_ready);
+  pending.event = simulation_.after(sim::from_seconds(delay_s), [this, iid] {
+    auto pit = pending_.find(iid);
+    if (pit == pending_.end()) return;  // cancelled
+    Pending p = std::move(pit->second);
+    pending_.erase(pit);
+    Instance& inst2 = instance_mut(iid);
+    inst2.state = InstanceState::kRunning;
+    inst2.launch = simulation_.now();
+    if (p.on_ready) p.on_ready(iid);
+  });
+  pending_.emplace(iid, std::move(pending));
+  return iid;
+}
+
+InstanceId CloudProvider::request_spot(const MarketId& id, double bid,
+                                       ReadyCallback on_ready, FailCallback on_fail) {
+  if (bid <= 0) throw std::invalid_argument("request_spot: bid must be > 0");
+  (void)market(id);
+  const InstanceId iid = next_instance_++;
+  Instance inst;
+  inst.id = iid;
+  inst.market = id;
+  inst.mode = BillingMode::kSpot;
+  inst.bid = bid;
+  inst.requested_at = simulation_.now();
+  instances_.emplace(iid, inst);
+
+  const AllocationLatency lat = allocation_latency(id.region);
+  auto& rng = latency_rng_[id.region];
+  if (!rng) {
+    rng = std::make_unique<sim::RngStream>(
+        rng_factory_.stream("alloc-latency/" + id.region));
+  }
+  const double delay_s = rng->lognormal_mean_cv(lat.spot_mean_s, lat.spot_cv);
+
+  Pending pending;
+  pending.on_ready = std::move(on_ready);
+  pending.on_fail = std::move(on_fail);
+  pending.event = simulation_.after(sim::from_seconds(delay_s), [this, iid] {
+    auto pit = pending_.find(iid);
+    if (pit == pending_.end()) return;  // cancelled
+    Pending p = std::move(pit->second);
+    pending_.erase(pit);
+    Instance& inst2 = instance_mut(iid);
+    const double current = price(inst2.market);
+    if (current > inst2.bid) {
+      inst2.state = InstanceState::kTerminated;
+      SPOTHOST_LOG(sim::LogLevel::kDebug, simulation_.now(),
+                   "spot request " << iid << " rejected: price " << current
+                                   << " > bid " << inst2.bid);
+      if (p.on_fail) p.on_fail();
+      return;
+    }
+    inst2.state = InstanceState::kRunning;
+    inst2.launch = simulation_.now();
+    if (p.on_ready) p.on_ready(iid);
+  });
+  pending_.emplace(iid, std::move(pending));
+  return iid;
+}
+
+void CloudProvider::cancel_request(InstanceId id) {
+  const auto pit = pending_.find(id);
+  if (pit == pending_.end()) return;
+  simulation_.cancel(pit->second.event);
+  pending_.erase(pit);
+  instance_mut(id).state = InstanceState::kTerminated;
+}
+
+void CloudProvider::set_revocation_handler(InstanceId id, RevocationHandler handler) {
+  const Instance& inst = instance(id);
+  if (inst.mode != BillingMode::kSpot) {
+    throw std::logic_error("set_revocation_handler: not a spot instance");
+  }
+  revocation_handlers_[id] = std::move(handler);
+}
+
+void CloudProvider::terminate(InstanceId id) {
+  Instance& inst = instance_mut(id);
+  if (inst.state == InstanceState::kPending) {
+    cancel_request(id);
+    return;
+  }
+  if (inst.state == InstanceState::kTerminated) return;
+  complete_lease(inst, TerminationCause::kCustomer, simulation_.now());
+}
+
+const Instance& CloudProvider::instance(InstanceId id) const {
+  const auto it = instances_.find(id);
+  if (it == instances_.end()) {
+    throw std::out_of_range("CloudProvider: unknown instance");
+  }
+  return it->second;
+}
+
+Instance& CloudProvider::instance_mut(InstanceId id) {
+  const auto it = instances_.find(id);
+  if (it == instances_.end()) {
+    throw std::out_of_range("CloudProvider: unknown instance");
+  }
+  return it->second;
+}
+
+void CloudProvider::on_price_change(const MarketId& id, double new_price) {
+  // Walk running spot instances in this market; warn those whose bid is now
+  // exceeded. Iterate over ids snapshot: handlers may mutate instances_.
+  std::vector<InstanceId> to_warn;
+  for (auto& [iid, inst] : instances_) {
+    if (inst.mode == BillingMode::kSpot && inst.state == InstanceState::kRunning &&
+        inst.market == id && new_price > inst.bid) {
+      to_warn.push_back(iid);
+    }
+  }
+  std::sort(to_warn.begin(), to_warn.end());  // deterministic order
+  for (const InstanceId iid : to_warn) {
+    Instance& inst = instance_mut(iid);
+    inst.state = InstanceState::kWarned;
+    inst.termination_time = simulation_.now() + grace_;
+    SPOTHOST_LOG(sim::LogLevel::kDebug, simulation_.now(),
+                 "revocation warning for " << iid << " in " << id.str()
+                                           << ", termination at "
+                                           << sim::format_time(inst.termination_time));
+    simulation_.at(inst.termination_time, [this, iid] {
+      Instance& victim = instance_mut(iid);
+      if (victim.state != InstanceState::kWarned) return;  // customer beat us
+      complete_lease(victim, TerminationCause::kProviderRevoked, simulation_.now());
+    });
+    const auto hit = revocation_handlers_.find(iid);
+    if (hit != revocation_handlers_.end() && hit->second) {
+      hit->second(iid, inst.termination_time);
+    }
+  }
+}
+
+void CloudProvider::complete_lease(Instance& inst, TerminationCause cause,
+                                   sim::SimTime end) {
+  BillingRecord record;
+  record.instance_id = inst.id;
+  record.market = inst.market;
+  record.mode = inst.mode;
+  record.launch = inst.launch;
+  record.end = end;
+  record.cause = cause;
+  if (inst.mode == BillingMode::kOnDemand) {
+    record.cost = on_demand_cost(od_price(inst.market), inst.launch, end);
+  } else {
+    record.cost = spot_cost(market(inst.market).price_trace(), inst.launch, end, cause);
+  }
+  inst.state = InstanceState::kTerminated;
+  revocation_handlers_.erase(inst.id);
+  ledger_.add(std::move(record));
+}
+
+void CloudProvider::finalize(sim::SimTime at) {
+  // Cancel outstanding requests, then bill running instances.
+  std::vector<InstanceId> pending_ids;
+  pending_ids.reserve(pending_.size());
+  for (const auto& [iid, p] : pending_) {
+    (void)p;
+    pending_ids.push_back(iid);
+  }
+  std::sort(pending_ids.begin(), pending_ids.end());
+  for (const InstanceId iid : pending_ids) cancel_request(iid);
+
+  std::vector<InstanceId> running;
+  for (const auto& [iid, inst] : instances_) {
+    if (inst.state == InstanceState::kRunning || inst.state == InstanceState::kWarned) {
+      running.push_back(iid);
+    }
+  }
+  std::sort(running.begin(), running.end());
+  for (const InstanceId iid : running) {
+    complete_lease(instance_mut(iid), TerminationCause::kCustomer, at);
+  }
+}
+
+}  // namespace spothost::cloud

@@ -1,0 +1,69 @@
+#include "cloud/volume.hpp"
+
+#include <stdexcept>
+
+namespace spothost::cloud {
+
+VolumeManager::VolumeManager(sim::Simulation& simulation, CloudProvider& provider,
+                             sim::SimTime attach_latency)
+    : simulation_(simulation), provider_(provider), attach_latency_(attach_latency) {
+  if (attach_latency_ < 0) {
+    throw std::invalid_argument("VolumeManager: negative attach latency");
+  }
+}
+
+VolumeId VolumeManager::create(const std::string& region, double size_gb) {
+  if (size_gb <= 0) throw std::invalid_argument("VolumeManager: size_gb must be > 0");
+  const VolumeId id = next_id_++;
+  volumes_.emplace(id, Volume{id, region, size_gb, std::nullopt});
+  return id;
+}
+
+void VolumeManager::detach(VolumeId id) {
+  volume_mut(id).attached_to.reset();
+}
+
+void VolumeManager::attach(VolumeId id, InstanceId instance_id,
+                           AttachCallback on_attached) {
+  Volume& vol = volume_mut(id);
+  if (vol.attached_to.has_value()) {
+    throw std::logic_error("VolumeManager: volume already attached");
+  }
+  const Instance& inst = provider_.instance(instance_id);
+  if (inst.state != InstanceState::kRunning && inst.state != InstanceState::kWarned) {
+    throw std::logic_error("VolumeManager: instance not running");
+  }
+  if (inst.market.region != vol.region) {
+    throw std::logic_error("VolumeManager: cross-region attach of volume in " +
+                           vol.region + " to instance in " + inst.market.region);
+  }
+  vol.attached_to = instance_id;
+  simulation_.after(attach_latency_, [this, id, cb = std::move(on_attached)] {
+    // The volume may have been detached again while the attach was in
+    // flight; report only if still attached.
+    const auto it = volumes_.find(id);
+    if (it != volumes_.end() && it->second.attached_to.has_value() && cb) cb(id);
+  });
+}
+
+void VolumeManager::rehome(VolumeId id, const std::string& new_region) {
+  Volume& vol = volume_mut(id);
+  if (vol.attached_to.has_value()) {
+    throw std::logic_error("VolumeManager: cannot rehome an attached volume");
+  }
+  vol.region = new_region;
+}
+
+const Volume& VolumeManager::volume(VolumeId id) const {
+  const auto it = volumes_.find(id);
+  if (it == volumes_.end()) throw std::out_of_range("VolumeManager: unknown volume");
+  return it->second;
+}
+
+Volume& VolumeManager::volume_mut(VolumeId id) {
+  const auto it = volumes_.find(id);
+  if (it == volumes_.end()) throw std::out_of_range("VolumeManager: unknown volume");
+  return it->second;
+}
+
+}  // namespace spothost::cloud

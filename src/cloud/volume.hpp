@@ -1,0 +1,69 @@
+// Network-attached storage volumes (EBS in the paper).
+//
+// The paper's availability story depends on disk state living on network
+// volumes: when a spot server is revoked, the volume survives and is simply
+// re-attached to the replacement server (Sec. 3, naive approach discussion).
+// Checkpointed memory state is written to such a volume too, which is why a
+// forced migration can restore it after the source is gone.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "cloud/provider.hpp"
+#include "simcore/simulation.hpp"
+
+namespace spothost::cloud {
+
+using VolumeId = std::uint64_t;
+inline constexpr VolumeId kInvalidVolume = 0;
+
+struct Volume {
+  VolumeId id = kInvalidVolume;
+  std::string region;
+  double size_gb = 0.0;
+  /// Instance the volume is attached to, if any.
+  std::optional<InstanceId> attached_to;
+};
+
+/// Manages volume lifecycle. Attach takes a small latency (seconds); detach
+/// is immediate. A volume is regional: attaching to an instance in another
+/// region requires a cross-region copy first (NetworkModel owns the cost;
+/// VolumeManager enforces the region constraint).
+class VolumeManager {
+ public:
+  using AttachCallback = std::function<void(VolumeId)>;
+
+  VolumeManager(sim::Simulation& simulation, CloudProvider& provider,
+                sim::SimTime attach_latency = 4 * sim::kSecond);
+
+  VolumeId create(const std::string& region, double size_gb);
+
+  /// Detaches from the current instance, if attached.
+  void detach(VolumeId id);
+
+  /// Attaches to a running instance in the same region; `on_attached` fires
+  /// after the attach latency. Throws on region mismatch or busy volume.
+  void attach(VolumeId id, InstanceId instance, AttachCallback on_attached);
+
+  /// Re-homes a volume to a new region (models the WAN disk copy having been
+  /// performed by the migration machinery; the copy time is accounted there).
+  void rehome(VolumeId id, const std::string& new_region);
+
+  [[nodiscard]] const Volume& volume(VolumeId id) const;
+  [[nodiscard]] std::size_t count() const noexcept { return volumes_.size(); }
+
+ private:
+  Volume& volume_mut(VolumeId id);
+
+  sim::Simulation& simulation_;
+  CloudProvider& provider_;
+  sim::SimTime attach_latency_;
+  std::unordered_map<VolumeId, Volume> volumes_;
+  VolumeId next_id_ = 1;
+};
+
+}  // namespace spothost::cloud

@@ -1,0 +1,116 @@
+#include "metrics/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <stdexcept>
+
+#include "sched/market_selection.hpp"
+
+namespace spothost::metrics {
+
+RunMetrics run_hosting_scenario(const sched::Scenario& scenario,
+                                const sched::SchedulerConfig& config) {
+  sched::World world(scenario);
+  workload::AlwaysOnService service("hosted-service",
+                                    virt::VmSpec{});  // spec set by scheduler
+  sched::CloudScheduler scheduler(world.simulation(), world.provider(), service,
+                                  config, world.stream("scheduler-timing"));
+  scheduler.start();
+  world.simulation().run_until(world.horizon());
+  world.provider().finalize(world.horizon());
+  scheduler.finalize(world.horizon());
+
+  // Normalization baseline: home-region on-demand price, or the cheapest
+  // on-demand price across the allowed regions for multi-region scenarios.
+  double baseline_price = sched::effective_on_demand_price(
+      world.provider(), config.home_market.region, config.home_market.size);
+  if (config.scope == sched::MarketScope::kMultiRegion) {
+    const auto& regions = config.allowed_regions.empty()
+                              ? world.provider().regions()
+                              : config.allowed_regions;
+    const std::string cheapest = sched::cheapest_on_demand_region(
+        world.provider(), regions, config.home_market.size);
+    baseline_price = sched::effective_on_demand_price(world.provider(), cheapest,
+                                                      config.home_market.size);
+  }
+  return compute_run_metrics(world.provider(), scheduler, service, world.horizon(),
+                             baseline_price);
+}
+
+Aggregate Aggregate::of(std::span<const double> xs) {
+  Aggregate a;
+  if (xs.empty()) return a;
+  double sum = 0.0;
+  a.min = xs.front();
+  a.max = xs.front();
+  for (const double x : xs) {
+    sum += x;
+    a.min = std::min(a.min, x);
+    a.max = std::max(a.max, x);
+  }
+  a.mean = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (const double x : xs) ss += (x - a.mean) * (x - a.mean);
+  a.stddev = std::sqrt(ss / static_cast<double>(xs.size()));
+  return a;
+}
+
+ExperimentRunner::ExperimentRunner(int runs, std::uint64_t base_seed, bool parallel)
+    : runs_(runs), base_seed_(base_seed), parallel_(parallel) {
+  if (runs_ <= 0) throw std::invalid_argument("ExperimentRunner: runs must be > 0");
+}
+
+AggregatedMetrics ExperimentRunner::run(const sched::Scenario& scenario,
+                                        const sched::SchedulerConfig& config) const {
+  return run_with([&](std::uint64_t seed) {
+    sched::Scenario s = scenario;
+    s.seed = seed;
+    return run_hosting_scenario(s, config);
+  });
+}
+
+AggregatedMetrics ExperimentRunner::run_with(
+    const std::function<RunMetrics(std::uint64_t seed)>& body) const {
+  std::vector<RunMetrics> results(static_cast<std::size_t>(runs_));
+  if (parallel_) {
+    std::vector<std::future<RunMetrics>> futures;
+    futures.reserve(static_cast<std::size_t>(runs_));
+    for (int i = 0; i < runs_; ++i) {
+      const std::uint64_t seed = base_seed_ + static_cast<std::uint64_t>(i) * 7919u;
+      futures.push_back(
+          std::async(std::launch::async, [&body, seed] { return body(seed); }));
+    }
+    for (int i = 0; i < runs_; ++i) {
+      results[static_cast<std::size_t>(i)] = futures[static_cast<std::size_t>(i)].get();
+    }
+  } else {
+    for (int i = 0; i < runs_; ++i) {
+      const std::uint64_t seed = base_seed_ + static_cast<std::uint64_t>(i) * 7919u;
+      results[static_cast<std::size_t>(i)] = body(seed);
+    }
+  }
+
+  AggregatedMetrics agg;
+  agg.runs = runs_;
+  auto collect = [&](auto getter) {
+    std::vector<double> xs;
+    xs.reserve(results.size());
+    for (const auto& r : results) xs.push_back(getter(r));
+    return Aggregate::of(xs);
+  };
+  agg.normalized_cost_pct =
+      collect([](const RunMetrics& r) { return r.normalized_cost_pct; });
+  agg.unavailability_pct =
+      collect([](const RunMetrics& r) { return r.unavailability_pct; });
+  agg.forced_per_hour = collect([](const RunMetrics& r) { return r.forced_per_hour; });
+  agg.planned_reverse_per_hour =
+      collect([](const RunMetrics& r) { return r.planned_reverse_per_hour; });
+  agg.downtime_s = collect([](const RunMetrics& r) { return r.downtime_s; });
+  agg.cancelled_planned = collect(
+      [](const RunMetrics& r) { return static_cast<double>(r.cancelled_planned); });
+  agg.per_run = std::move(results);
+  return agg;
+}
+
+}  // namespace spothost::metrics

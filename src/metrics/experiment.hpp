@@ -1,0 +1,63 @@
+// Experiment harness: runs a hosting scenario end-to-end and aggregates
+// metrics across seeds. Runs are fully independent worlds, so they execute
+// in parallel across hardware threads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "metrics/run_metrics.hpp"
+#include "sched/baselines.hpp"
+#include "sched/config.hpp"
+
+namespace spothost::metrics {
+
+/// One simulated month of hosting under `config` inside a world built from
+/// `scenario` (the scenario's seed is used as-is; the runner varies it).
+RunMetrics run_hosting_scenario(const sched::Scenario& scenario,
+                                const sched::SchedulerConfig& config);
+
+struct Aggregate {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  static Aggregate of(std::span<const double> xs);
+};
+
+struct AggregatedMetrics {
+  Aggregate normalized_cost_pct;
+  Aggregate unavailability_pct;
+  Aggregate forced_per_hour;
+  Aggregate planned_reverse_per_hour;
+  Aggregate downtime_s;
+  Aggregate cancelled_planned;
+  int runs = 0;
+  std::vector<RunMetrics> per_run;  ///< in seed order
+};
+
+class ExperimentRunner {
+ public:
+  /// `runs` independent seeds derived from `base_seed`. When `parallel`,
+  /// runs execute on std::async workers (results stay in seed order).
+  explicit ExperimentRunner(int runs = 5, std::uint64_t base_seed = 9001,
+                            bool parallel = true);
+
+  /// Runs `config` against per-seed variants of `scenario` and aggregates.
+  [[nodiscard]] AggregatedMetrics run(const sched::Scenario& scenario,
+                                      const sched::SchedulerConfig& config) const;
+
+  /// Generic form: `body(seed)` produces the per-run metrics.
+  [[nodiscard]] AggregatedMetrics run_with(
+      const std::function<RunMetrics(std::uint64_t seed)>& body) const;
+
+ private:
+  int runs_;
+  std::uint64_t base_seed_;
+  bool parallel_;
+};
+
+}  // namespace spothost::metrics

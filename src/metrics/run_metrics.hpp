@@ -1,0 +1,45 @@
+// Per-run metrics: the quantities plotted in every evaluation figure.
+#pragma once
+
+#include "cloud/provider.hpp"
+#include "sched/scheduler.hpp"
+#include "workload/service.hpp"
+
+namespace spothost::metrics {
+
+struct RunMetrics {
+  // --- cost -------------------------------------------------------------
+  double total_cost = 0.0;       ///< raw ledger sum ($)
+  double attributed_cost = 0.0;  ///< ledger sum pro-rated by packing share ($)
+  double baseline_od_cost = 0.0; ///< on-demand-only cost over the horizon ($)
+  double normalized_cost_pct = 0.0;  ///< attributed / baseline * 100 (Figs. 6a, 8a, 9a, 11a)
+
+  // --- availability ------------------------------------------------------
+  double unavailability_pct = 0.0;  ///< Figs. 6b, 7, 8c, 9c, 11b
+  double downtime_s = 0.0;
+  double degraded_s = 0.0;
+  double longest_outage_s = 0.0;
+  int outages = 0;
+
+  // --- migrations ----------------------------------------------------------
+  int forced = 0;
+  int planned = 0;
+  int reverse = 0;
+  int cancelled_planned = 0;
+  int market_switches = 0;
+  double forced_per_hour = 0.0;           ///< Fig. 6c
+  double planned_reverse_per_hour = 0.0;  ///< Fig. 6d
+
+  double horizon_hours = 0.0;
+};
+
+/// Assembles metrics after a run. `baseline_od_price` is the $/hr of the
+/// normalization baseline (the home region's on-demand price — or, for
+/// multi-region scenarios, the lowest on-demand price across the allowed
+/// regions, per Sec. 4.5).
+RunMetrics compute_run_metrics(const cloud::CloudProvider& provider,
+                               const sched::CloudScheduler& scheduler,
+                               const workload::AlwaysOnService& service,
+                               sim::SimTime horizon, double baseline_od_price);
+
+}  // namespace spothost::metrics

@@ -1,0 +1,37 @@
+// Plain-text table/series rendering for the benchmark harness: every bench
+// binary prints the rows/series of its paper table or figure through these.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace spothost::metrics {
+
+/// Column-aligned ASCII table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule; columns sized to the widest cell.
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("%.3f" style).
+std::string fmt(double value, int precision = 3);
+
+/// "mean +- stddev" rendering for aggregated metrics.
+std::string fmt_pm(double mean, double stddev, int precision = 3);
+
+/// Section banner: "== title ==" with a trailing blank line.
+void print_banner(std::ostream& out, const std::string& title);
+
+}  // namespace spothost::metrics

@@ -1,0 +1,109 @@
+#include "sched/analysis.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spothost::sched {
+
+TraceAnalysis analyze_trace(const trace::PriceTrace& price_trace, double pon,
+                            double bid) {
+  if (price_trace.empty()) throw std::invalid_argument("analyze_trace: empty trace");
+  if (pon <= 0 || bid < pon) {
+    throw std::invalid_argument("analyze_trace: need bid >= pon > 0");
+  }
+  const sim::SimTime from = price_trace.start();
+  const sim::SimTime to = price_trace.end();
+
+  TraceAnalysis a;
+  bool in_excursion = false;
+  bool excursion_hit_bid = false;
+  sim::SimTime excursion_start = 0;
+  double below_weighted = 0.0;
+  sim::SimTime below_time = 0;
+
+  sim::SimTime cursor = from;
+  while (cursor < to) {
+    const double price = price_trace.price_at(cursor);
+    const auto next = price_trace.next_change_after(cursor);
+    const sim::SimTime segment_end = next ? std::min(next->time, to) : to;
+    const sim::SimTime span = segment_end - cursor;
+
+    if (price > pon) {
+      if (!in_excursion) {
+        in_excursion = true;
+        excursion_hit_bid = false;
+        excursion_start = cursor;
+        ++a.excursions_above_pon;
+      }
+      if (price > bid) excursion_hit_bid = true;
+      a.time_above_pon += span;
+    } else {
+      if (in_excursion) {
+        in_excursion = false;
+        if (excursion_hit_bid) ++a.excursions_above_bid;
+        a.longest_excursion =
+            std::max(a.longest_excursion, cursor - excursion_start);
+      }
+      below_weighted += price * static_cast<double>(span);
+      below_time += span;
+    }
+    cursor = segment_end;
+  }
+  if (in_excursion) {
+    if (excursion_hit_bid) ++a.excursions_above_bid;
+    a.longest_excursion = std::max(a.longest_excursion, to - excursion_start);
+  }
+  const sim::SimTime horizon = to - from;
+  a.fraction_below_pon =
+      static_cast<double>(below_time) / static_cast<double>(horizon);
+  a.mean_price_when_below =
+      below_time > 0 ? below_weighted / static_cast<double>(below_time) : 0.0;
+  return a;
+}
+
+HostingEstimate estimate_hosting(const trace::PriceTrace& price_trace, double pon,
+                                 const EstimateParams& params) {
+  virt::VmSpec spec = params.vm_spec;
+  if (spec.memory_gb <= 0) spec = virt::default_spec_for_memory(1.7, 8.0);
+
+  const double bid = params.bid_multiple * pon;
+  HostingEstimate e;
+  e.trace_stats = analyze_trace(price_trace, pon, bid);
+  const TraceAnalysis& a = e.trace_stats;
+
+  const double horizon_hours =
+      sim::to_hours(price_trace.end() - price_trace.start());
+
+  // --- cost ----------------------------------------------------------------
+  // Below p_on: pay roughly the running spot price. Above p_on: parked on
+  // on-demand at p_on. Each excursion adds one round trip's billing overlap.
+  const double spot_hours = a.fraction_below_pon * horizon_hours;
+  const double od_hours = horizon_hours - spot_hours;
+  double cost = a.mean_price_when_below * spot_hours + pon * od_hours;
+  cost += a.excursions_above_pon * params.migration_overlap_hours * pon;
+  e.normalized_cost_pct = 100.0 * cost / (pon * horizon_hours);
+
+  // --- availability ----------------------------------------------------------
+  const virt::MigrationPlanner planner(params.combo, params.mech,
+                                       virt::NetworkModel{});
+  const auto forced =
+      planner.plan(virt::MigrationClass::kForced, spec, "analysis", "analysis");
+  const auto planned =
+      planner.plan(virt::MigrationClass::kPlanned, spec, "analysis", "analysis");
+  const auto reverse =
+      planner.plan(virt::MigrationClass::kReverse, spec, "analysis", "analysis");
+
+  const int forced_events = a.excursions_above_bid;
+  const int planned_events = a.excursions_above_pon - a.excursions_above_bid;
+  const int reverse_events = a.excursions_above_pon;  // every excursion ends
+
+  const double downtime_s = forced_events * forced.downtime_s +
+                            planned_events * planned.downtime_s +
+                            reverse_events * reverse.downtime_s;
+  e.unavailability_pct = 100.0 * downtime_s / (horizon_hours * 3600.0);
+  e.forced_per_hour = forced_events / horizon_hours;
+  e.planned_reverse_per_hour = (planned_events + reverse_events) / horizon_hours;
+  return e;
+}
+
+}  // namespace spothost::sched

@@ -1,0 +1,56 @@
+// Closed-form what-if analysis of hosting on a given price trace.
+//
+// Answers, without running the simulator: "had I hosted on this market with
+// this policy, roughly what would it have cost and how available would the
+// service have been?" Useful against real EC2 price-history exports, for
+// capacity planning, and as an independent cross-check of the simulator
+// (tests assert the two agree within a small factor).
+//
+// The estimate walks the price path directly: time below p_on is billed at
+// the spot price, excursions above p_on are billed at p_on (the scheduler
+// parks on on-demand), each excursion contributes one planned + one reverse
+// migration, and excursions whose price crosses the bid contribute a forced
+// migration instead of a planned one. Per-event downtimes come from the
+// same MigrationPlanner the scheduler uses.
+#pragma once
+
+#include "trace/price_trace.hpp"
+#include "virt/mechanisms.hpp"
+
+namespace spothost::sched {
+
+/// Raw excursion statistics of a trace against a p_on / bid pair.
+struct TraceAnalysis {
+  int excursions_above_pon = 0;   ///< maximal intervals with price > p_on
+  int excursions_above_bid = 0;   ///< those whose peak also crossed the bid
+  sim::SimTime time_above_pon = 0;
+  sim::SimTime longest_excursion = 0;
+  double fraction_below_pon = 0.0;
+  double mean_price_when_below = 0.0;  ///< $/hr average while price <= p_on
+};
+
+TraceAnalysis analyze_trace(const trace::PriceTrace& price_trace, double pon,
+                            double bid);
+
+struct EstimateParams {
+  double bid_multiple = 4.0;  ///< proactive bid = multiple * p_on
+  virt::MechanismCombo combo = virt::MechanismCombo::kCkptLazyLive;
+  virt::MechanismParams mech = virt::typical_mechanism_params();
+  virt::VmSpec vm_spec{};
+  /// Billing-hour overlap paid per voluntary round trip (acquiring the
+  /// destination before releasing the source), as a fraction of one hour.
+  double migration_overlap_hours = 0.5;
+};
+
+struct HostingEstimate {
+  double normalized_cost_pct = 0.0;
+  double unavailability_pct = 0.0;
+  double forced_per_hour = 0.0;
+  double planned_reverse_per_hour = 0.0;
+  TraceAnalysis trace_stats;
+};
+
+HostingEstimate estimate_hosting(const trace::PriceTrace& price_trace, double pon,
+                                 const EstimateParams& params = {});
+
+}  // namespace spothost::sched

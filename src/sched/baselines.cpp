@@ -1,0 +1,38 @@
+#include "sched/baselines.hpp"
+
+#include "cloud/billing.hpp"
+
+namespace spothost::sched {
+
+double on_demand_only_cost(const cloud::CloudProvider& provider,
+                           const cloud::MarketId& home_market, sim::SimTime horizon) {
+  return cloud::on_demand_cost(provider.od_price(home_market), 0, horizon);
+}
+
+SchedulerConfig reactive_config(cloud::MarketId home_market) {
+  SchedulerConfig cfg;
+  cfg.bid.mode = BiddingMode::kReactive;
+  cfg.home_market = std::move(home_market);
+  cfg.scope = MarketScope::kSingleMarket;
+  return cfg;
+}
+
+SchedulerConfig proactive_config(cloud::MarketId home_market) {
+  SchedulerConfig cfg;
+  cfg.bid.mode = BiddingMode::kProactive;
+  cfg.bid.proactive_multiple = 4.0;
+  cfg.home_market = std::move(home_market);
+  cfg.scope = MarketScope::kSingleMarket;
+  return cfg;
+}
+
+SchedulerConfig pure_spot_config(cloud::MarketId home_market) {
+  SchedulerConfig cfg;
+  cfg.bid.mode = BiddingMode::kReactive;  // bid = p_on
+  cfg.home_market = std::move(home_market);
+  cfg.scope = MarketScope::kSingleMarket;
+  cfg.allow_on_demand = false;
+  return cfg;
+}
+
+}  // namespace spothost::sched

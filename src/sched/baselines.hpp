@@ -1,0 +1,28 @@
+// Baselines the paper compares against, plus preset scheduler configs.
+//
+//  * on-demand only — the cost normalizer everywhere ("100 %");
+//  * pure spot      — Fig. 11: no on-demand fallback, outages ride out the
+//    price excursions;
+//  * reactive / proactive presets for the Fig. 6 comparison.
+#pragma once
+
+#include "cloud/provider.hpp"
+#include "sched/scheduler.hpp"
+
+namespace spothost::sched {
+
+/// Cost of hosting on a single on-demand server of the home size for the
+/// whole horizon (every started hour billed).
+double on_demand_only_cost(const cloud::CloudProvider& provider,
+                           const cloud::MarketId& home_market, sim::SimTime horizon);
+
+/// Preset: reactive bidding (bid = p_on), single market.
+SchedulerConfig reactive_config(cloud::MarketId home_market);
+
+/// Preset: proactive bidding (bid = 4 * p_on), single market.
+SchedulerConfig proactive_config(cloud::MarketId home_market);
+
+/// Preset: pure-spot baseline (bid = p_on, no on-demand fallback).
+SchedulerConfig pure_spot_config(cloud::MarketId home_market);
+
+}  // namespace spothost::sched

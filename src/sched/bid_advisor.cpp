@@ -1,0 +1,62 @@
+#include "sched/bid_advisor.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace spothost::sched {
+namespace {
+
+constexpr std::array<double, 7> kDefaultMultiples{1.25, 1.5, 2.0, 3.0, 4.0,
+                                                  6.0, 8.0};
+
+}  // namespace
+
+std::span<const double> default_bid_multiples() { return kDefaultMultiples; }
+
+BidRecommendation recommend_bid(const trace::PriceTrace& price_trace, double pon,
+                                double max_unavailability_pct,
+                                std::span<const double> multiples,
+                                const EstimateParams& base_params) {
+  if (max_unavailability_pct < 0) {
+    throw std::invalid_argument("recommend_bid: negative SLO");
+  }
+  if (multiples.empty()) multiples = default_bid_multiples();
+
+  BidRecommendation best;
+  bool have_best = false;
+  for (const double multiple : multiples) {
+    if (multiple <= 1.0) {
+      throw std::invalid_argument("recommend_bid: multiples must exceed 1");
+    }
+    EstimateParams params = base_params;
+    params.bid_multiple = multiple;
+    BidCandidate candidate;
+    candidate.multiple = multiple;
+    candidate.estimate = estimate_hosting(price_trace, pon, params);
+    candidate.meets_slo =
+        candidate.estimate.unavailability_pct <= max_unavailability_pct;
+
+    const bool better = [&] {
+      if (!have_best) return true;
+      if (candidate.meets_slo != best.slo_met) return candidate.meets_slo;
+      if (candidate.meets_slo) {
+        // Both feasible: cheaper wins.
+        return candidate.estimate.normalized_cost_pct <
+               best.estimate.normalized_cost_pct;
+      }
+      // Neither feasible: more available wins.
+      return candidate.estimate.unavailability_pct <
+             best.estimate.unavailability_pct;
+    }();
+    if (better) {
+      best.multiple = candidate.multiple;
+      best.estimate = candidate.estimate;
+      best.slo_met = candidate.meets_slo;
+      have_best = true;
+    }
+    best.candidates.push_back(std::move(candidate));
+  }
+  return best;
+}
+
+}  // namespace spothost::sched

@@ -1,0 +1,40 @@
+// Bid advisor: the "more sophisticated bidding strategies" direction of the
+// paper's Sec. 8, as a concrete tool. Given a market's price history and an
+// availability SLO, it sweeps candidate bid multiples through the
+// closed-form estimator and recommends the cheapest one that meets the SLO
+// (falling back to the most-available candidate when none does).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sched/analysis.hpp"
+
+namespace spothost::sched {
+
+struct BidCandidate {
+  double multiple = 0.0;
+  HostingEstimate estimate;
+  bool meets_slo = false;
+};
+
+struct BidRecommendation {
+  double multiple = 0.0;
+  HostingEstimate estimate;
+  bool slo_met = false;
+  /// Every candidate evaluated, in sweep order (for reporting).
+  std::vector<BidCandidate> candidates;
+};
+
+/// Default sweep: the multiples an EC2-2015 customer could plausibly use
+/// (the platform capped bids at 4x on-demand; >4 kept for what-if analysis).
+std::span<const double> default_bid_multiples();
+
+/// Recommends a bid multiple for hosting on `price_trace` with `pon`,
+/// subject to estimated unavailability <= max_unavailability_pct.
+BidRecommendation recommend_bid(const trace::PriceTrace& price_trace, double pon,
+                                double max_unavailability_pct,
+                                std::span<const double> multiples = {},
+                                const EstimateParams& base_params = {});
+
+}  // namespace spothost::sched

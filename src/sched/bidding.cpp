@@ -1,0 +1,29 @@
+#include "sched/bidding.hpp"
+
+#include <stdexcept>
+
+namespace spothost::sched {
+
+std::string_view to_string(BiddingMode mode) noexcept {
+  switch (mode) {
+    case BiddingMode::kReactive: return "reactive";
+    case BiddingMode::kProactive: return "proactive";
+  }
+  return "?";
+}
+
+double BidPolicy::bid_for(const cloud::CloudProvider& provider,
+                          const cloud::MarketId& market) const {
+  const double pon = provider.od_price(market);
+  switch (mode) {
+    case BiddingMode::kReactive: return pon;
+    case BiddingMode::kProactive:
+      if (proactive_multiple <= 1.0) {
+        throw std::logic_error("BidPolicy: proactive multiple must exceed 1");
+      }
+      return proactive_multiple * pon;
+  }
+  return pon;
+}
+
+}  // namespace spothost::sched

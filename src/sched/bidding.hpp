@@ -1,0 +1,37 @@
+// Bidding policy (Sec. 3.1).
+//
+//  * Reactive:  bid = p_on. The provider revokes the moment the spot price
+//    crosses the on-demand price, so every transition away from spot is a
+//    forced migration executed inside the grace window.
+//  * Proactive: bid = k * p_on (k = 4, the largest multiple EC2 allowed).
+//    The scheduler watches the price itself and migrates voluntarily when
+//    the price crosses p_on; only a spike that blows past k*p_on before the
+//    voluntary migration commits still forces it.
+#pragma once
+
+#include <string_view>
+
+#include "cloud/provider.hpp"
+
+namespace spothost::sched {
+
+enum class BiddingMode { kReactive, kProactive };
+
+std::string_view to_string(BiddingMode mode) noexcept;
+
+struct BidPolicy {
+  BiddingMode mode = BiddingMode::kProactive;
+  /// Bid multiple over the on-demand price in proactive mode (EC2 cap: 4x).
+  double proactive_multiple = 4.0;
+
+  /// The bid to place when acquiring a spot server in `market`.
+  [[nodiscard]] double bid_for(const cloud::CloudProvider& provider,
+                               const cloud::MarketId& market) const;
+
+  /// Whether the policy performs voluntary (planned) spot->on-demand moves.
+  [[nodiscard]] bool plans_migrations() const noexcept {
+    return mode == BiddingMode::kProactive;
+  }
+};
+
+}  // namespace spothost::sched

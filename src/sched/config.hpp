@@ -1,0 +1,65 @@
+// Scenario description and World builder: wires a simulation, a synthetic
+// (or trace-driven) cloud, and allocation-latency profiles into a runnable
+// experiment world.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/provider.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/simulation.hpp"
+#include "trace/profiles.hpp"
+
+namespace spothost::sched {
+
+struct Scenario {
+  std::uint64_t seed = 42;
+  sim::SimTime horizon = 30 * sim::kDay;  ///< the paper's month-long window
+  /// Regions to instantiate (default: the four canonical ones).
+  std::vector<std::string> regions{};
+  /// Sizes to instantiate per region (default: all four).
+  std::vector<cloud::InstanceSize> sizes{};
+  sim::SimTime grace_period = 120 * sim::kSecond;
+  /// Directory of measured price traces. For each market, the builder looks
+  /// for "<region>_<size>.csv" (trace/csv format — e.g. a converted EC2
+  /// DescribeSpotPriceHistory export) and uses it instead of the synthetic
+  /// model; markets without a file stay synthetic. Traces shorter than the
+  /// horizon are rejected. Empty = fully synthetic.
+  std::string trace_dir{};
+};
+
+/// Allocation latencies per region family, from Table 1.
+cloud::AllocationLatency table1_allocation_latency(const std::string& region);
+
+/// A fully wired experiment world. Construction generates all market traces
+/// (seeded from the scenario seed) and starts the provider's price feeds;
+/// attach a scheduler and call simulation().run_until(horizon()).
+class World {
+ public:
+  explicit World(Scenario scenario);
+
+  [[nodiscard]] sim::Simulation& simulation() noexcept { return *simulation_; }
+  [[nodiscard]] cloud::CloudProvider& provider() noexcept { return *provider_; }
+  [[nodiscard]] const cloud::CloudProvider& provider() const noexcept {
+    return *provider_;
+  }
+  [[nodiscard]] const sim::RngFactory& rng() const noexcept { return rng_factory_; }
+  [[nodiscard]] sim::SimTime horizon() const noexcept { return scenario_.horizon; }
+  [[nodiscard]] const Scenario& scenario() const noexcept { return scenario_; }
+
+  /// A fresh named random stream tied to the scenario seed.
+  [[nodiscard]] sim::RngStream stream(std::string_view name) const {
+    return rng_factory_.stream(name);
+  }
+
+ private:
+  Scenario scenario_;
+  sim::RngFactory rng_factory_;
+  std::unique_ptr<sim::Simulation> simulation_;
+  std::unique_ptr<cloud::CloudProvider> provider_;
+};
+
+}  // namespace spothost::sched

@@ -1,0 +1,131 @@
+#include "sched/fleet.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cloud/billing.hpp"
+#include "sched/market_selection.hpp"
+
+namespace spothost::sched {
+
+FleetScheduler::FleetScheduler(sim::Simulation& simulation,
+                               cloud::CloudProvider& provider, FleetConfig config,
+                               const sim::RngFactory& rng_factory)
+    : provider_(provider) {
+  if (config.num_services <= 0) {
+    throw std::invalid_argument("FleetScheduler: num_services must be > 0");
+  }
+  units_.reserve(static_cast<std::size_t>(config.num_services));
+  for (int i = 0; i < config.num_services; ++i) {
+    SchedulerConfig cfg = config.service_template;
+    if (!config.home_markets.empty()) {
+      cfg.home_market = config.home_markets[static_cast<std::size_t>(i) %
+                                            config.home_markets.size()];
+    }
+    Unit unit;
+    unit.service = std::make_unique<workload::AlwaysOnService>(
+        "svc-" + std::to_string(i),
+        virt::default_spec_for_memory(cloud::type_info(cfg.home_market.size).memory_gb,
+                                      cloud::type_info(cfg.home_market.size).disk_gb));
+    unit.scheduler = std::make_unique<CloudScheduler>(
+        simulation, provider, *unit.service, cfg,
+        rng_factory.stream("fleet-timing", static_cast<std::uint64_t>(i)));
+    units_.push_back(std::move(unit));
+  }
+}
+
+void FleetScheduler::start() {
+  for (auto& unit : units_) unit.scheduler->start();
+}
+
+void FleetScheduler::finalize(sim::SimTime horizon) {
+  for (auto& unit : units_) unit.scheduler->finalize(horizon);
+}
+
+const workload::AlwaysOnService& FleetScheduler::service(int index) const {
+  return *units_.at(static_cast<std::size_t>(index)).service;
+}
+
+const CloudScheduler& FleetScheduler::scheduler(int index) const {
+  return *units_.at(static_cast<std::size_t>(index)).scheduler;
+}
+
+OutageOverlap compute_outage_overlap(
+    const std::vector<std::vector<workload::OutageRecord>>& per_service,
+    sim::SimTime horizon) {
+  // Sweep line over +1/-1 events.
+  std::vector<std::pair<sim::SimTime, int>> events;
+  for (const auto& outages : per_service) {
+    for (const auto& o : outages) {
+      const sim::SimTime start = std::max<sim::SimTime>(0, o.start);
+      const sim::SimTime end = std::min(horizon, o.end);
+      if (start >= end) continue;
+      events.emplace_back(start, +1);
+      events.emplace_back(end, -1);
+    }
+  }
+  std::sort(events.begin(), events.end());
+
+  OutageOverlap overlap;
+  int depth = 0;
+  sim::SimTime prev = 0;
+  for (const auto& [t, delta] : events) {
+    if (depth > 0) overlap.any_down += t - prev;
+    prev = t;
+    depth += delta;
+    overlap.max_concurrent = std::max(overlap.max_concurrent, depth);
+  }
+  return overlap;
+}
+
+FleetMetrics FleetScheduler::metrics(sim::SimTime horizon) const {
+  FleetMetrics m;
+  m.services = size();
+
+  // Fleet bill: the ledger is shared across all services of this provider,
+  // so sum it once; attributed cost pro-rates each lease by the packing
+  // share of the service size that leased it. With a homogeneous fleet the
+  // share is the template's; for mixed fleets this is an approximation the
+  // per-record owner tracking would refine.
+  std::vector<std::vector<workload::OutageRecord>> outages;
+  outages.reserve(units_.size());
+  double worst = 0.0;
+  double unavail_sum = 0.0;
+  for (const auto& unit : units_) {
+    const auto& avail = unit.service->availability();
+    const double u = avail.unavailability_percent();
+    unavail_sum += u;
+    worst = std::max(worst, u);
+    outages.push_back(avail.outages());
+    const auto& stats = unit.scheduler->stats();
+    m.total_forced += stats.forced;
+    m.total_planned += stats.planned;
+    m.total_reverse += stats.reverse;
+
+    const double od = effective_on_demand_price(
+        provider_, unit.scheduler->config().home_market.region,
+        unit.scheduler->config().home_market.size);
+    m.baseline_od_cost += cloud::on_demand_cost(od, 0, horizon);
+  }
+  m.mean_unavailability_pct = unavail_sum / m.services;
+  m.worst_unavailability_pct = worst;
+
+  for (const auto& record : provider_.ledger().records()) {
+    m.total_cost += record.cost;
+    const int capacity = cloud::type_info(record.market.size).capacity_units;
+    const int units_needed = units_.front().scheduler->units_needed();
+    m.attributed_cost +=
+        record.cost * std::min(1.0, static_cast<double>(units_needed) / capacity);
+  }
+  if (m.baseline_od_cost > 0) {
+    m.normalized_cost_pct = 100.0 * m.attributed_cost / m.baseline_od_cost;
+  }
+
+  const OutageOverlap overlap = compute_outage_overlap(outages, horizon);
+  m.any_down_pct =
+      100.0 * static_cast<double>(overlap.any_down) / static_cast<double>(horizon);
+  m.max_concurrent_down = overlap.max_concurrent;
+  return m;
+}
+
+}  // namespace spothost::sched

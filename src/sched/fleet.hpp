@@ -1,0 +1,87 @@
+// Fleet hosting: many always-on services in one cloud, each driven by its
+// own CloudScheduler instance.
+//
+// The paper evaluates one service; a real operator (the SpotCheck-style
+// derivative cloud it cites) runs a fleet. A fleet changes the availability
+// question: a market spike revokes *every* spot server in that market at
+// once, so per-service unavailability understates user-visible risk. The
+// FleetScheduler runs N services — optionally spread across home markets —
+// and reports correlated-outage statistics: fraction of time any service is
+// down, peak number of simultaneously-down services, and the fleet bill.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "workload/service.hpp"
+
+namespace spothost::sched {
+
+struct FleetConfig {
+  /// Template applied to every service; home_market may be overridden
+  /// per-service via `home_markets`.
+  SchedulerConfig service_template{};
+  int num_services = 4;
+  /// Optional per-service home markets (round-robin if smaller than the
+  /// fleet; empty = all services use the template's home market).
+  std::vector<cloud::MarketId> home_markets{};
+};
+
+struct FleetMetrics {
+  int services = 0;
+  double total_cost = 0.0;            ///< raw fleet bill ($)
+  double attributed_cost = 0.0;       ///< pro-rated by packing share ($)
+  double baseline_od_cost = 0.0;      ///< fleet-wide on-demand-only cost ($)
+  double normalized_cost_pct = 0.0;
+
+  double mean_unavailability_pct = 0.0;  ///< average over services
+  double worst_unavailability_pct = 0.0;
+  /// Fraction of the horizon during which >= 1 service was down — the
+  /// "someone is paging" metric.
+  double any_down_pct = 0.0;
+  /// Peak number of simultaneously-down services (revocation correlation).
+  int max_concurrent_down = 0;
+  int total_forced = 0;
+  int total_planned = 0;
+  int total_reverse = 0;
+};
+
+class FleetScheduler {
+ public:
+  /// Builds `config.num_services` services and schedulers against the
+  /// provider. Call start() before running the simulation and finalize()
+  /// after; then read metrics().
+  FleetScheduler(sim::Simulation& simulation, cloud::CloudProvider& provider,
+                 FleetConfig config, const sim::RngFactory& rng_factory);
+
+  void start();
+  void finalize(sim::SimTime horizon);
+
+  [[nodiscard]] FleetMetrics metrics(sim::SimTime horizon) const;
+
+  [[nodiscard]] const workload::AlwaysOnService& service(int index) const;
+  [[nodiscard]] const CloudScheduler& scheduler(int index) const;
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(units_.size()); }
+
+ private:
+  struct Unit {
+    std::unique_ptr<workload::AlwaysOnService> service;
+    std::unique_ptr<CloudScheduler> scheduler;
+  };
+
+  cloud::CloudProvider& provider_;
+  std::vector<Unit> units_;
+};
+
+/// Overlap statistics over per-service outage interval lists: returns
+/// {time with >= 1 down, peak simultaneous-down count} over [0, horizon).
+struct OutageOverlap {
+  sim::SimTime any_down = 0;
+  int max_concurrent = 0;
+};
+OutageOverlap compute_outage_overlap(
+    const std::vector<std::vector<workload::OutageRecord>>& per_service,
+    sim::SimTime horizon);
+
+}  // namespace spothost::sched

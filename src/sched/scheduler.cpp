@@ -1,0 +1,655 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "simcore/logging.hpp"
+
+namespace spothost::sched {
+
+using cloud::InstanceId;
+using cloud::MarketId;
+using sim::SimTime;
+
+namespace {
+
+constexpr double kLeadSafetyFactor = 1.3;  // allocation-latency headroom
+constexpr SimTime kLeadSlack = 60 * sim::kSecond;
+
+}  // namespace
+
+CloudScheduler::CloudScheduler(sim::Simulation& simulation,
+                               cloud::CloudProvider& provider,
+                               workload::ServiceEndpoint& service,
+                               SchedulerConfig config, sim::RngStream timing_rng)
+    : simulation_(simulation),
+      provider_(provider),
+      service_(service),
+      config_(std::move(config)),
+      planner_(config_.combo, config_.mech, virt::NetworkModel{}),
+      rng_(std::move(timing_rng)),
+      spec_(config_.vm_spec) {
+  if (spec_.memory_gb <= 0) {
+    const auto& info = cloud::type_info(config_.home_market.size);
+    spec_ = virt::default_spec_for_memory(info.memory_gb, info.disk_gb);
+  }
+  if (!provider_.has_market(config_.home_market)) {
+    throw std::invalid_argument("CloudScheduler: unknown home market " +
+                                config_.home_market.str());
+  }
+  if (config_.scope == MarketScope::kMultiRegion && config_.allowed_regions.empty()) {
+    config_.allowed_regions = provider_.regions();
+  }
+}
+
+int CloudScheduler::units_needed() const {
+  if (config_.capacity_units_override > 0) return config_.capacity_units_override;
+  return cloud::type_info(config_.home_market.size).capacity_units;
+}
+
+double CloudScheduler::od_threshold() const {
+  const std::string& region =
+      holding_ ? holding_->market.region : config_.home_market.region;
+  return effective_on_demand_price(provider_, region, config_.home_market.size);
+}
+
+SelectionOptions CloudScheduler::selection_options(double threshold) const {
+  SelectionOptions opts;
+  opts.units_needed = units_needed();
+  opts.max_effective_price = threshold;
+  if (holding_ && !holding_->on_demand) opts.exclude = holding_->market;
+  opts.stability_aware = config_.stability_aware;
+  opts.stability_penalty_weight = config_.stability_penalty_weight;
+  opts.stability_window = config_.stability_window;
+  opts.now = simulation_.now();
+  return opts;
+}
+
+SimTime CloudScheduler::jittered(double seconds) {
+  if (seconds <= 0) return 0;
+  if (config_.timing_jitter_cv <= 0) return sim::from_seconds(seconds);
+  return sim::from_seconds(rng_.lognormal_mean_cv(seconds, config_.timing_jitter_cv));
+}
+
+SimTime CloudScheduler::planned_lead() const {
+  const std::string& region =
+      holding_ ? holding_->market.region : config_.home_market.region;
+  const auto lat = provider_.allocation_latency(region);
+  const auto t = planner_.plan(virt::MigrationClass::kPlanned, spec_, region, region);
+  return sim::from_seconds(lat.on_demand_mean_s * kLeadSafetyFactor + t.prepare_s +
+                           t.downtime_s) +
+         kLeadSlack;
+}
+
+SimTime CloudScheduler::reverse_lead() const {
+  const std::string& region =
+      holding_ ? holding_->market.region : config_.home_market.region;
+  const auto lat = provider_.allocation_latency(region);
+  const auto t = planner_.plan(virt::MigrationClass::kReverse, spec_, region, region);
+  return sim::from_seconds(lat.spot_mean_s * kLeadSafetyFactor + t.prepare_s +
+                           t.downtime_s) +
+         kLeadSlack;
+}
+
+SimTime CloudScheduler::next_instance_hour_boundary() const {
+  if (!holding_) throw std::logic_error("next_instance_hour_boundary: no holding");
+  const SimTime launch = provider_.instance(holding_->id).launch;
+  const SimTime elapsed = simulation_.now() - launch;
+  const SimTime hours = elapsed / sim::kHour + 1;
+  return launch + hours * sim::kHour;
+}
+
+void CloudScheduler::start() {
+  // One price subscription per candidate market; the handler routes by
+  // current state, so subscriptions are static for the whole run.
+  const auto candidates = candidate_markets(provider_, config_.scope,
+                                            config_.home_market,
+                                            config_.allowed_regions);
+  for (const auto& market : candidates) {
+    provider_.market(market).subscribe(
+        [this, market](const cloud::SpotMarket&, double new_price) {
+          on_price_change(market, new_price);
+        });
+  }
+  // The home market is always watched (pure-spot reacquisition).
+  if (std::find(candidates.begin(), candidates.end(), config_.home_market) ==
+      candidates.end()) {
+    provider_.market(config_.home_market)
+        .subscribe([this](const cloud::SpotMarket& m, double new_price) {
+          on_price_change(m.id(), new_price);
+        });
+  }
+  acquire_initial();
+}
+
+void CloudScheduler::acquire_initial() {
+  if (!config_.allow_on_demand) {
+    pure_spot_reacquire();
+    return;
+  }
+  const auto candidates = candidate_markets(provider_, config_.scope,
+                                            config_.home_market,
+                                            config_.allowed_regions);
+  const double threshold = effective_on_demand_price(
+      provider_, config_.home_market.region, config_.home_market.size);
+  const auto best = best_spot_market(provider_, candidates,
+                                     selection_options(threshold));
+  if (best) {
+    const MarketId target = *best;
+    const double bid = config_.bid.bid_for(provider_, target);
+    pending_acquire_ = provider_.request_spot(
+        target, bid,
+        [this, target](InstanceId iid) {
+          pending_acquire_ = cloud::kInvalidInstance;
+          adopt(iid, target, /*on_demand=*/false);
+        },
+        [this] {
+          pending_acquire_ = cloud::kInvalidInstance;
+          ++stats_.spot_request_failures;
+          acquire_initial();  // price moved; re-evaluate (likely on-demand now)
+        });
+    return;
+  }
+  std::string od_region = config_.home_market.region;
+  if (config_.scope == MarketScope::kMultiRegion) {
+    od_region = cheapest_on_demand_region(provider_, config_.allowed_regions,
+                                          config_.home_market.size);
+  }
+  const MarketId od_market{od_region, config_.home_market.size};
+  pending_acquire_ = provider_.request_on_demand(
+      od_market, [this, od_market](InstanceId iid) {
+        pending_acquire_ = cloud::kInvalidInstance;
+        adopt(iid, od_market, /*on_demand=*/true);
+      });
+}
+
+void CloudScheduler::adopt(InstanceId instance, const MarketId& market,
+                           bool on_demand) {
+  holding_ = Holding{instance, market, on_demand};
+  state_ = on_demand ? State::kOnDemand : State::kOnSpot;
+  if (!service_live_) {
+    service_.go_live(simulation_.now());
+    service_live_ = true;
+  }
+  if (!on_demand) {
+    provider_.set_revocation_handler(instance,
+                                     [this](InstanceId iid, SimTime t_term) {
+                                       on_revocation_warning(iid, t_term);
+                                     });
+    // Guard against adopting into an already-hot market.
+    if (config_.bid.plans_migrations() && config_.allow_on_demand &&
+        effective_spot_price(provider_, market, units_needed()) > od_threshold()) {
+      maybe_schedule_planned();
+    }
+  } else {
+    schedule_hour_check();
+  }
+  SPOTHOST_LOG(sim::LogLevel::kInfo, simulation_.now(),
+               "adopt " << market.str() << (on_demand ? " (on-demand)" : " (spot)")
+                        << " instance " << instance);
+}
+
+// ---------------------------------------------------------------------------
+// Price triggers
+// ---------------------------------------------------------------------------
+
+void CloudScheduler::on_price_change(const MarketId& market, double new_price) {
+  (void)new_price;
+  if (forced_) return;  // the forced flow owns the next transitions
+
+  // Pure-spot reacquisition: the market dipped back below the bid (also
+  // covers an initial acquisition that has been waiting for the price).
+  if (!config_.allow_on_demand &&
+      (state_ == State::kDown || state_ == State::kAcquiring)) {
+    pure_spot_reacquire();
+    return;
+  }
+
+  if (state_ != State::kOnSpot || !holding_ || market != holding_->market) return;
+  if (!config_.bid.plans_migrations() || !config_.allow_on_demand) return;
+
+  const double eff = effective_spot_price(provider_, market, units_needed());
+  const double threshold = od_threshold();
+  if (eff > threshold) {
+    maybe_schedule_planned();
+  } else {
+    cancel_scheduled_planned();
+    if (migration_ && migration_->cls == virt::MigrationClass::kPlanned &&
+        !migration_->transfer_started && config_.cancel_planned_on_price_drop) {
+      abandon_migration(/*count_cancel=*/true);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Planned migrations
+// ---------------------------------------------------------------------------
+
+void CloudScheduler::maybe_schedule_planned() {
+  if (migration_ || forced_ || planned_begin_event_ != sim::kInvalidEventId) return;
+  if (config_.planned_timing == PlannedTiming::kImmediate) {
+    begin_planned();
+    return;
+  }
+  const SimTime begin_at = next_instance_hour_boundary() - planned_lead();
+  if (begin_at <= simulation_.now()) {
+    begin_planned();
+    return;
+  }
+  planned_begin_event_ = simulation_.at(begin_at, [this] {
+    planned_begin_event_ = sim::kInvalidEventId;
+    if (state_ != State::kOnSpot || migration_ || forced_ || !holding_) return;
+    const double eff =
+        effective_spot_price(provider_, holding_->market, units_needed());
+    if (eff > od_threshold()) begin_planned();
+  });
+}
+
+void CloudScheduler::cancel_scheduled_planned() {
+  if (planned_begin_event_ != sim::kInvalidEventId) {
+    simulation_.cancel(planned_begin_event_);
+    planned_begin_event_ = sim::kInvalidEventId;
+  }
+}
+
+void CloudScheduler::begin_planned() {
+  if (state_ != State::kOnSpot || migration_ || forced_ || !holding_) return;
+  const auto candidates = candidate_markets(provider_, config_.scope,
+                                            config_.home_market,
+                                            config_.allowed_regions);
+  const double threshold = od_threshold() * config_.reverse_price_margin;
+  const auto best = best_spot_market(provider_, candidates,
+                                     selection_options(threshold));
+
+  Migration m;
+  m.cls = virt::MigrationClass::kPlanned;
+  if (best) {
+    m.target = *best;
+    m.target_on_demand = false;
+  } else {
+    std::string od_region = holding_->market.region;
+    if (config_.scope == MarketScope::kMultiRegion) {
+      od_region = cheapest_on_demand_region(provider_, config_.allowed_regions,
+                                            config_.home_market.size);
+    }
+    m.target = MarketId{od_region, config_.home_market.size};
+    m.target_on_demand = true;
+  }
+  migration_ = m;
+
+  if (m.target_on_demand) {
+    migration_->dest = provider_.request_on_demand(
+        m.target, [this](InstanceId iid) {
+          if (!migration_ || migration_->dest != iid) return;
+          migration_->dest_ready = true;
+          start_transfer();
+        });
+  } else {
+    const double bid = config_.bid.bid_for(provider_, m.target);
+    migration_->dest = provider_.request_spot(
+        m.target, bid,
+        [this](InstanceId iid) {
+          if (!migration_ || migration_->dest != iid) return;
+          migration_->dest_ready = true;
+          provider_.set_revocation_handler(
+              iid, [this](InstanceId warned, SimTime t_term) {
+                on_revocation_warning(warned, t_term);
+              });
+          start_transfer();
+        },
+        [this] {
+          ++stats_.spot_request_failures;
+          if (!migration_) return;
+          // The cheaper market evaporated; fall back to on-demand if the
+          // trigger still holds.
+          migration_.reset();
+          if (state_ == State::kOnSpot && holding_ && !forced_ &&
+              effective_spot_price(provider_, holding_->market, units_needed()) >
+                  od_threshold()) {
+            begin_planned();
+          }
+        });
+  }
+  SPOTHOST_LOG(sim::LogLevel::kInfo, simulation_.now(),
+               "planned migration -> " << m.target.str()
+                                       << (m.target_on_demand ? " (on-demand)"
+                                                              : " (spot)"));
+}
+
+void CloudScheduler::begin_reverse(const MarketId& target) {
+  if (state_ != State::kOnDemand || migration_ || forced_ || !holding_) return;
+  Migration m;
+  m.cls = virt::MigrationClass::kReverse;
+  m.target = target;
+  m.target_on_demand = false;
+  migration_ = m;
+  const double bid = config_.bid.bid_for(provider_, target);
+  migration_->dest = provider_.request_spot(
+      target, bid,
+      [this](InstanceId iid) {
+        if (!migration_ || migration_->dest != iid) return;
+        migration_->dest_ready = true;
+        provider_.set_revocation_handler(
+            iid, [this](InstanceId warned, SimTime t_term) {
+              on_revocation_warning(warned, t_term);
+            });
+        start_transfer();
+      },
+      [this] {
+        ++stats_.spot_request_failures;
+        if (!migration_) return;
+        migration_.reset();
+        schedule_hour_check();  // try again next billing hour
+      });
+  SPOTHOST_LOG(sim::LogLevel::kInfo, simulation_.now(),
+               "reverse migration -> " << target.str());
+}
+
+void CloudScheduler::start_transfer() {
+  if (!migration_ || !migration_->dest_ready || migration_->transfer_started) return;
+  if (!holding_) return;
+  migration_->timings = planner_.plan(migration_->cls, spec_,
+                                      holding_->market.region,
+                                      migration_->target.region);
+  migration_->transfer_started = true;
+  migration_->switchover_at =
+      simulation_.now() + jittered(migration_->timings.prepare_s);
+  migration_->switchover_event =
+      simulation_.at(migration_->switchover_at, [this] { complete_switchover(); });
+}
+
+void CloudScheduler::complete_switchover() {
+  if (!migration_ || !holding_) return;
+  const Migration m = *migration_;
+  migration_.reset();
+
+  const SimTime downtime = jittered(m.timings.downtime_s);
+  const SimTime degraded = jittered(m.timings.degraded_s);
+  const auto cause = (m.cls == virt::MigrationClass::kReverse)
+                         ? workload::OutageCause::kReverseMigration
+                         : workload::OutageCause::kPlannedMigration;
+
+  // Stop billing the source now; the destination has been running (and
+  // billing) since it came up. A source that is already under a revocation
+  // warning is left for the provider to revoke — the partial hour is then
+  // free instead of billed.
+  if (provider_.instance(holding_->id).state != cloud::InstanceState::kWarned) {
+    provider_.terminate(holding_->id);
+  }
+  if (hour_check_event_ != sim::kInvalidEventId) {
+    simulation_.cancel(hour_check_event_);
+    hour_check_event_ = sim::kInvalidEventId;
+  }
+
+  if (m.cls == virt::MigrationClass::kReverse) {
+    ++stats_.reverse;
+  } else {
+    ++stats_.planned;
+    if (!m.target_on_demand) ++stats_.market_switches;
+  }
+
+  if (downtime > 0 && service_.is_up()) {
+    service_.begin_outage(simulation_.now(), cause);
+    const SimTime up_at = simulation_.now() + downtime;
+    simulation_.at(up_at, [this, degraded] {
+      if (forced_) return;  // a forced flow took over mid-switchover
+      if (!service_.is_up()) {
+        service_.end_outage(simulation_.now(), degraded > 0);
+        if (degraded > 0) {
+          simulation_.after(degraded,
+                            [this] { service_.end_degraded(simulation_.now()); });
+        }
+      }
+    });
+  }
+  adopt(m.dest, m.target, m.target_on_demand);
+}
+
+void CloudScheduler::abandon_migration(bool count_cancel) {
+  if (!migration_) return;
+  if (migration_->switchover_event != sim::kInvalidEventId) {
+    simulation_.cancel(migration_->switchover_event);
+  }
+  if (migration_->dest != cloud::kInvalidInstance) {
+    // Pending requests are cancelled; a ready destination is released (its
+    // partial hour is billed — the price of a cancelled migration).
+    provider_.terminate(migration_->dest);
+  }
+  migration_.reset();
+  if (count_cancel) ++stats_.cancelled_planned;
+}
+
+// ---------------------------------------------------------------------------
+// Reverse-migration hour checks
+// ---------------------------------------------------------------------------
+
+void CloudScheduler::schedule_hour_check() {
+  if (state_ != State::kOnDemand || !holding_) return;
+  if (hour_check_event_ != sim::kInvalidEventId) {
+    simulation_.cancel(hour_check_event_);
+    hour_check_event_ = sim::kInvalidEventId;
+  }
+  SimTime check_at = next_instance_hour_boundary() - reverse_lead();
+  while (check_at <= simulation_.now()) check_at += sim::kHour;
+  hour_check_event_ = simulation_.at(check_at, [this] {
+    hour_check_event_ = sim::kInvalidEventId;
+    on_hour_check();
+  });
+}
+
+void CloudScheduler::on_hour_check() {
+  if (state_ != State::kOnDemand || migration_ || forced_ || !holding_) return;
+  const auto candidates = candidate_markets(provider_, config_.scope,
+                                            config_.home_market,
+                                            config_.allowed_regions);
+  const double threshold = od_threshold() * config_.reverse_price_margin;
+  const auto best = best_spot_market(provider_, candidates,
+                                     selection_options(threshold));
+  if (best) {
+    begin_reverse(*best);
+  } else {
+    schedule_hour_check();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Forced migrations
+// ---------------------------------------------------------------------------
+
+void CloudScheduler::on_revocation_warning(InstanceId instance, SimTime t_term) {
+  // A migration *destination* got warned before adoption: walk away from it.
+  if (migration_ && instance == migration_->dest) {
+    const bool was_reverse = migration_->cls == virt::MigrationClass::kReverse;
+    abandon_migration(/*count_cancel=*/false);
+    if (was_reverse) {
+      schedule_hour_check();
+    } else if (state_ == State::kOnSpot && holding_ && !forced_ &&
+               effective_spot_price(provider_, holding_->market, units_needed()) >
+                   od_threshold()) {
+      begin_planned();
+    }
+    return;
+  }
+  if (!holding_ || instance != holding_->id) return;  // stale warning
+
+  if (!config_.allow_on_demand) {
+    // Pure-spot baseline: checkpoint, go down, wait for the market.
+    const auto timings = planner_.plan(virt::MigrationClass::kForced, spec_,
+                                       holding_->market.region,
+                                       holding_->market.region);
+    const SimTime t_stop = std::max(simulation_.now(),
+                                    t_term - sim::from_seconds(timings.flush_s));
+    simulation_.at(t_stop, [this] {
+      if (service_.is_up()) {
+        service_.begin_outage(simulation_.now(), workload::OutageCause::kSpotLoss);
+      }
+    });
+    simulation_.at(t_term, [this] {
+      holding_.reset();
+      state_ = State::kDown;
+      pure_spot_reacquire();
+    });
+    return;
+  }
+
+  // If a voluntary transfer is already in flight and will finish before the
+  // axe falls, just let it finish.
+  if (migration_ && migration_->transfer_started) {
+    const SimTime completion =
+        migration_->switchover_at + sim::from_seconds(migration_->timings.downtime_s);
+    if (completion <= t_term) return;
+  }
+
+  begin_forced(t_term);
+}
+
+void CloudScheduler::begin_forced(SimTime t_term) {
+  ++stats_.forced;
+  cancel_scheduled_planned();
+
+  Forced f;
+  f.t_term = t_term;
+  f.timings = planner_.plan(virt::MigrationClass::kForced, spec_,
+                            holding_->market.region, holding_->market.region);
+
+  // Reuse an in-flight destination in the same region; otherwise release it
+  // and request a fresh on-demand server here.
+  if (migration_ && migration_->dest != cloud::kInvalidInstance &&
+      migration_->target.region == holding_->market.region) {
+    if (migration_->switchover_event != sim::kInvalidEventId) {
+      simulation_.cancel(migration_->switchover_event);
+    }
+    f.dest = migration_->dest;
+    f.dest_ready = migration_->dest_ready;
+    if (f.dest_ready) f.dest_ready_at = simulation_.now();
+    migration_.reset();
+  } else {
+    if (migration_) abandon_migration(/*count_cancel=*/false);
+  }
+  forced_ = f;
+
+  if (forced_->dest == cloud::kInvalidInstance) {
+    const MarketId od_market{holding_->market.region, config_.home_market.size};
+    forced_->dest = provider_.request_on_demand(od_market, [this](InstanceId iid) {
+      if (!forced_ || forced_->dest != iid) return;
+      forced_->dest_ready = true;
+      forced_->dest_ready_at = simulation_.now();
+      forced_try_resume();
+    });
+  } else if (!forced_->dest_ready) {
+    // Re-arm the ready callback path: the original migration callbacks check
+    // migration_, which is now reset. Poll for readiness at grant time via a
+    // fresh on-demand request if the reused request fails is complex; instead
+    // we conservatively released only same-region destinations, whose ready
+    // callback re-routes through migration_ (now null). To keep the flow
+    // simple, drop the pending reuse and request on-demand directly.
+    provider_.cancel_request(forced_->dest);
+    const MarketId od_market{holding_->market.region, config_.home_market.size};
+    forced_->dest = provider_.request_on_demand(od_market, [this](InstanceId iid) {
+      if (!forced_ || forced_->dest != iid) return;
+      forced_->dest_ready = true;
+      forced_->dest_ready_at = simulation_.now();
+      forced_try_resume();
+    });
+  }
+
+  // Keep serving until the last moment the bounded flush allows.
+  const SimTime t_stop = std::max(simulation_.now(),
+                                  t_term - sim::from_seconds(forced_->timings.flush_s));
+  simulation_.at(t_stop, [this] {
+    if (!forced_) return;
+    if (service_.is_up()) {
+      service_.begin_outage(simulation_.now(),
+                            workload::OutageCause::kForcedMigration);
+    }
+    forced_->service_stopped = true;
+    forced_try_resume();
+  });
+  simulation_.at(t_term, [this] {
+    if (!forced_) return;
+    holding_.reset();
+    state_ = State::kDown;
+    forced_try_resume();
+  });
+  SPOTHOST_LOG(sim::LogLevel::kInfo, simulation_.now(),
+               "forced migration, termination at " << sim::format_time(t_term));
+}
+
+void CloudScheduler::forced_try_resume() {
+  if (!forced_ || forced_->resume_scheduled) return;
+  if (!forced_->service_stopped || !forced_->dest_ready) return;
+  if (simulation_.now() < forced_->t_term) return;  // source not gone yet
+  forced_->resume_scheduled = true;
+  const SimTime restore = jittered(forced_->timings.restore_s);
+  const SimTime degraded = jittered(forced_->timings.degraded_s);
+  simulation_.after(restore, [this, degraded] {
+    if (!forced_) return;
+    const Forced f = *forced_;
+    forced_.reset();
+    if (!service_.is_up()) {
+      service_.end_outage(simulation_.now(), degraded > 0);
+      if (degraded > 0) {
+        simulation_.after(degraded,
+                          [this] { service_.end_degraded(simulation_.now()); });
+      }
+    }
+    const auto& inst = provider_.instance(f.dest);
+    adopt(f.dest, inst.market, inst.mode == cloud::BillingMode::kOnDemand);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Pure-spot baseline
+// ---------------------------------------------------------------------------
+
+void CloudScheduler::pure_spot_reacquire() {
+  if (pending_acquire_ != cloud::kInvalidInstance) return;
+  const MarketId& home = config_.home_market;
+  const double bid = config_.bid.bid_for(provider_, home);
+  if (provider_.price(home) > bid) return;  // wait for a price-change event
+  pending_acquire_ = provider_.request_spot(
+      home, bid,
+      [this, home](InstanceId iid) {
+        pending_acquire_ = cloud::kInvalidInstance;
+        if (!service_live_ || service_.is_up()) {
+          adopt(iid, home, /*on_demand=*/false);
+          return;
+        }
+        // Restoring after an outage: resume from the checkpoint volume.
+        const auto timings = planner_.plan(virt::MigrationClass::kForced, spec_,
+                                           home.region, home.region);
+        const SimTime restore = jittered(timings.restore_s);
+        const SimTime degraded = jittered(timings.degraded_s);
+        simulation_.after(restore, [this, iid, home, degraded] {
+          if (!service_.is_up()) {
+            service_.end_outage(simulation_.now(), degraded > 0);
+            if (degraded > 0) {
+              simulation_.after(degraded,
+                                [this] { service_.end_degraded(simulation_.now()); });
+            }
+          }
+          adopt(iid, home, /*on_demand=*/false);
+        });
+      },
+      [this] {
+        pending_acquire_ = cloud::kInvalidInstance;
+        ++stats_.spot_request_failures;
+        // Wait for the next price change; on_price_change retries.
+      });
+}
+
+// ---------------------------------------------------------------------------
+
+void CloudScheduler::finalize(SimTime horizon) {
+  if (service_live_) {
+    service_.finalize(horizon);
+  } else {
+    // Never came up (e.g. pure-spot market above bid for the whole run):
+    // the whole horizon is an outage.
+    service_.go_live(0);
+    service_.begin_outage(0, workload::OutageCause::kSpotLoss);
+    service_.finalize(horizon);
+  }
+}
+
+}  // namespace spothost::sched

@@ -1,0 +1,195 @@
+// The cloud scheduler (Sec. 3): hosts an always-on service on spot servers,
+// migrating between spot and on-demand servers with the paper's three
+// migration classes:
+//
+//  * forced  — the provider issued a revocation warning; the bounded
+//    checkpoint is flushed in the grace window, an on-demand replacement is
+//    requested immediately, and the service resumes from the checkpoint on
+//    the replacement (full or lazy restore);
+//  * planned — the spot price crossed the on-demand price; the scheduler
+//    voluntarily moves to the best destination (a cheaper spot market when
+//    multi-market/multi-region bidding allows, else on-demand), by default
+//    timed near the end of the current billing hour (the running hour is
+//    already paid at its cheap hour-start price);
+//  * reverse — while on on-demand, a spot market drops below the on-demand
+//    price again; near the end of each on-demand billing hour the scheduler
+//    re-procures spot capacity and migrates back.
+//
+// With `allow_on_demand = false` the same machinery degenerates to the
+// pure-spot baseline of Fig. 11: a revocation simply leaves the service
+// down until the market price returns below the bid.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cloud/provider.hpp"
+#include "sched/bidding.hpp"
+#include "sched/market_selection.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/simulation.hpp"
+#include "virt/mechanisms.hpp"
+#include "workload/endpoint.hpp"
+
+namespace spothost::sched {
+
+/// When a planned migration begins after the price crosses p_on.
+enum class PlannedTiming {
+  kHourEnd,    ///< ride out the already-paid hour; leave just before it ends
+  kImmediate,  ///< begin as soon as the crossing is observed
+};
+
+struct SchedulerConfig {
+  BidPolicy bid{};
+  virt::MechanismCombo combo = virt::MechanismCombo::kCkptLazyLive;
+  virt::MechanismParams mech = virt::typical_mechanism_params();
+  MarketScope scope = MarketScope::kSingleMarket;
+  cloud::MarketId home_market{"us-east-1a", cloud::InstanceSize::kSmall};
+  /// Regions searchable under kMultiRegion (empty = every provider region).
+  std::vector<std::string> allowed_regions{};
+  /// false => pure-spot baseline: no on-demand fallback at all.
+  bool allow_on_demand = true;
+  /// Proactive spike cancellation: abandon a planned migration whose price
+  /// trigger evaporated before the transfer started.
+  bool cancel_planned_on_price_drop = true;
+  PlannedTiming planned_timing = PlannedTiming::kHourEnd;
+  /// A spot market must be below margin * p_on to justify a reverse (or
+  /// cross-market planned) move — hysteresis against flapping.
+  double reverse_price_margin = 0.92;
+  /// Lognormal CV applied to transfer/restore durations (measurement noise).
+  double timing_jitter_cv = 0.05;
+  /// VM being hosted. memory_gb == 0 => derive from the home market size.
+  virt::VmSpec vm_spec{.memory_gb = 0.0};
+  /// Stability-aware market selection (the paper's stated future work).
+  bool stability_aware = false;
+  double stability_penalty_weight = 1.0;
+  sim::SimTime stability_window = 3 * sim::kDay;
+  /// Capacity the endpoint needs, in small-units. 0 = derive from the home
+  /// market size (one whole server). Set to the group size when hosting a
+  /// packed workload::ServiceGroup.
+  int capacity_units_override = 0;
+};
+
+struct SchedulerStats {
+  int forced = 0;             ///< revocation-driven migrations executed
+  int planned = 0;            ///< voluntary spot->elsewhere moves completed
+  int reverse = 0;            ///< on-demand->spot moves completed
+  int cancelled_planned = 0;  ///< spike cancellations
+  int market_switches = 0;    ///< planned moves that landed on another spot market
+  int spot_request_failures = 0;
+  int od_hours_started = 0;   ///< bookkeeping cross-check (unused by metrics)
+};
+
+class CloudScheduler {
+ public:
+  enum class State { kAcquiring, kOnSpot, kOnDemand, kDown };
+
+  CloudScheduler(sim::Simulation& simulation, cloud::CloudProvider& provider,
+                 workload::ServiceEndpoint& service, SchedulerConfig config,
+                 sim::RngStream timing_rng);
+
+  /// Kicks off initial acquisition. Call once before running the simulation.
+  void start();
+
+  /// Closes service accounting at the horizon. Call after run_until(horizon)
+  /// and before reading availability. (Provider finalization is separate.)
+  void finalize(sim::SimTime horizon);
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] const SchedulerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const SchedulerConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const virt::VmSpec& vm_spec() const noexcept { return spec_; }
+  [[nodiscard]] cloud::InstanceId current_instance() const noexcept {
+    return holding_ ? holding_->id : cloud::kInvalidInstance;
+  }
+
+  /// Capacity the hosted endpoint needs, in small-units (after any
+  /// override) — the basis for effective-price packing and attribution.
+  [[nodiscard]] int units_needed() const;
+
+ private:
+  struct Holding {
+    cloud::InstanceId id = cloud::kInvalidInstance;
+    cloud::MarketId market;
+    bool on_demand = false;
+  };
+
+  struct Migration {
+    virt::MigrationClass cls{};
+    cloud::MarketId target;
+    bool target_on_demand = false;
+    cloud::InstanceId dest = cloud::kInvalidInstance;
+    bool dest_ready = false;
+    bool transfer_started = false;
+    sim::SimTime switchover_at = -1;
+    virt::MigrationTimings timings{};
+    sim::EventId switchover_event = sim::kInvalidEventId;
+  };
+
+  struct Forced {
+    sim::SimTime t_term = 0;
+    cloud::InstanceId dest = cloud::kInvalidInstance;
+    bool dest_ready = false;
+    sim::SimTime dest_ready_at = -1;
+    bool service_stopped = false;
+    bool resume_scheduled = false;
+    virt::MigrationTimings timings{};
+  };
+
+  // --- triggers -------------------------------------------------------
+  void on_price_change(const cloud::MarketId& market, double new_price);
+  void on_revocation_warning(cloud::InstanceId instance, sim::SimTime t_term);
+  void on_hour_check();
+
+  // --- acquisition ----------------------------------------------------
+  void acquire_initial();
+  void adopt(cloud::InstanceId instance, const cloud::MarketId& market,
+             bool on_demand);
+
+  // --- planned / reverse ----------------------------------------------
+  void maybe_schedule_planned();
+  void cancel_scheduled_planned();
+  void begin_planned();
+  void begin_reverse(const cloud::MarketId& target);
+  void start_transfer();
+  void complete_switchover();
+  void abandon_migration(bool count_cancel);
+  void schedule_hour_check();
+
+  // --- forced ----------------------------------------------------------
+  void begin_forced(sim::SimTime t_term);
+  void forced_try_resume();
+
+  // --- pure spot --------------------------------------------------------
+  void pure_spot_reacquire();
+
+  // --- helpers ----------------------------------------------------------
+  [[nodiscard]] double od_threshold() const;  ///< p_on comparator in current region
+  [[nodiscard]] SelectionOptions selection_options(double threshold) const;
+  [[nodiscard]] sim::SimTime jittered(double seconds);
+  [[nodiscard]] sim::SimTime planned_lead() const;
+  [[nodiscard]] sim::SimTime reverse_lead() const;
+  [[nodiscard]] sim::SimTime next_instance_hour_boundary() const;
+  void end_outage_with_restore(sim::SimTime resume_at, double restore_s,
+                               double degraded_s);
+
+  sim::Simulation& simulation_;
+  cloud::CloudProvider& provider_;
+  workload::ServiceEndpoint& service_;
+  SchedulerConfig config_;
+  virt::MigrationPlanner planner_;
+  sim::RngStream rng_;
+  virt::VmSpec spec_;
+
+  State state_ = State::kAcquiring;
+  bool service_live_ = false;
+  std::optional<Holding> holding_;
+  std::optional<Migration> migration_;
+  std::optional<Forced> forced_;
+  sim::EventId planned_begin_event_ = sim::kInvalidEventId;
+  sim::EventId hour_check_event_ = sim::kInvalidEventId;
+  cloud::InstanceId pending_acquire_ = cloud::kInvalidInstance;
+  SchedulerStats stats_;
+};
+
+}  // namespace spothost::sched

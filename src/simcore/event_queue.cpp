@@ -1,0 +1,56 @@
+#include "simcore/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace spothost::sim {
+
+EventId EventQueue::schedule(SimTime when, Callback cb) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  assert(live_count_ > 0);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::skim() const {
+  while (!heap_.empty() && callbacks_.find(heap_.top().id) == callbacks_.end()) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  skim();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skim();
+  assert(!heap_.empty());
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(top.id);
+  assert(it != callbacks_.end());
+  Fired fired{top.time, top.id, std::move(it->second)};
+  callbacks_.erase(it);
+  --live_count_;
+  return fired;
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  callbacks_.clear();
+  live_count_ = 0;
+}
+
+}  // namespace spothost::sim

@@ -1,0 +1,79 @@
+// Cancellable discrete-event queue.
+//
+// Events at equal timestamps fire in scheduling order (FIFO), which keeps
+// simulations deterministic regardless of heap internals. Cancellation is
+// lazy: cancelled entries stay in the heap and are skipped on pop, so both
+// schedule and cancel are O(log n) amortised.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace spothost::sim {
+
+/// Opaque identifier for a scheduled event; usable to cancel it.
+using EventId = std::uint64_t;
+
+/// Sentinel returned for operations that never produce a real event.
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Enqueues `cb` to fire at absolute time `when`. Returns a cancellation id.
+  EventId schedule(SimTime when, Callback cb);
+
+  /// Cancels a pending event. Returns false if the event already fired,
+  /// was already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// True if no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+  /// Timestamp of the earliest live event. Precondition: !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Removes and returns the earliest live event. Precondition: !empty().
+  struct Fired {
+    SimTime time;
+    EventId id;
+    Callback callback;
+  };
+  Fired pop();
+
+  /// Drops all pending events.
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops cancelled entries off the heap top.
+  void skim() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::size_t live_count_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace spothost::sim

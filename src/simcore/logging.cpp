@@ -1,0 +1,43 @@
+#include "simcore/logging.hpp"
+
+#include <iostream>
+
+namespace spothost::sim {
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger::Logger() {
+  set_sink(nullptr);
+}
+
+Logger& Logger::global() {
+  static Logger instance;
+  return instance;
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    sink_ = [](LogLevel level, const std::string& msg) {
+      std::cerr << "[" << to_string(level) << "] " << msg << '\n';
+    };
+  }
+}
+
+void Logger::log(LogLevel level, SimTime when, const std::string& message) {
+  if (!enabled(level)) return;
+  sink_(level, format_time(when) + " " + message);
+}
+
+}  // namespace spothost::sim

@@ -1,0 +1,56 @@
+// Minimal leveled logger for simulation traces.
+//
+// Experiments run thousands of simulations, so logging must cost nothing when
+// disabled: callers check `enabled(level)` (or use the SPOTHOST_LOG macro)
+// before formatting. The default sink is stderr; tests can capture via
+// set_sink().
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "simcore/time.hpp"
+
+namespace spothost::sim {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+const char* to_string(LogLevel level) noexcept;
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  /// Global logger used by the library.
+  static Logger& global();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept { return level >= level_; }
+
+  /// Replaces the sink (default: stderr). Pass nullptr to restore default.
+  void set_sink(Sink sink);
+
+  /// Emits one record; `when` is the simulation timestamp for the prefix.
+  void log(LogLevel level, SimTime when, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+}  // namespace spothost::sim
+
+/// Log with lazy formatting: the stream expression is evaluated only when the
+/// level is enabled. `sim_now` is a SimTime.
+#define SPOTHOST_LOG(level, sim_now, expr)                                          \
+  do {                                                                              \
+    auto& spothost_logger_ = ::spothost::sim::Logger::global();                     \
+    if (spothost_logger_.enabled(level)) {                                          \
+      std::ostringstream spothost_oss_;                                             \
+      spothost_oss_ << expr;                                                        \
+      spothost_logger_.log(level, (sim_now), spothost_oss_.str());                  \
+    }                                                                               \
+  } while (0)

@@ -1,0 +1,42 @@
+#include "simcore/simulation.hpp"
+
+#include <stdexcept>
+
+namespace spothost::sim {
+
+EventId Simulation::at(SimTime when, EventQueue::Callback cb) {
+  if (when < now_) {
+    throw std::invalid_argument("Simulation::at: scheduling in the past");
+  }
+  return queue_.schedule(when, std::move(cb));
+}
+
+EventId Simulation::after(SimTime delay, EventQueue::Callback cb) {
+  if (delay < 0) {
+    throw std::invalid_argument("Simulation::after: negative delay");
+  }
+  return queue_.schedule(now_ + delay, std::move(cb));
+}
+
+void Simulation::run_until(SimTime horizon) {
+  while (!queue_.empty() && queue_.next_time() <= horizon) {
+    auto fired = queue_.pop();
+    now_ = fired.time;
+    ++dispatched_;
+    fired.callback();
+  }
+  if (now_ < horizon && horizon != std::numeric_limits<SimTime>::max()) {
+    now_ = horizon;
+  }
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  auto fired = queue_.pop();
+  now_ = fired.time;
+  ++dispatched_;
+  fired.callback();
+  return true;
+}
+
+}  // namespace spothost::sim

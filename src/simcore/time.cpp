@@ -1,0 +1,23 @@
+#include "simcore/time.hpp"
+
+#include <cstdio>
+
+namespace spothost::sim {
+
+std::string format_time(SimTime t) {
+  const bool neg = t < 0;
+  if (neg) t = -t;
+  const SimTime ms = t % kSecond;
+  const SimTime s = (t / kSecond) % 60;
+  const SimTime m = (t / kMinute) % 60;
+  const SimTime h = (t / kHour) % 24;
+  const SimTime d = t / kDay;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%lldd%02lld:%02lld:%02lld.%03lld",
+                neg ? "-" : "", static_cast<long long>(d), static_cast<long long>(h),
+                static_cast<long long>(m), static_cast<long long>(s),
+                static_cast<long long>(ms));
+  return buf;
+}
+
+}  // namespace spothost::sim

@@ -1,0 +1,55 @@
+// Simulation time base for spothost.
+//
+// All simulation timestamps are integer milliseconds (SimTime) so that event
+// ordering is exact and runs are bit-reproducible across platforms; floating
+// point enters only at the metric/reporting boundary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spothost::sim {
+
+/// Absolute simulation time or a duration, in milliseconds.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kMillisecond = 1;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+inline constexpr SimTime kMinute = 60 * kSecond;
+inline constexpr SimTime kHour = 60 * kMinute;
+inline constexpr SimTime kDay = 24 * kHour;
+
+/// Converts a duration or timestamp to fractional seconds.
+constexpr double to_seconds(SimTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Converts a duration or timestamp to fractional hours.
+constexpr double to_hours(SimTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kHour);
+}
+
+/// Converts fractional seconds to SimTime, rounding to nearest millisecond.
+constexpr SimTime from_seconds(double s) noexcept {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond) + (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Converts fractional hours to SimTime, rounding to nearest millisecond.
+constexpr SimTime from_hours(double h) noexcept {
+  return from_seconds(h * 3600.0);
+}
+
+/// Start of the billing hour containing `t` (hours are aligned to t = 0).
+constexpr SimTime hour_floor(SimTime t) noexcept {
+  return (t / kHour) * kHour - ((t % kHour < 0) ? kHour : 0);
+}
+
+/// Start of the first billing hour strictly after `t`.
+constexpr SimTime next_hour_boundary(SimTime t) noexcept {
+  return hour_floor(t) + kHour;
+}
+
+/// Human-readable "DdHH:MM:SS.mmm" rendering, for logs and tables.
+std::string format_time(SimTime t);
+
+}  // namespace spothost::sim

@@ -1,0 +1,61 @@
+// Umbrella header for the spothost library.
+//
+// spothost reproduces "Cutting the Cost of Hosting Online Services Using
+// Cloud Spot Markets" (HPDC'15): a cloud scheduler that hosts always-on
+// services on spot servers with proactive bidding and VM-migration
+// mechanisms, evaluated on a discrete-event cloud simulator.
+//
+// Typical entry points:
+//   sched::Scenario / sched::World      — build a simulated cloud
+//   sched::SchedulerConfig / presets    — configure the scheduler
+//   metrics::run_hosting_scenario       — one full hosting run
+//   metrics::ExperimentRunner           — multi-seed aggregation
+#pragma once
+
+#include "cloud/billing.hpp"
+#include "cloud/instance_types.hpp"
+#include "cloud/market.hpp"
+#include "cloud/provider.hpp"
+#include "cloud/volume.hpp"
+#include "metrics/experiment.hpp"
+#include "metrics/run_metrics.hpp"
+#include "metrics/table.hpp"
+#include "sched/analysis.hpp"
+#include "sched/baselines.hpp"
+#include "sched/bid_advisor.hpp"
+#include "sched/bidding.hpp"
+#include "sched/config.hpp"
+#include "sched/fleet.hpp"
+#include "sched/market_selection.hpp"
+#include "sched/scheduler.hpp"
+#include "simcore/event_queue.hpp"
+#include "simcore/logging.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/simulation.hpp"
+#include "simcore/time.hpp"
+#include "trace/auction_market.hpp"
+#include "trace/csv.hpp"
+#include "trace/features.hpp"
+#include "trace/price_trace.hpp"
+#include "trace/profiles.hpp"
+#include "trace/stats.hpp"
+#include "trace/synthetic.hpp"
+#include "virt/checkpoint.hpp"
+#include "virt/checkpoint_process.hpp"
+#include "virt/live_migration.hpp"
+#include "virt/mechanisms.hpp"
+#include "virt/memory_model.hpp"
+#include "virt/nested.hpp"
+#include "virt/network_model.hpp"
+#include "virt/restore.hpp"
+#include "virt/vm.hpp"
+#include "workload/availability.hpp"
+#include "workload/diurnal.hpp"
+#include "workload/endpoint.hpp"
+#include "workload/experience.hpp"
+#include "workload/group.hpp"
+#include "workload/iobench.hpp"
+#include "workload/outage_stats.hpp"
+#include "workload/queueing.hpp"
+#include "workload/service.hpp"
+#include "workload/tpcw.hpp"

@@ -1,0 +1,112 @@
+#include "trace/auction_market.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace spothost::trace {
+namespace {
+
+struct TenantRec {
+  sim::SimTime arrive = 0;
+  sim::SimTime leave = 0;
+  double bid = 0.0;     // $/hr per unit
+  double demand = 0.0;  // units
+};
+
+// Capacity eaten by on-demand customers at time t (diurnal swing).
+double od_consumed(const AuctionMarketParams& p, sim::SimTime t) {
+  const double hours = sim::to_hours(t);
+  const double phase = 2.0 * std::numbers::pi * (hours - p.od_peak_hour) / 24.0;
+  const double frac = p.od_load_min_fraction +
+                      (p.od_load_max_fraction - p.od_load_min_fraction) *
+                          (1.0 + std::cos(phase)) / 2.0;
+  return frac * p.capacity_units;
+}
+
+// Uniform-price clearing: admit tenants by descending bid until the spot
+// capacity runs out; price = highest rejected bid, else the floor.
+double clear(const AuctionMarketParams& p,
+             std::vector<const TenantRec*>& active, double spot_capacity,
+             double pon) {
+  std::sort(active.begin(), active.end(),
+            [](const TenantRec* a, const TenantRec* b) {
+              if (a->bid != b->bid) return a->bid > b->bid;
+              return a->arrive < b->arrive;  // deterministic tie-break
+            });
+  double used = 0.0;
+  double price = p.floor_multiple * pon;
+  for (const TenantRec* t : active) {
+    if (used + t->demand <= spot_capacity) {
+      used += t->demand;
+    } else {
+      price = std::max(price, t->bid);
+      break;  // every lower bid is rejected too
+    }
+  }
+  return std::min(price, p.price_cap_multiple * pon);
+}
+
+}  // namespace
+
+PriceTrace generate_auction_market(const AuctionMarketParams& params,
+                                   double on_demand_price, sim::SimTime horizon,
+                                   sim::RngStream& rng) {
+  if (horizon <= 0 || on_demand_price <= 0 || params.capacity_units <= 0 ||
+      params.tenant_arrival_per_hour <= 0) {
+    throw std::invalid_argument("generate_auction_market: bad arguments");
+  }
+
+  // Tenant population over the horizon.
+  std::vector<TenantRec> tenants;
+  {
+    const double mean_gap_h = 1.0 / params.tenant_arrival_per_hour;
+    sim::SimTime t = sim::from_hours(rng.exponential(mean_gap_h));
+    while (t < horizon) {
+      TenantRec rec;
+      rec.arrive = t;
+      rec.leave = t + std::max<sim::SimTime>(
+                          sim::kMinute,
+                          sim::from_hours(rng.exponential(params.tenant_mean_stay_hours)));
+      rec.bid = on_demand_price *
+                rng.lognormal_mean_cv(params.bid_mean_multiple, params.bid_cv);
+      rec.demand =
+          std::max(1.0, rng.exponential(params.tenant_mean_demand_units));
+      tenants.push_back(rec);
+      t += sim::from_hours(rng.exponential(mean_gap_h));
+    }
+  }
+
+  // Re-clear at every arrival, departure, and a 15-minute grid (the
+  // on-demand load moves continuously).
+  std::set<sim::SimTime> breakpoints{0};
+  for (const auto& rec : tenants) {
+    if (rec.arrive < horizon) breakpoints.insert(rec.arrive);
+    if (rec.leave < horizon) breakpoints.insert(rec.leave);
+  }
+  for (sim::SimTime t = 0; t < horizon; t += 15 * sim::kMinute) {
+    breakpoints.insert(t);
+  }
+
+  PriceTrace trace;
+  std::vector<const TenantRec*> active;
+  for (const sim::SimTime when : breakpoints) {
+    active.clear();
+    for (const auto& rec : tenants) {
+      if (rec.arrive <= when && when < rec.leave) active.push_back(&rec);
+    }
+    const double spot_capacity =
+        std::max(1.0, params.capacity_units - od_consumed(params, when));
+    const double price = clear(params, active, spot_capacity, on_demand_price);
+    if (trace.empty() || when > trace.points().back().time) {
+      trace.append(when, price);
+    }
+  }
+  trace.set_end(horizon);
+  return trace;
+}
+
+}  // namespace spothost::trace

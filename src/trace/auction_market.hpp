@@ -1,0 +1,48 @@
+// Endogenous spot-price formation: a uniform-price auction.
+//
+// The regime-switching model (synthetic.hpp) *imitates* observed price
+// series; this model *generates* them from the mechanism the paper describes
+// in Sec. 2.1: "prices are low when there is plenty of unused capacity ...
+// the price rises when there is more demand", with customers holding the
+// lowest bids losing their servers first.
+//
+// Tenants arrive (Poisson), each demanding some capacity at a private bid,
+// and stay for a random duration; on-demand load independently eats into
+// the spare capacity available to the spot pool. At every arrival/departure
+// the market clears: tenants are admitted in bid order until capacity runs
+// out, and the clearing price is the highest *rejected* bid (or the floor
+// when everyone fits) — a textbook uniform-price auction, which is how EC2
+// described spot pricing.
+#pragma once
+
+#include "simcore/rng.hpp"
+#include "trace/price_trace.hpp"
+
+namespace spothost::trace {
+
+struct AuctionMarketParams {
+  double capacity_units = 140.0;        ///< spot pool size in server units
+  double tenant_arrival_per_hour = 4.0; ///< Poisson tenant arrivals
+  double tenant_mean_stay_hours = 3.0;  ///< exponential stay
+  double tenant_mean_demand_units = 6.0;///< exponential per-tenant demand
+  /// Tenant private bids: lognormal multiple of the on-demand price (most
+  /// bidders bid below p_on; a few "availability buyers" bid far above).
+  double bid_mean_multiple = 0.55;
+  double bid_cv = 1.2;
+  /// Price floor when capacity is slack (provider's reserve), x p_on.
+  double floor_multiple = 0.12;
+  /// On-demand demand stealing capacity from the pool: sinusoidal daily
+  /// swing between these fractions of capacity.
+  double od_load_min_fraction = 0.08;
+  double od_load_max_fraction = 0.45;
+  double od_peak_hour = 19.0;
+  /// Clearing price cap (EC2 bounded effective prices), x p_on.
+  double price_cap_multiple = 12.0;
+};
+
+/// Generates a price trace for [0, horizon) by running the auction.
+PriceTrace generate_auction_market(const AuctionMarketParams& params,
+                                   double on_demand_price, sim::SimTime horizon,
+                                   sim::RngStream& rng);
+
+}  // namespace spothost::trace

@@ -1,0 +1,100 @@
+#include "trace/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "trace/stats.hpp"
+
+namespace spothost::trace {
+namespace {
+
+double relative_error(double a, double b) {
+  const double denom = std::max({std::abs(a), std::abs(b), 1e-12});
+  return std::abs(a - b) / denom;
+}
+
+}  // namespace
+
+TraceFeatures extract_features(const PriceTrace& price_trace,
+                               double reference_price) {
+  if (price_trace.empty()) {
+    throw std::invalid_argument("extract_features: empty trace");
+  }
+  if (reference_price <= 0) {
+    throw std::invalid_argument("extract_features: reference must be > 0");
+  }
+  const sim::SimTime from = price_trace.start();
+  const sim::SimTime to = price_trace.end();
+  const double days = static_cast<double>(to - from) / static_cast<double>(sim::kDay);
+
+  TraceFeatures f;
+  f.mean_price = price_trace.time_average(from, to);
+  f.stddev = trace_stddev(price_trace, from, to);
+  f.min_price = price_trace.min_price(from, to);
+  f.max_price = price_trace.max_price(from, to);
+  f.changes_per_day = static_cast<double>(price_trace.size()) / std::max(days, 1e-9);
+  f.fraction_below_reference =
+      price_trace.fraction_below(reference_price, from, to);
+  f.max_over_reference = f.max_price / reference_price;
+
+  // Excursions above the reference.
+  sim::SimTime cursor = from;
+  bool in_excursion = false;
+  sim::SimTime excursion_start = 0;
+  sim::SimTime excursion_total = 0;
+  while (cursor < to) {
+    const double price = price_trace.price_at(cursor);
+    const auto next = price_trace.next_change_after(cursor);
+    const sim::SimTime segment_end = next ? std::min(next->time, to) : to;
+    if (price > reference_price && !in_excursion) {
+      in_excursion = true;
+      excursion_start = cursor;
+    } else if (price <= reference_price && in_excursion) {
+      in_excursion = false;
+      ++f.excursions_above_reference;
+      excursion_total += cursor - excursion_start;
+    }
+    cursor = segment_end;
+  }
+  if (in_excursion) {
+    ++f.excursions_above_reference;
+    excursion_total += to - excursion_start;
+  }
+  if (f.excursions_above_reference > 0) {
+    f.mean_excursion_minutes =
+        sim::to_seconds(excursion_total) / 60.0 / f.excursions_above_reference;
+  }
+
+  // Lag-1h autocorrelation on a 5-minute grid.
+  const auto samples = price_trace.sample(from, to, 5 * sim::kMinute);
+  constexpr std::size_t kLag = 12;  // 12 x 5min = 1h
+  if (samples.size() > kLag + 2) {
+    const std::size_t n = samples.size() - kLag;
+    std::vector<double> head(samples.begin(),
+                             samples.begin() + static_cast<std::ptrdiff_t>(n));
+    std::vector<double> tail(samples.begin() + kLag, samples.end());
+    f.hourly_autocorrelation = pearson(head, tail);
+  }
+  return f;
+}
+
+double feature_distance(const TraceFeatures& a, const TraceFeatures& b) {
+  double sum = 0.0;
+  int dims = 0;
+  auto add = [&](double x, double y) {
+    sum += relative_error(x, y);
+    ++dims;
+  };
+  add(a.mean_price, b.mean_price);
+  add(a.stddev, b.stddev);
+  add(a.changes_per_day, b.changes_per_day);
+  add(a.fraction_below_reference, b.fraction_below_reference);
+  add(static_cast<double>(a.excursions_above_reference),
+      static_cast<double>(b.excursions_above_reference));
+  add(a.mean_excursion_minutes, b.mean_excursion_minutes);
+  add(a.max_over_reference, b.max_over_reference);
+  return sum / dims;
+}
+
+}  // namespace spothost::trace

@@ -1,0 +1,130 @@
+#include "trace/price_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spothost::trace {
+
+PriceTrace::PriceTrace(std::vector<PricePoint> points, sim::SimTime end) {
+  for (const auto& p : points) {
+    append(p.time, p.price);
+  }
+  set_end(end);
+}
+
+void PriceTrace::append(sim::SimTime time, double price) {
+  if (!(price > 0) || !std::isfinite(price)) {
+    throw std::invalid_argument("PriceTrace::append: price must be finite and > 0");
+  }
+  if (!points_.empty()) {
+    if (time <= points_.back().time) {
+      throw std::invalid_argument("PriceTrace::append: non-increasing timestamp");
+    }
+    if (points_.back().price == price) {
+      end_ = std::max(end_, time);
+      return;  // coalesce equal consecutive prices
+    }
+  }
+  points_.push_back(PricePoint{time, price});
+  end_ = std::max(end_, time);
+}
+
+void PriceTrace::set_end(sim::SimTime end) {
+  if (!points_.empty() && end < points_.back().time) {
+    throw std::invalid_argument("PriceTrace::set_end: end before last point");
+  }
+  end_ = end;
+}
+
+sim::SimTime PriceTrace::start() const {
+  if (points_.empty()) throw std::logic_error("PriceTrace::start: empty trace");
+  return points_.front().time;
+}
+
+std::size_t PriceTrace::index_at(sim::SimTime t) const {
+  if (points_.empty() || t < points_.front().time || t >= end_) {
+    throw std::out_of_range("PriceTrace: query outside [start, end)");
+  }
+  // First point with time > t, step back one.
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](sim::SimTime lhs, const PricePoint& p) { return lhs < p.time; });
+  return static_cast<std::size_t>(std::distance(points_.begin(), it)) - 1;
+}
+
+double PriceTrace::price_at(sim::SimTime t) const {
+  return points_[index_at(t)].price;
+}
+
+std::optional<PricePoint> PriceTrace::next_change_after(sim::SimTime t) const {
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](sim::SimTime lhs, const PricePoint& p) { return lhs < p.time; });
+  if (it == points_.end() || it->time >= end_) return std::nullopt;
+  return *it;
+}
+
+double PriceTrace::time_average(sim::SimTime from, sim::SimTime to) const {
+  if (from >= to) throw std::invalid_argument("time_average: empty interval");
+  std::size_t i = index_at(from);
+  double weighted = 0.0;
+  sim::SimTime cursor = from;
+  while (cursor < to) {
+    const sim::SimTime seg_end =
+        (i + 1 < points_.size()) ? std::min(points_[i + 1].time, to) : to;
+    weighted += points_[i].price * static_cast<double>(seg_end - cursor);
+    cursor = seg_end;
+    ++i;
+  }
+  return weighted / static_cast<double>(to - from);
+}
+
+double PriceTrace::fraction_below(double threshold, sim::SimTime from,
+                                  sim::SimTime to) const {
+  if (from >= to) throw std::invalid_argument("fraction_below: empty interval");
+  std::size_t i = index_at(from);
+  sim::SimTime below = 0;
+  sim::SimTime cursor = from;
+  while (cursor < to) {
+    const sim::SimTime seg_end =
+        (i + 1 < points_.size()) ? std::min(points_[i + 1].time, to) : to;
+    if (points_[i].price < threshold) below += seg_end - cursor;
+    cursor = seg_end;
+    ++i;
+  }
+  return static_cast<double>(below) / static_cast<double>(to - from);
+}
+
+double PriceTrace::min_price(sim::SimTime from, sim::SimTime to) const {
+  if (from >= to) throw std::invalid_argument("min_price: empty interval");
+  std::size_t i = index_at(from);
+  double lo = points_[i].price;
+  for (++i; i < points_.size() && points_[i].time < to; ++i) {
+    lo = std::min(lo, points_[i].price);
+  }
+  return lo;
+}
+
+double PriceTrace::max_price(sim::SimTime from, sim::SimTime to) const {
+  if (from >= to) throw std::invalid_argument("max_price: empty interval");
+  std::size_t i = index_at(from);
+  double hi = points_[i].price;
+  for (++i; i < points_.size() && points_[i].time < to; ++i) {
+    hi = std::max(hi, points_[i].price);
+  }
+  return hi;
+}
+
+std::vector<double> PriceTrace::sample(sim::SimTime from, sim::SimTime to,
+                                       sim::SimTime step) const {
+  if (step <= 0) throw std::invalid_argument("sample: step must be > 0");
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>((to - from) / step) + 1);
+  for (sim::SimTime t = from; t < to; t += step) {
+    out.push_back(price_at(t));
+  }
+  return out;
+}
+
+}  // namespace spothost::trace

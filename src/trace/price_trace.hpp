@@ -1,0 +1,73 @@
+// Spot-price traces as right-continuous step functions.
+//
+// EC2 publishes spot prices as a sequence of (timestamp, price) change
+// events; the price holds between events. PriceTrace stores exactly that and
+// answers the queries the simulator needs: point lookup, next change after t,
+// exact time-weighted integrals, and uniform resampling for statistics.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace spothost::trace {
+
+struct PricePoint {
+  sim::SimTime time;  ///< instant the price takes effect
+  double price;       ///< $/hour from `time` until the next point
+};
+
+class PriceTrace {
+ public:
+  PriceTrace() = default;
+
+  /// Builds from pre-sorted points (strictly increasing times, prices > 0).
+  /// `end` is the exclusive end of the trace's validity window.
+  PriceTrace(std::vector<PricePoint> points, sim::SimTime end);
+
+  /// Appends a change event. `time` must be strictly after the last point
+  /// (the first append defines start()). Equal consecutive prices are
+  /// coalesced. Extends end() to at least `time`.
+  void append(sim::SimTime time, double price);
+
+  /// Marks the trace valid through `end` (exclusive). Must be >= last point.
+  void set_end(sim::SimTime end);
+
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] sim::SimTime start() const;
+  [[nodiscard]] sim::SimTime end() const noexcept { return end_; }
+
+  /// Price in effect at `t`. Precondition: start() <= t < end().
+  [[nodiscard]] double price_at(sim::SimTime t) const;
+
+  /// First change event strictly after `t`, or nullopt if none before end().
+  [[nodiscard]] std::optional<PricePoint> next_change_after(sim::SimTime t) const;
+
+  /// Exact time-weighted average over [from, to) of the step function.
+  [[nodiscard]] double time_average(sim::SimTime from, sim::SimTime to) const;
+
+  /// Fraction of [from, to) during which price < threshold (time-weighted).
+  [[nodiscard]] double fraction_below(double threshold, sim::SimTime from,
+                                      sim::SimTime to) const;
+
+  /// Minimum / maximum price over [from, to).
+  [[nodiscard]] double min_price(sim::SimTime from, sim::SimTime to) const;
+  [[nodiscard]] double max_price(sim::SimTime from, sim::SimTime to) const;
+
+  /// Samples price at from, from+step, ... (< to) — for correlation grids.
+  [[nodiscard]] std::vector<double> sample(sim::SimTime from, sim::SimTime to,
+                                           sim::SimTime step) const;
+
+  [[nodiscard]] const std::vector<PricePoint>& points() const noexcept { return points_; }
+
+ private:
+  // Index of the point governing time t (largest i with points_[i].time <= t).
+  [[nodiscard]] std::size_t index_at(sim::SimTime t) const;
+
+  std::vector<PricePoint> points_;
+  sim::SimTime end_ = 0;
+};
+
+}  // namespace spothost::trace

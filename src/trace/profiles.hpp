@@ -1,0 +1,34 @@
+// Canonical market profiles for the four regions the paper evaluates
+// (Sec. 4.1): us-east-1a, us-east-1b, us-west-1a, eu-west-1a.
+//
+// Calibration targets, from the paper:
+//  * Fig. 1: long cheap stretches, spikes to several x the on-demand price;
+//  * Fig. 10: us-east prices noticeably more variable than us-west/eu-west;
+//  * Sec. 4.5: us-east cheaper but volatile, eu-west pricier but stable;
+//  * Fig. 8(b)/9(b): weak correlation within and across regions.
+// Profiles are expressed relative to the on-demand price, so one profile
+// serves all four instance sizes of its region (with mild per-size scaling —
+// bigger instances historically showed choppier spot markets).
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "trace/synthetic.hpp"
+
+namespace spothost::trace {
+
+/// The four canonical regions, in evaluation order.
+std::span<const std::string_view> canonical_regions();
+
+/// The four canonical size names, in evaluation order.
+std::span<const std::string_view> canonical_sizes();
+
+/// Profile for a (region, size) market. Throws std::invalid_argument for an
+/// unknown region or size name.
+MarketProfile profile_for(std::string_view region, std::string_view size);
+
+/// Spike rate used for a region's shared (correlated) spike schedule.
+double region_shared_spike_rate(std::string_view region);
+
+}  // namespace spothost::trace

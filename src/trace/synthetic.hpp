@@ -1,0 +1,89 @@
+// Regime-switching synthetic spot-price model.
+//
+// The scheduler in the paper exploits three statistical features of EC2 spot
+// prices (Sec. 2.1, Fig. 1, Fig. 10): (1) long calm stretches well below the
+// on-demand price, (2) sharp, short demand spikes that can exceed several
+// times the on-demand price, and (3) weak correlation across markets and
+// regions. The model reproduces exactly those features:
+//
+//   price(t) = max(base(t), spike_level(t))
+//
+// * base(t): piecewise-constant multiplicative random walk around
+//   base_fraction * p_on; change inter-arrivals are exponential.
+// * spikes: Poisson arrivals; magnitude is Pareto-distributed (heavy tail —
+//   most excursions stay below p_on, a few blow past the 4x proactive bid);
+//   onset ramps over 1..max_ramp_steps discrete jumps; duration lognormal.
+// * correlation: a fraction of spikes is copied from a per-region shared
+//   schedule, giving weak positive intra-region correlation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simcore/rng.hpp"
+#include "simcore/time.hpp"
+#include "trace/price_trace.hpp"
+
+namespace spothost::trace {
+
+/// Parameters of one market's price process, expressed relative to the
+/// market's on-demand price so the same profile scales across sizes.
+struct MarketProfile {
+  double base_fraction = 0.28;     ///< mean calm price / p_on
+  double base_jitter_sigma = 0.18; ///< stddev of log base around its mean
+  double base_change_mean_minutes = 35.0;  ///< mean base-change inter-arrival
+  double spike_rate_per_day = 0.35;        ///< Poisson spike arrival rate
+  double spike_pareto_xm = 0.55;           ///< spike magnitude scale (× p_on)
+  double spike_pareto_alpha = 1.25;        ///< spike magnitude tail exponent
+  double spike_cap_multiple = 12.0;        ///< magnitude clamp (× p_on)
+  double spike_duration_mean_minutes = 40.0;
+  double spike_duration_cv = 0.9;
+  int max_ramp_steps = 3;                  ///< spike onset jumps (1 = instant)
+  double ramp_step_mean_seconds = 45.0;    ///< spacing between onset jumps
+  double shared_spike_fraction = 0.25;     ///< spikes copied from region schedule
+};
+
+/// One spike interval: onset ramp start, full-magnitude plateau, and decay.
+struct SpikeEvent {
+  sim::SimTime start = 0;      ///< first ramp jump
+  sim::SimTime end = 0;        ///< price returns to base
+  double magnitude = 0.0;      ///< plateau level in $/hr
+  int ramp_steps = 1;
+  sim::SimTime ramp_spacing = 0;
+};
+
+/// A per-region schedule of shared spikes that correlated markets can adopt.
+class SharedSpikeSchedule {
+ public:
+  SharedSpikeSchedule() = default;
+  explicit SharedSpikeSchedule(std::vector<SpikeEvent> spikes)
+      : spikes_(std::move(spikes)) {}
+  [[nodiscard]] const std::vector<SpikeEvent>& spikes() const noexcept { return spikes_; }
+
+ private:
+  std::vector<SpikeEvent> spikes_;
+};
+
+class SyntheticSpotModel {
+ public:
+  /// Generates the shared (region-level) spike schedule for [0, horizon).
+  /// Shared spike magnitudes are stored as *multiples of p_on* so one
+  /// schedule serves markets of every size; generate() rescales them.
+  /// `rate_per_day` should roughly match the profiles that will consume it.
+  static SharedSpikeSchedule generate_shared_spikes(double rate_per_day,
+                                                    const MarketProfile& profile,
+                                                    sim::SimTime horizon,
+                                                    sim::RngStream& rng);
+
+  /// Generates a price trace for [0, horizon). `shared` may be null for a
+  /// fully independent market.
+  static PriceTrace generate(const MarketProfile& profile, double on_demand_price,
+                             sim::SimTime horizon, sim::RngStream& rng,
+                             const SharedSpikeSchedule* shared = nullptr);
+
+ private:
+  static SpikeEvent draw_spike(sim::SimTime at, double on_demand_price,
+                               const MarketProfile& profile, sim::RngStream& rng);
+};
+
+}  // namespace spothost::trace

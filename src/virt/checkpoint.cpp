@@ -1,0 +1,46 @@
+#include "virt/checkpoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace spothost::virt {
+
+BoundedCheckpointer::BoundedCheckpointer(CheckpointParams params) : params_(params) {
+  if (params_.bound_tau_s <= 0 || params_.write_rate_mb_s <= 0) {
+    throw std::invalid_argument("BoundedCheckpointer: tau and write rate must be > 0");
+  }
+}
+
+double BoundedCheckpointer::max_incremental_mb(const VmSpec& spec) const {
+  return std::min(spec.working_set_mb, params_.bound_tau_s * params_.write_rate_mb_s);
+}
+
+double BoundedCheckpointer::checkpoint_period_s(const VmSpec& spec) const {
+  const double cap = max_incremental_mb(spec);
+  if (spec.dirty_rate_mb_s <= 0) return std::numeric_limits<double>::infinity();
+  if (cap >= spec.working_set_mb) {
+    // The dirty set saturates below the cap: flushing is always within
+    // bound, so checkpoint lazily (once per saturation interval).
+    return spec.working_set_mb / spec.dirty_rate_mb_s;
+  }
+  return cap / spec.dirty_rate_mb_s;
+}
+
+double BoundedCheckpointer::flush_time_s(const VmSpec& spec) const {
+  return max_incremental_mb(spec) / params_.write_rate_mb_s;
+}
+
+double BoundedCheckpointer::full_checkpoint_time_s(const VmSpec& spec) const {
+  return spec.memory_mb() / params_.write_rate_mb_s;
+}
+
+double BoundedCheckpointer::background_overhead_fraction(const VmSpec& spec) const {
+  const double period = checkpoint_period_s(spec);
+  if (!std::isfinite(period) || period <= 0) return 0.0;
+  const double write_s = max_incremental_mb(spec) / params_.write_rate_mb_s;
+  return std::min(1.0, write_s / period);
+}
+
+}  // namespace spothost::virt

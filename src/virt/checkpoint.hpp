@@ -1,0 +1,45 @@
+// Bounded memory checkpointing, modelled on Yank (Singh et al., NSDI'13).
+//
+// A background process continuously writes memory state to a network volume.
+// Given a bound tau, the checkpoint period is adapted so that the incremental
+// dirty state at any instant can be flushed within tau seconds — exactly what
+// a 2-minute revocation warning needs (Sec. 3.2).
+#pragma once
+
+#include "virt/vm.hpp"
+
+namespace spothost::virt {
+
+struct CheckpointParams {
+  double bound_tau_s = 10.0;       ///< guaranteed flush bound
+  double write_rate_mb_s = 36.0;   ///< network-volume sequential write rate
+};
+
+class BoundedCheckpointer {
+ public:
+  explicit BoundedCheckpointer(CheckpointParams params);
+
+  [[nodiscard]] const CheckpointParams& params() const noexcept { return params_; }
+
+  /// Largest incremental state the bound permits: min(working set, tau * rate).
+  [[nodiscard]] double max_incremental_mb(const VmSpec& spec) const;
+
+  /// Background checkpoint period that keeps increments under the cap.
+  /// Infinite (very large) when the guest dirties slower than the cap fills.
+  [[nodiscard]] double checkpoint_period_s(const VmSpec& spec) const;
+
+  /// Worst-case flush time on a revocation warning; always <= tau.
+  [[nodiscard]] double flush_time_s(const VmSpec& spec) const;
+
+  /// Time for the initial full checkpoint of all RAM.
+  [[nodiscard]] double full_checkpoint_time_s(const VmSpec& spec) const;
+
+  /// Fraction of storage write bandwidth consumed by background checkpoints
+  /// in steady state (increment size / period / rate).
+  [[nodiscard]] double background_overhead_fraction(const VmSpec& spec) const;
+
+ private:
+  CheckpointParams params_;
+};
+
+}  // namespace spothost::virt

@@ -1,0 +1,130 @@
+#include "virt/checkpoint_process.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "virt/memory_model.hpp"
+
+namespace spothost::virt {
+
+CheckpointProcess::CheckpointProcess(sim::Simulation& simulation, VmSpec spec,
+                                     CheckpointParams params)
+    : simulation_(simulation), spec_(spec), params_(params) {
+  if (params_.bound_tau_s <= 0 || params_.write_rate_mb_s <= 0) {
+    throw std::invalid_argument("CheckpointProcess: bad parameters");
+  }
+}
+
+double CheckpointProcess::dirty_since(sim::SimTime since) const {
+  const double elapsed_s = sim::to_seconds(simulation_.now() - since);
+  return dirty_mb_after(spec_, std::max(0.0, elapsed_s));
+}
+
+double CheckpointProcess::cap_mb() const {
+  return std::min(spec_.working_set_mb,
+                  params_.bound_tau_s * params_.write_rate_mb_s);
+}
+
+double CheckpointProcess::trigger_mb() const {
+  // Yank's adjustment: dirt arriving while the background write drains must
+  // still leave the post-write staleness under the cap.
+  return cap_mb() / (1.0 + spec_.dirty_rate_mb_s / params_.write_rate_mb_s);
+}
+
+double CheckpointProcess::staleness_mb() const {
+  if (!initial_done_) return spec_.memory_mb();  // nothing captured yet
+  // The clamp is the throttle: the guest is stunned rather than allowed to
+  // outrun the checkpoint stream.
+  return std::min(dirty_since(clean_point_), cap_mb());
+}
+
+bool CheckpointProcess::is_throttling() const {
+  if (!initial_done_) return false;
+  return dirty_since(clean_point_) > cap_mb();
+}
+
+double CheckpointProcess::flush_time_now_s() const {
+  return staleness_mb() / params_.write_rate_mb_s;
+}
+
+void CheckpointProcess::start() {
+  if (started_) throw std::logic_error("CheckpointProcess: started twice");
+  started_ = true;
+  // Initial full checkpoint of all RAM.
+  writing_ = true;
+  write_began_ = simulation_.now();
+  const double full_s = spec_.memory_mb() / params_.write_rate_mb_s;
+  pending_event_ = simulation_.after(sim::from_seconds(full_s), [this] {
+    pending_event_ = sim::kInvalidEventId;
+    writing_ = false;
+    initial_done_ = true;
+    ++completed_;
+    clean_point_ = write_began_;
+    schedule_next_trigger();
+  });
+}
+
+void CheckpointProcess::stop() {
+  stopped_ = true;
+  if (pending_event_ != sim::kInvalidEventId) {
+    simulation_.cancel(pending_event_);
+    pending_event_ = sim::kInvalidEventId;
+  }
+  writing_ = false;
+}
+
+void CheckpointProcess::set_dirty_rate(double dirty_mb_s) {
+  if (dirty_mb_s < 0) {
+    throw std::invalid_argument("CheckpointProcess: negative dirty rate");
+  }
+  // Account dirt accumulated at the old rate by moving the clean point so
+  // that the current staleness is preserved under the new rate.
+  if (initial_done_ && !writing_) {
+    const double staleness = staleness_mb();
+    spec_.dirty_rate_mb_s = dirty_mb_s;
+    if (dirty_mb_s > 0) {
+      const double equivalent_s = staleness / dirty_mb_s;
+      clean_point_ = simulation_.now() - sim::from_seconds(equivalent_s);
+    } else {
+      clean_point_ = simulation_.now();
+    }
+    if (pending_event_ != sim::kInvalidEventId) {
+      simulation_.cancel(pending_event_);
+      pending_event_ = sim::kInvalidEventId;
+    }
+    schedule_next_trigger();
+  } else {
+    spec_.dirty_rate_mb_s = dirty_mb_s;
+  }
+}
+
+void CheckpointProcess::schedule_next_trigger() {
+  if (stopped_) return;
+  if (spec_.dirty_rate_mb_s <= 0) return;  // idle guest: nothing will dirty
+  const double staleness = staleness_mb();
+  const double trigger = trigger_mb();
+  const double wait_s = (staleness >= trigger)
+                            ? 0.0
+                            : (trigger - staleness) / spec_.dirty_rate_mb_s;
+  pending_event_ = simulation_.after(sim::from_seconds(wait_s), [this] {
+    pending_event_ = sim::kInvalidEventId;
+    begin_write();
+  });
+}
+
+void CheckpointProcess::begin_write() {
+  if (stopped_) return;
+  writing_ = true;
+  write_began_ = simulation_.now();
+  const double increment = staleness_mb();
+  const double write_s = increment / params_.write_rate_mb_s;
+  pending_event_ = simulation_.after(sim::from_seconds(write_s), [this] {
+    pending_event_ = sim::kInvalidEventId;
+    writing_ = false;
+    ++completed_;
+    clean_point_ = write_began_;
+    schedule_next_trigger();
+  });
+}
+
+}  // namespace spothost::virt

@@ -1,0 +1,94 @@
+// Yank-style background checkpointing as a live discrete-event process.
+//
+// The MigrationPlanner prices forced migrations with the *guaranteed* flush
+// bound tau. This process is the mechanism that makes the guarantee true:
+// it continuously writes incremental checkpoints, adapting its trigger point
+// to the current dirty rate so that the unflushed state never exceeds
+// tau * write_rate — even while a background write is in flight (new dirt
+// accumulates during a write, so the trigger must be tightened by
+// 1 / (1 + dirty_rate/write_rate), exactly Yank's adjustment).
+//
+// When the guest dirties faster than the volume can absorb, no schedule can
+// keep the increment bounded — Yank then *throttles* (stuns) the guest so
+// writes never outrun the checkpoint stream. The model reflects that:
+// unflushed state is clamped at the bound's cap, and is_throttling() reports
+// when the clamp (i.e. guest slowdown) is active.
+//
+// Invariant (tested): once the initial full checkpoint has completed,
+// flush_time_now_s() <= tau at every instant.
+#pragma once
+
+#include "simcore/simulation.hpp"
+#include "virt/checkpoint.hpp"
+#include "virt/vm.hpp"
+
+namespace spothost::virt {
+
+class CheckpointProcess {
+ public:
+  CheckpointProcess(sim::Simulation& simulation, VmSpec spec,
+                    CheckpointParams params);
+
+  /// Begins with a full checkpoint, then runs adaptive incrementals. Call
+  /// once.
+  void start();
+
+  /// Stops scheduling further checkpoints (the VM suspended or moved away).
+  void stop();
+
+  /// Changes the guest's dirty rate (workload shift). Takes effect for
+  /// staleness growth immediately and re-plans the next trigger.
+  void set_dirty_rate(double dirty_mb_s);
+
+  /// MB of guest state not yet safely on the volume, at the current time.
+  /// Capped at the working set (re-dirtying the same pages) and — once the
+  /// initial checkpoint is in — at the bound cap (guest throttling).
+  [[nodiscard]] double staleness_mb() const;
+
+  /// True when the bound is only being met by throttling the guest (the
+  /// unclamped dirty accumulation exceeds the cap). A performance alarm,
+  /// not a correctness problem.
+  [[nodiscard]] bool is_throttling() const;
+
+  /// The staleness clamp: min(working set, tau * write rate).
+  [[nodiscard]] double cap_mb() const;
+
+  /// Time to flush if a revocation warning arrived right now (VM paused, so
+  /// no new dirt during the flush). Guaranteed <= params.bound_tau_s once
+  /// the initial full checkpoint has completed.
+  [[nodiscard]] double flush_time_now_s() const;
+
+  /// Trigger level for the next incremental checkpoint (MB), after Yank's
+  /// in-flight-dirt adjustment.
+  [[nodiscard]] double trigger_mb() const;
+
+  [[nodiscard]] int completed_checkpoints() const noexcept { return completed_; }
+  [[nodiscard]] bool write_in_progress() const noexcept { return writing_; }
+  [[nodiscard]] bool initial_checkpoint_done() const noexcept {
+    return initial_done_;
+  }
+  [[nodiscard]] const VmSpec& spec() const noexcept { return spec_; }
+
+ private:
+  void schedule_next_trigger();
+  void begin_write();
+  [[nodiscard]] double dirty_since(sim::SimTime since) const;
+
+  sim::Simulation& simulation_;
+  VmSpec spec_;
+  CheckpointParams params_;
+
+  bool started_ = false;
+  bool stopped_ = false;
+  bool writing_ = false;
+  bool initial_done_ = false;
+  int completed_ = 0;
+  /// Instant whose guest state is fully captured by the last completed
+  /// checkpoint (= the moment that write *began*).
+  sim::SimTime clean_point_ = 0;
+  /// Begin time of the in-flight write (valid while writing_).
+  sim::SimTime write_began_ = 0;
+  sim::EventId pending_event_ = sim::kInvalidEventId;
+};
+
+}  // namespace spothost::virt

@@ -1,0 +1,47 @@
+#include "virt/live_migration.hpp"
+
+#include <stdexcept>
+
+#include "virt/memory_model.hpp"
+
+namespace spothost::virt {
+
+LiveMigrationResult simulate_live_migration(const VmSpec& spec, double bandwidth_mb_s,
+                                            const LiveMigrationParams& params) {
+  if (bandwidth_mb_s <= 0) {
+    throw std::invalid_argument("simulate_live_migration: bandwidth must be > 0");
+  }
+  if (params.max_rounds < 1) {
+    throw std::invalid_argument("simulate_live_migration: max_rounds must be >= 1");
+  }
+
+  LiveMigrationResult result;
+  double to_send_mb = spec.memory_mb();  // round 0: full RAM
+  for (int round = 0; round < params.max_rounds; ++round) {
+    const double round_time_s = to_send_mb / bandwidth_mb_s;
+    result.duration_s += round_time_s;
+    result.transferred_mb += to_send_mb;
+    result.rounds = round + 1;
+    const double dirtied_mb = dirty_mb_after(spec, round_time_s);
+    if (dirtied_mb <= params.stop_copy_threshold_mb) {
+      result.converged = true;
+      to_send_mb = dirtied_mb;
+      break;
+    }
+    // No progress (dirtying outpaces the link): stop-copy the working set.
+    if (dirtied_mb >= to_send_mb && round > 0) {
+      to_send_mb = dirtied_mb;
+      break;
+    }
+    to_send_mb = dirtied_mb;
+  }
+
+  // Final stop-copy: guest paused while the residual dirty set is copied.
+  const double final_copy_s = to_send_mb / bandwidth_mb_s;
+  result.downtime_s = final_copy_s + params.switchover_s;
+  result.duration_s += final_copy_s + params.switchover_s;
+  result.transferred_mb += to_send_mb;
+  return result;
+}
+
+}  // namespace spothost::virt

@@ -1,0 +1,33 @@
+// Pre-copy live migration (Clark et al., NSDI'05), as used in Sec. 3.2.
+//
+// Round 0 copies all of RAM while the guest keeps running; each subsequent
+// round copies the pages dirtied during the previous round. When the dirty
+// set shrinks below the stop-copy threshold (or rounds are exhausted), the
+// guest pauses for the final copy plus switchover — that pause is the
+// migration's downtime.
+#pragma once
+
+#include "virt/vm.hpp"
+
+namespace spothost::virt {
+
+struct LiveMigrationParams {
+  double stop_copy_threshold_mb = 32.0;
+  int max_rounds = 12;
+  double switchover_s = 0.2;  ///< ARP/route/handoff cost after the final copy
+};
+
+struct LiveMigrationResult {
+  double duration_s = 0.0;     ///< total wall time, including downtime
+  double downtime_s = 0.0;     ///< guest paused (final copy + switchover)
+  int rounds = 0;              ///< pre-copy rounds executed (>= 1)
+  bool converged = false;      ///< dirty set reached the threshold
+  double transferred_mb = 0.0; ///< total bytes moved (round retransfers included)
+};
+
+/// Closed-form simulation of pre-copy against the dirty-page model.
+/// `bandwidth_mb_s` is the effective migration stream bandwidth.
+LiveMigrationResult simulate_live_migration(const VmSpec& spec, double bandwidth_mb_s,
+                                            const LiveMigrationParams& params = {});
+
+}  // namespace spothost::virt

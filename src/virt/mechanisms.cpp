@@ -1,0 +1,110 @@
+#include "virt/mechanisms.hpp"
+
+namespace spothost::virt {
+
+std::string_view to_string(MechanismCombo combo) noexcept {
+  switch (combo) {
+    case MechanismCombo::kCkpt: return "CKPT";
+    case MechanismCombo::kCkptLazy: return "CKPT LR";
+    case MechanismCombo::kCkptLive: return "CKPT + Live";
+    case MechanismCombo::kCkptLazyLive: return "CKPT LR + Live";
+  }
+  return "?";
+}
+
+bool uses_live_migration(MechanismCombo combo) noexcept {
+  return combo == MechanismCombo::kCkptLive || combo == MechanismCombo::kCkptLazyLive;
+}
+
+bool uses_lazy_restore(MechanismCombo combo) noexcept {
+  return combo == MechanismCombo::kCkptLazy || combo == MechanismCombo::kCkptLazyLive;
+}
+
+std::string_view to_string(MigrationClass cls) noexcept {
+  switch (cls) {
+    case MigrationClass::kForced: return "forced";
+    case MigrationClass::kPlanned: return "planned";
+    case MigrationClass::kReverse: return "reverse";
+  }
+  return "?";
+}
+
+MechanismParams typical_mechanism_params() {
+  return MechanismParams{};  // defaults are the Table 2 calibration
+}
+
+MechanismParams pessimistic_mechanism_params() {
+  MechanismParams p;
+  // "in the worst case, the downtime during migration of a 4GB virtual
+  // machine can be 10s" — Sec. 4.3.
+  p.live.switchover_s = 10.0;
+  // "120s latency for lazy restoration" — Sec. 4.3.
+  p.restore.lazy_resume_latency_s = 120.0;
+  // Standard restore degrades to streaming the full image from heavily
+  // contended storage — minutes for a small VM, far worse than even the
+  // pessimistic lazy resume (Fig. 7's CKPT bar towers over CKPT LR).
+  p.restore.read_rate_mb_s = 5.0;
+  p.restore.lazy_slowdown_factor = 2.0;
+  // Checkpoint flushes use the full grace allowance under contention.
+  p.checkpoint.bound_tau_s = 30.0;
+  p.checkpoint.write_rate_mb_s = 17.0;
+  return p;
+}
+
+MigrationPlanner::MigrationPlanner(MechanismCombo combo, MechanismParams params,
+                                   NetworkModel network)
+    : combo_(combo), params_(params), network_(std::move(network)) {}
+
+MigrationTimings MigrationPlanner::plan(MigrationClass cls, const VmSpec& spec,
+                                        const std::string& src_region,
+                                        const std::string& dst_region) const {
+  if (cls == MigrationClass::kForced) {
+    // Forced migrations replace the revoked spot server with an on-demand
+    // server in the same region; the checkpoint volume is already there.
+    return plan_forced(spec);
+  }
+  return plan_voluntary(spec, network_.link(src_region, dst_region));
+}
+
+MigrationTimings MigrationPlanner::plan_forced(const VmSpec& spec) const {
+  const BoundedCheckpointer ckpt(params_.checkpoint);
+  MigrationTimings t;
+  t.flush_s = ckpt.flush_time_s(spec);
+  const RestoreResult restore = uses_lazy_restore(combo_)
+                                    ? simulate_lazy_restore(spec, params_.restore)
+                                    : simulate_full_restore(spec, params_.restore);
+  t.restore_s = restore.downtime_s;
+  t.degraded_s = restore.degraded_s;
+  // Scheduler computes true downtime (flush + wait-for-destination +
+  // restore); this is the mechanism-intrinsic floor.
+  t.downtime_s = t.flush_s + t.restore_s;
+  return t;
+}
+
+MigrationTimings MigrationPlanner::plan_voluntary(const VmSpec& spec,
+                                                  const LinkSpec& link) const {
+  MigrationTimings t;
+  const double disk_copy_s =
+      (link.disk_copy_rate_mb_s > 0) ? spec.disk_mb() / link.disk_copy_rate_mb_s : 0.0;
+  if (uses_live_migration(combo_)) {
+    const LiveMigrationResult live =
+        simulate_live_migration(spec, link.mem_bandwidth_mb_s, params_.live);
+    t.prepare_s = disk_copy_s + (live.duration_s - live.downtime_s);
+    t.downtime_s = live.downtime_s + link.switch_penalty_s;
+  } else {
+    // Suspend/resume: flush the bounded increment, then restore on the
+    // destination (the background checkpoint stream keeps the image fresh).
+    const BoundedCheckpointer ckpt(params_.checkpoint);
+    const RestoreResult restore = uses_lazy_restore(combo_)
+                                      ? simulate_lazy_restore(spec, params_.restore)
+                                      : simulate_full_restore(spec, params_.restore);
+    t.prepare_s = disk_copy_s;
+    t.flush_s = ckpt.flush_time_s(spec);
+    t.restore_s = restore.downtime_s;
+    t.degraded_s = restore.degraded_s;
+    t.downtime_s = t.flush_s + t.restore_s + link.switch_penalty_s;
+  }
+  return t;
+}
+
+}  // namespace spothost::virt

@@ -1,0 +1,94 @@
+// The four mechanism combinations evaluated in Fig. 7 and the planner that
+// turns (combo, migration class, VM, route) into concrete timings.
+//
+//   CKPT          forced & planned via suspend/resume with standard restore
+//   CKPT+LR       as above, with lazy restore
+//   CKPT+Live     planned/reverse via live migration; forced via CKPT
+//   CKPT+LR+Live  planned/reverse via live migration; forced via CKPT+LR
+//
+// Forced migrations can never use live migration: the source disappears at
+// the end of the grace window, so state must hit the network volume first.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "virt/checkpoint.hpp"
+#include "virt/live_migration.hpp"
+#include "virt/network_model.hpp"
+#include "virt/restore.hpp"
+
+namespace spothost::virt {
+
+enum class MechanismCombo { kCkpt, kCkptLazy, kCkptLive, kCkptLazyLive };
+
+inline constexpr std::array<MechanismCombo, 4> kAllCombos{
+    MechanismCombo::kCkpt, MechanismCombo::kCkptLazy, MechanismCombo::kCkptLive,
+    MechanismCombo::kCkptLazyLive};
+
+std::string_view to_string(MechanismCombo combo) noexcept;
+bool uses_live_migration(MechanismCombo combo) noexcept;
+bool uses_lazy_restore(MechanismCombo combo) noexcept;
+
+/// Forced = provider revocation (deadline!); planned = voluntary spot -> on-
+/// demand; reverse = voluntary on-demand -> spot.
+enum class MigrationClass { kForced, kPlanned, kReverse };
+
+std::string_view to_string(MigrationClass cls) noexcept;
+
+/// Timing decomposition of one migration. The scheduler assembles end-to-end
+/// downtime from these plus destination-acquisition timing (forced downtime
+/// also depends on when the on-demand server actually arrives).
+struct MigrationTimings {
+  /// Work done while the source still serves traffic (pre-copy rounds,
+  /// WAN disk copy). Voluntary migrations only.
+  double prepare_s = 0.0;
+  /// Service-stopped time intrinsic to the mechanism. For suspend/resume
+  /// this includes flush and restore; for live it is the stop-copy pause.
+  double downtime_s = 0.0;
+  /// Checkpoint flush before source termination (forced only; <= tau).
+  double flush_s = 0.0;
+  /// Restore latency once the destination holds/reads the image.
+  double restore_s = 0.0;
+  /// Post-resume degraded window (lazy restore).
+  double degraded_s = 0.0;
+};
+
+/// All tunables of the mechanism stack, bundled so experiments can switch
+/// between "typical" and "pessimistic" (Fig. 7) in one place.
+struct MechanismParams {
+  CheckpointParams checkpoint;
+  RestoreParams restore;
+  LiveMigrationParams live;
+};
+
+/// Fig. 7's pessimistic scenario: 10 s live-migration outage (Clark'05 /
+/// Salfner'11 worst cases), 120 s lazy restore, degraded storage rates.
+MechanismParams typical_mechanism_params();
+MechanismParams pessimistic_mechanism_params();
+
+class MigrationPlanner {
+ public:
+  MigrationPlanner(MechanismCombo combo, MechanismParams params, NetworkModel network);
+
+  [[nodiscard]] MechanismCombo combo() const noexcept { return combo_; }
+  [[nodiscard]] const MechanismParams& params() const noexcept { return params_; }
+  [[nodiscard]] const NetworkModel& network() const noexcept { return network_; }
+
+  /// Plans a migration of `spec` from `src_region` to `dst_region`.
+  [[nodiscard]] MigrationTimings plan(MigrationClass cls, const VmSpec& spec,
+                                      const std::string& src_region,
+                                      const std::string& dst_region) const;
+
+ private:
+  [[nodiscard]] MigrationTimings plan_forced(const VmSpec& spec) const;
+  [[nodiscard]] MigrationTimings plan_voluntary(const VmSpec& spec,
+                                                const LinkSpec& link) const;
+
+  MechanismCombo combo_;
+  MechanismParams params_;
+  NetworkModel network_;
+};
+
+}  // namespace spothost::virt

@@ -1,0 +1,25 @@
+#include "virt/memory_model.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace spothost::virt {
+
+double dirty_mb_after(const VmSpec& spec, double elapsed_s) {
+  if (elapsed_s < 0) throw std::invalid_argument("dirty_mb_after: negative time");
+  return std::min(spec.working_set_mb, spec.dirty_rate_mb_s * elapsed_s);
+}
+
+double time_to_dirty_s(const VmSpec& spec, double target_mb) {
+  if (target_mb < 0) throw std::invalid_argument("time_to_dirty_s: negative target");
+  if (target_mb > spec.working_set_mb) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (spec.dirty_rate_mb_s <= 0) {
+    return target_mb == 0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return target_mb / spec.dirty_rate_mb_s;
+}
+
+}  // namespace spothost::virt

@@ -1,0 +1,20 @@
+// Dirty-page accumulation model.
+//
+// While the guest serves load it dirties pages at spec.dirty_rate_mb_s; the
+// dirty set saturates at the writable working set (re-dirtying the same
+// pages). This single curve drives live-migration round convergence and
+// bounded-checkpoint increment sizes.
+#pragma once
+
+#include "virt/vm.hpp"
+
+namespace spothost::virt {
+
+/// MB of dirty memory accumulated `elapsed_s` after a clean point.
+double dirty_mb_after(const VmSpec& spec, double elapsed_s);
+
+/// Time (s) to accumulate `target_mb` of dirty memory; infinity if the
+/// target exceeds the working set (never reached).
+double time_to_dirty_s(const VmSpec& spec, double target_mb);
+
+}  // namespace spothost::virt

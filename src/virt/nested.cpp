@@ -1,0 +1,21 @@
+#include "virt/nested.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spothost::virt {
+
+double nested_io_throughput(double native_throughput, const NestedVirtParams& params) {
+  if (native_throughput < 0) {
+    throw std::invalid_argument("nested_io_throughput: negative throughput");
+  }
+  return native_throughput * (1.0 - params.io_throughput_penalty);
+}
+
+double nested_cpu_demand_factor(double utilization, const NestedVirtParams& params) {
+  const double u = std::clamp(utilization, 0.0, 1.0);
+  return 1.0 + params.cpu_overhead_max * std::pow(u, params.cpu_overhead_exponent);
+}
+
+}  // namespace spothost::virt

@@ -1,0 +1,28 @@
+// Nested-virtualization (Xen-Blanket) performance overhead model, Sec. 6.
+//
+// Measured behaviour the model reproduces:
+//  * disk and network I/O through the nested hypervisor lose only ~2 %
+//    (Table 4);
+//  * CPU-bound work suffers a load-dependent overhead of up to 50 %
+//    (Fig. 12(b)) — at light load the extra layer is barely visible, near
+//    saturation every cycle of hypervisor work displaces guest work.
+#pragma once
+
+namespace spothost::virt {
+
+struct NestedVirtParams {
+  double io_throughput_penalty = 0.02;  ///< fractional loss on I/O paths
+  double cpu_overhead_max = 0.50;       ///< added CPU demand at full load
+  /// Shape of the load dependence: overhead = max * utilization^exponent.
+  double cpu_overhead_exponent = 1.0;
+};
+
+/// Throughput of an I/O stream through the nested stack, given the native
+/// throughput in any unit (Mbps, MB/s, IOPS).
+double nested_io_throughput(double native_throughput, const NestedVirtParams& params);
+
+/// Multiplier on CPU service demand at a given utilization in [0, 1].
+/// 1.0 = native; 1.5 = the 50 % worst case.
+double nested_cpu_demand_factor(double utilization, const NestedVirtParams& params);
+
+}  // namespace spothost::virt

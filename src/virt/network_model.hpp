@@ -1,0 +1,56 @@
+// Network capacity model for migrations, calibrated to Table 2.
+//
+// Three tiers:
+//  * same zone (e.g. us-east-1a -> us-east-1a): LAN; network storage is
+//    shared, so no disk copy is needed;
+//  * cross zone, same region family (us-east-1a -> us-east-1b): fast WAN;
+//  * cross region family (us-east -> eu-west): slow WAN; disk state must be
+//    copied (2-3 min/GB in Table 2).
+// Bandwidths are "effective migration bandwidth" — Table 2's 2 GB live
+// migration in ~58 s implies ~38 MB/s raw once dirty-round retransfers are
+// accounted for.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace spothost::virt {
+
+struct LinkSpec {
+  double mem_bandwidth_mb_s = 38.0;   ///< live-migration / checkpoint streams
+  double disk_copy_rate_mb_s = 0.0;   ///< 0 => no disk copy needed (shared storage)
+  double switch_penalty_s = 0.0;      ///< extra switchover cost (WAN reconfig)
+};
+
+class NetworkModel {
+ public:
+  NetworkModel();
+
+  /// Region family: "us-east-1a" -> "us-east". Everything up to the last
+  /// '-<digit><letter>' suffix; returns the input when no suffix matches.
+  static std::string region_family(std::string_view region);
+
+  [[nodiscard]] LinkSpec link(std::string_view src_region,
+                              std::string_view dst_region) const;
+
+  /// Sequential write rate of checkpoints to network storage (Table 2:
+  /// ~28 s/GB => ~36 MB/s) and the read-back rate for restores.
+  [[nodiscard]] double checkpoint_write_rate_mb_s() const noexcept {
+    return checkpoint_rate_mb_s_;
+  }
+  [[nodiscard]] double restore_read_rate_mb_s() const noexcept {
+    return restore_rate_mb_s_;
+  }
+
+  /// Overrides for sensitivity studies / pessimistic scenarios.
+  void set_checkpoint_write_rate_mb_s(double rate);
+  void set_restore_read_rate_mb_s(double rate);
+  void set_lan_bandwidth_mb_s(double rate);
+
+ private:
+  double lan_bandwidth_mb_s_ = 38.0;
+  double checkpoint_rate_mb_s_ = 36.0;
+  double restore_rate_mb_s_ = 36.0;
+};
+
+}  // namespace spothost::virt

@@ -1,0 +1,32 @@
+#include "virt/restore.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spothost::virt {
+
+RestoreResult simulate_full_restore(const VmSpec& spec, const RestoreParams& params) {
+  if (params.read_rate_mb_s <= 0) {
+    throw std::invalid_argument("simulate_full_restore: read rate must be > 0");
+  }
+  RestoreResult r;
+  r.downtime_s = spec.memory_mb() / params.read_rate_mb_s;
+  r.degraded_s = 0.0;
+  return r;
+}
+
+RestoreResult simulate_lazy_restore(const VmSpec& spec, const RestoreParams& params) {
+  if (params.read_rate_mb_s <= 0 || params.lazy_resume_latency_s < 0) {
+    throw std::invalid_argument("simulate_lazy_restore: bad parameters");
+  }
+  RestoreResult r;
+  r.downtime_s = params.lazy_resume_latency_s;
+  // The prefix read during the resume latency is already in; the remainder
+  // streams in while the guest runs degraded.
+  const double prefix_mb = params.lazy_resume_latency_s * params.read_rate_mb_s;
+  const double remaining_mb = std::max(0.0, spec.memory_mb() - prefix_mb);
+  r.degraded_s = remaining_mb / params.read_rate_mb_s;
+  return r;
+}
+
+}  // namespace spothost::virt

@@ -1,0 +1,32 @@
+// VM restoration from a checkpoint: standard (read everything, then resume)
+// versus lazy (resume after a small prefix; page the rest in on demand).
+//
+// The paper assumes a ~20 s lazy resume latency independent of memory size
+// (per Hines & Gopalan, VEE'09) and a ~28 s/GB standard restore (Table 2).
+#pragma once
+
+#include "virt/vm.hpp"
+
+namespace spothost::virt {
+
+struct RestoreParams {
+  double read_rate_mb_s = 36.0;        ///< network-volume sequential read rate
+  double lazy_resume_latency_s = 20.0; ///< memory-size independent
+  /// Mean slowdown of the guest while the background restore stream runs
+  /// (page faults against not-yet-fetched pages).
+  double lazy_slowdown_factor = 1.5;
+};
+
+struct RestoreResult {
+  double downtime_s = 0.0;  ///< guest unavailable
+  double degraded_s = 0.0;  ///< guest running but slowed (lazy only)
+};
+
+/// Standard restore: the full memory image is read before resuming.
+RestoreResult simulate_full_restore(const VmSpec& spec, const RestoreParams& params);
+
+/// Lazy restore: resume after a fixed prefix; the rest streams in while the
+/// guest runs (degraded window = remaining image / read rate).
+RestoreResult simulate_lazy_restore(const VmSpec& spec, const RestoreParams& params);
+
+}  // namespace spothost::virt

@@ -1,0 +1,57 @@
+#include "virt/vm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace spothost::virt {
+
+VmSpec default_spec_for_memory(double memory_gb, double disk_gb) {
+  VmSpec spec;
+  spec.memory_gb = memory_gb;
+  spec.disk_gb = disk_gb;
+  spec.working_set_mb = std::min(0.25 * memory_gb * 1024.0, 1024.0);
+  spec.dirty_rate_mb_s = 30.0;
+  return spec;
+}
+
+std::string_view to_string(VmState state) noexcept {
+  switch (state) {
+    case VmState::kRunning: return "running";
+    case VmState::kSuspended: return "suspended";
+    case VmState::kDown: return "down";
+    case VmState::kDegraded: return "degraded";
+  }
+  return "?";
+}
+
+void Vm::transition(VmState next, sim::SimTime at) {
+  if (at < last_transition_) {
+    throw std::logic_error("Vm::transition: time regression");
+  }
+  const bool legal = [&] {
+    switch (state_) {
+      case VmState::kRunning:
+        return next == VmState::kSuspended || next == VmState::kDown;
+      case VmState::kSuspended:
+        // resume fully, resume lazily, or lose the host
+        return next == VmState::kRunning || next == VmState::kDegraded ||
+               next == VmState::kDown;
+      case VmState::kDown:
+        return next == VmState::kRunning || next == VmState::kDegraded;
+      case VmState::kDegraded:
+        return next == VmState::kRunning || next == VmState::kSuspended ||
+               next == VmState::kDown;
+    }
+    return false;
+  }();
+  if (!legal) {
+    throw std::logic_error(std::string("Vm::transition: illegal ") +
+                           std::string(to_string(state_)) + " -> " +
+                           std::string(to_string(next)));
+  }
+  state_ = next;
+  last_transition_ = at;
+}
+
+}  // namespace spothost::virt

@@ -1,0 +1,57 @@
+// Virtual-machine resource description and lifecycle state machine.
+//
+// The VmSpec feeds every migration-cost model: live-migration convergence is
+// governed by memory size, dirty rate and writable working set; checkpoint
+// flush sizes by the same; WAN migrations also copy the disk.
+#pragma once
+
+#include <string_view>
+
+#include "simcore/time.hpp"
+
+namespace spothost::virt {
+
+struct VmSpec {
+  double memory_gb = 2.0;
+  double disk_gb = 8.0;
+  /// Rate at which the guest dirties memory (MB/s) while serving load.
+  double dirty_rate_mb_s = 30.0;
+  /// Writable working set (MB): the dirty set saturates at this size.
+  double working_set_mb = 512.0;
+
+  [[nodiscard]] double memory_mb() const noexcept { return memory_gb * 1024.0; }
+  [[nodiscard]] double disk_mb() const noexcept { return disk_gb * 1024.0; }
+};
+
+/// Builds a spec for a guest with `memory_gb` of RAM using the default
+/// dirty-page behaviour (working set = min(25% of RAM, 1 GB)).
+VmSpec default_spec_for_memory(double memory_gb, double disk_gb);
+
+/// VM lifecycle states. kDegraded models lazy restore's post-resume window:
+/// the VM is up (not counted as downtime) but page faults against the
+/// background restore stream slow it down.
+enum class VmState { kRunning, kSuspended, kDown, kDegraded };
+
+std::string_view to_string(VmState state) noexcept;
+
+/// Validated state machine with timestamps; the service layer listens to
+/// transitions to drive availability accounting.
+class Vm {
+ public:
+  explicit Vm(VmSpec spec) : spec_(spec) {}
+
+  [[nodiscard]] const VmSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] VmState state() const noexcept { return state_; }
+  [[nodiscard]] sim::SimTime last_transition() const noexcept { return last_transition_; }
+
+  /// Moves to `next` at time `at`. Throws std::logic_error on an illegal
+  /// transition (e.g. kDown -> kSuspended) or a time regression.
+  void transition(VmState next, sim::SimTime at);
+
+ private:
+  VmSpec spec_;
+  VmState state_ = VmState::kRunning;
+  sim::SimTime last_transition_ = 0;
+};
+
+}  // namespace spothost::virt

@@ -1,0 +1,67 @@
+#include "workload/availability.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spothost::workload {
+
+void AvailabilityTracker::start(sim::SimTime t0) {
+  if (started_) throw std::logic_error("AvailabilityTracker: started twice");
+  started_ = true;
+  t0_ = t0;
+}
+
+void AvailabilityTracker::mark_down(sim::SimTime t) {
+  if (!started_ || finalized_) {
+    throw std::logic_error("AvailabilityTracker: mark_down outside tracking window");
+  }
+  if (down_since_ >= 0) throw std::logic_error("AvailabilityTracker: already down");
+  down_since_ = t;
+}
+
+void AvailabilityTracker::mark_up(sim::SimTime t) {
+  if (down_since_ < 0) throw std::logic_error("AvailabilityTracker: not down");
+  if (t < down_since_) throw std::logic_error("AvailabilityTracker: time regression");
+  outages_.push_back(OutageRecord{down_since_, t});
+  total_down_ += t - down_since_;
+  down_since_ = -1;
+}
+
+void AvailabilityTracker::mark_degraded(sim::SimTime t) {
+  if (!started_ || finalized_) {
+    throw std::logic_error("AvailabilityTracker: mark_degraded outside window");
+  }
+  if (degraded_since_ < 0) degraded_since_ = t;
+}
+
+void AvailabilityTracker::mark_normal(sim::SimTime t) {
+  if (degraded_since_ >= 0) {
+    total_degraded_ += t - degraded_since_;
+    degraded_since_ = -1;
+  }
+}
+
+void AvailabilityTracker::finalize(sim::SimTime t_end) {
+  if (!started_ || finalized_) {
+    throw std::logic_error("AvailabilityTracker: bad finalize");
+  }
+  if (down_since_ >= 0) mark_up(t_end);
+  mark_normal(t_end);
+  t_end_ = t_end;
+  finalized_ = true;
+}
+
+sim::SimTime AvailabilityTracker::longest_outage() const noexcept {
+  sim::SimTime longest = 0;
+  for (const auto& o : outages_) longest = std::max(longest, o.duration());
+  return longest;
+}
+
+double AvailabilityTracker::unavailability() const {
+  if (!finalized_) throw std::logic_error("AvailabilityTracker: not finalized");
+  const sim::SimTime horizon = t_end_ - t0_;
+  if (horizon <= 0) return 0.0;
+  return static_cast<double>(total_down_) / static_cast<double>(horizon);
+}
+
+}  // namespace spothost::workload

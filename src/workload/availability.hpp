@@ -1,0 +1,67 @@
+// Service availability accounting.
+//
+// The paper's headline availability metric is unavailability percent over a
+// long horizon (four nines = 0.01 %). The tracker records outage and
+// degraded intervals and reports totals, counts, and the worst single event.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace spothost::workload {
+
+struct OutageRecord {
+  sim::SimTime start = 0;
+  sim::SimTime end = 0;
+  [[nodiscard]] sim::SimTime duration() const noexcept { return end - start; }
+};
+
+class AvailabilityTracker {
+ public:
+  /// Begins tracking at `t0`; the service is considered up.
+  void start(sim::SimTime t0);
+
+  /// Marks the service down at `t`. Throws if already down or not started.
+  void mark_down(sim::SimTime t);
+
+  /// Marks the service back up at `t`. Throws if not down.
+  void mark_up(sim::SimTime t);
+
+  /// Begins/ends a degraded (up but slowed) window. Degraded time does not
+  /// count as downtime; it is reported separately. Nested calls collapse.
+  void mark_degraded(sim::SimTime t);
+  void mark_normal(sim::SimTime t);
+
+  /// Closes the books at `t_end` (an open outage/degraded window is closed).
+  void finalize(sim::SimTime t_end);
+
+  [[nodiscard]] bool is_down() const noexcept { return down_since_ >= 0; }
+  [[nodiscard]] sim::SimTime total_downtime() const noexcept { return total_down_; }
+  [[nodiscard]] sim::SimTime total_degraded() const noexcept { return total_degraded_; }
+  [[nodiscard]] std::size_t outage_count() const noexcept { return outages_.size(); }
+  [[nodiscard]] const std::vector<OutageRecord>& outages() const noexcept {
+    return outages_;
+  }
+  [[nodiscard]] sim::SimTime longest_outage() const noexcept;
+
+  /// Unavailability as a fraction of the tracked horizon (0..1).
+  /// Valid after finalize().
+  [[nodiscard]] double unavailability() const;
+  /// Unavailability in percent (the unit of Figs. 6(b), 7, 8(c), 9(c), 11(b)).
+  [[nodiscard]] double unavailability_percent() const { return unavailability() * 100.0; }
+
+ private:
+  bool started_ = false;
+  bool finalized_ = false;
+  sim::SimTime t0_ = 0;
+  sim::SimTime t_end_ = 0;
+  sim::SimTime down_since_ = -1;
+  sim::SimTime degraded_since_ = -1;
+  sim::SimTime total_down_ = 0;
+  sim::SimTime total_degraded_ = 0;
+  std::vector<OutageRecord> outages_;
+};
+
+}  // namespace spothost::workload

@@ -1,0 +1,66 @@
+#include "workload/diurnal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace spothost::workload {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+void validate(const DiurnalPattern& p) {
+  if (p.off_peak < 0 || p.peak < p.off_peak) {
+    throw std::invalid_argument("DiurnalPattern: need 0 <= off_peak <= peak");
+  }
+}
+
+}  // namespace
+
+double DiurnalPattern::load_at(sim::SimTime t) const {
+  validate(*this);
+  const double hours = sim::to_hours(t);
+  const double phase = kTwoPi * (hours - peak_hour) / 24.0;
+  return off_peak + (peak - off_peak) * (1.0 + std::cos(phase)) / 2.0;
+}
+
+double DiurnalPattern::load_integral(sim::SimTime from, sim::SimTime to) const {
+  validate(*this);
+  if (to < from) throw std::invalid_argument("load_integral: to < from");
+  // integral of off + A*(1+cos(w(h - p)))/2 dh, h in hours, converted to s:
+  //   = off*H + A/2*H + A/2 * (sin(w(h2-p)) - sin(w(h1-p)))/w     [hours]
+  const double amplitude = peak - off_peak;
+  const double h1 = sim::to_hours(from);
+  const double h2 = sim::to_hours(to);
+  const double w = kTwoPi / 24.0;
+  const double linear = (off_peak + amplitude / 2.0) * (h2 - h1);
+  const double oscillation =
+      amplitude / 2.0 * (std::sin(w * (h2 - peak_hour)) - std::sin(w * (h1 - peak_hour))) /
+      w;
+  return (linear + oscillation) * 3600.0;  // load-seconds
+}
+
+int DiurnalPattern::users_at(sim::SimTime t, int peak_users) const {
+  return static_cast<int>(std::lround(load_at(t) * peak_users));
+}
+
+double DiurnalPattern::dirty_rate_at(sim::SimTime t, double peak_rate_mb_s) const {
+  return load_at(t) * peak_rate_mb_s;
+}
+
+double load_weighted_unavailability(const AvailabilityTracker& tracker,
+                                    const DiurnalPattern& pattern,
+                                    sim::SimTime horizon) {
+  const double total = pattern.load_integral(0, horizon);
+  if (total <= 0) return 0.0;
+  double lost = 0.0;
+  for (const auto& outage : tracker.outages()) {
+    const sim::SimTime start = std::clamp<sim::SimTime>(outage.start, 0, horizon);
+    const sim::SimTime end = std::clamp<sim::SimTime>(outage.end, 0, horizon);
+    if (end > start) lost += pattern.load_integral(start, end);
+  }
+  return lost / total;
+}
+
+}  // namespace spothost::workload

@@ -1,0 +1,43 @@
+// Diurnal load patterns for always-on services.
+//
+// The paper's availability metric weights every second equally, but an
+// e-commerce outage at the evening peak costs far more than one at 4 am.
+// DiurnalPattern models the classic sinusoidal daily load curve; the
+// load-weighted unavailability re-weights each outage by the traffic it
+// actually hit. The pattern also scales workload-dependent quantities
+// (dirty rate, concurrent TPC-W browsers) over the day.
+#pragma once
+
+#include "simcore/time.hpp"
+#include "workload/availability.hpp"
+
+namespace spothost::workload {
+
+struct DiurnalPattern {
+  double off_peak = 0.25;   ///< load level in the trough, in [0, 1]
+  double peak = 1.0;        ///< load level at the peak
+  double peak_hour = 20.0;  ///< hour-of-day of the peak (0..24)
+
+  /// Instantaneous load in [off_peak, peak]:
+  ///   load(t) = off + (peak - off) * (1 + cos(2*pi*(h(t) - peak_hour)/24)) / 2
+  [[nodiscard]] double load_at(sim::SimTime t) const;
+
+  /// Exact integral of load over [from, to) in load-seconds.
+  [[nodiscard]] double load_integral(sim::SimTime from, sim::SimTime to) const;
+
+  /// Concurrent users at `t`, scaling a peak population.
+  [[nodiscard]] int users_at(sim::SimTime t, int peak_users) const;
+
+  /// Guest dirty rate at `t`, scaling a peak rate (busier site = more
+  /// writable working set churn).
+  [[nodiscard]] double dirty_rate_at(sim::SimTime t, double peak_rate_mb_s) const;
+};
+
+/// Unavailability weighted by the traffic each outage actually hit:
+///   sum over outages of integral(load) / integral(load over the horizon).
+/// A peak-hour outage counts up to peak/off_peak times a trough outage.
+double load_weighted_unavailability(const AvailabilityTracker& tracker,
+                                    const DiurnalPattern& pattern,
+                                    sim::SimTime horizon);
+
+}  // namespace spothost::workload

@@ -1,0 +1,32 @@
+// The surface a scheduler drives: anything that can go live, go down, come
+// back (possibly degraded), and be finalized. AlwaysOnService implements it
+// for one nested VM; ServiceGroup implements it for a packed group of VMs
+// that live and migrate together on one server.
+#pragma once
+
+#include "simcore/time.hpp"
+
+namespace spothost::workload {
+
+/// Why the service went down (indexes per-cause counters).
+enum class OutageCause {
+  kForcedMigration,
+  kPlannedMigration,
+  kReverseMigration,
+  kSpotLoss,
+  kOther,
+};
+
+class ServiceEndpoint {
+ public:
+  virtual ~ServiceEndpoint() = default;
+
+  virtual void go_live(sim::SimTime t0) = 0;
+  virtual void begin_outage(sim::SimTime t, OutageCause cause) = 0;
+  virtual void end_outage(sim::SimTime t, bool degraded) = 0;
+  virtual void end_degraded(sim::SimTime t) = 0;
+  virtual void finalize(sim::SimTime t_end) = 0;
+  [[nodiscard]] virtual bool is_up() const = 0;
+};
+
+}  // namespace spothost::workload

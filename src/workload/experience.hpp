@@ -1,0 +1,55 @@
+// User-experience accounting: what the month of hosting felt like to the
+// site's visitors.
+//
+// Combines the hosting run's availability history with the diurnal traffic
+// pattern and the TPC-W response-time model:
+//   * while up     — requests arrive at the diurnal rate and complete at the
+//     load-dependent TPC-W response time;
+//   * while degraded — lazy restore is streaming pages in, so CPU demand is
+//     inflated by the configured slowdown factor;
+//   * while down   — every arriving request fails.
+// The report gives the failed-request fraction, time-weighted mean response
+// time, and an Apdex-style satisfaction score.
+#pragma once
+
+#include "virt/restore.hpp"
+#include "workload/availability.hpp"
+#include "workload/diurnal.hpp"
+#include "workload/tpcw.hpp"
+
+namespace spothost::workload {
+
+struct ExperienceConfig {
+  DiurnalPattern traffic{};
+  int peak_browsers = 250;
+  TpcwScenario scenario = TpcwScenario::kWithImages;
+  HostKind host = HostKind::kNestedVm;
+  TpcwConfig tpcw{};
+  /// CPU-demand inflation while a lazy restore streams in the background.
+  double degraded_slowdown_factor = 1.5;
+  /// Response-time threshold for a "satisfied" request (Apdex T).
+  double satisfied_threshold_ms = 500.0;
+  /// Evaluation grid (finer = slower, more accurate).
+  sim::SimTime sample_step = 15 * sim::kMinute;
+};
+
+struct ExperienceReport {
+  double total_requests = 0.0;       ///< arrivals over the horizon (normalized units)
+  double failed_fraction = 0.0;      ///< arrived during an outage
+  double degraded_fraction = 0.0;    ///< served during a lazy-restore window
+  double mean_response_ms = 0.0;     ///< over successful requests
+  /// Apdex-style score in [0, 1]: satisfied = 1, tolerating (< 4T) = 0.5,
+  /// frustrated or failed = 0.
+  double apdex = 0.0;
+};
+
+/// Evaluates the experience over [0, horizon) given the finalized
+/// availability history of the hosting run. Degraded windows are taken from
+/// the tracker's degraded bookkeeping only in aggregate; per-sample degraded
+/// status is approximated by distributing degraded time right after each
+/// outage (where lazy restore actually puts it).
+ExperienceReport evaluate_experience(const AvailabilityTracker& tracker,
+                                     sim::SimTime horizon,
+                                     const ExperienceConfig& config = {});
+
+}  // namespace spothost::workload

@@ -1,0 +1,61 @@
+#include "workload/group.hpp"
+
+#include <stdexcept>
+
+namespace spothost::workload {
+
+ServiceGroup::ServiceGroup(const std::string& prefix, int count,
+                           virt::VmSpec member_spec) {
+  if (count <= 0) throw std::invalid_argument("ServiceGroup: count must be > 0");
+  members_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    members_.push_back(std::make_unique<AlwaysOnService>(
+        prefix + "-" + std::to_string(i), member_spec));
+  }
+}
+
+const AlwaysOnService& ServiceGroup::member(int index) const {
+  return *members_.at(static_cast<std::size_t>(index));
+}
+
+virt::VmSpec ServiceGroup::aggregate_spec() const {
+  virt::VmSpec agg = members_.front()->spec();
+  const auto n = static_cast<double>(members_.size());
+  agg.memory_gb *= n;
+  agg.disk_gb *= n;
+  agg.working_set_mb *= n;
+  agg.dirty_rate_mb_s *= n;
+  return agg;
+}
+
+void ServiceGroup::go_live(sim::SimTime t0) {
+  for (auto& m : members_) m->go_live(t0);
+}
+
+void ServiceGroup::begin_outage(sim::SimTime t, OutageCause cause) {
+  for (auto& m : members_) m->begin_outage(t, cause);
+}
+
+void ServiceGroup::end_outage(sim::SimTime t, bool degraded) {
+  for (auto& m : members_) m->end_outage(t, degraded);
+}
+
+void ServiceGroup::end_degraded(sim::SimTime t) {
+  for (auto& m : members_) m->end_degraded(t);
+}
+
+void ServiceGroup::finalize(sim::SimTime t_end) {
+  for (auto& m : members_) m->finalize(t_end);
+}
+
+bool ServiceGroup::is_up() const {
+  return members_.front()->is_up();
+}
+
+double ServiceGroup::mean_unavailability_percent() const {
+  double sum = 0.0;
+  for (const auto& m : members_) sum += m->availability().unavailability_percent();
+  return sum / static_cast<double>(members_.size());
+}
+
+}  // namespace spothost::workload

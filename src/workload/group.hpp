@@ -1,0 +1,50 @@
+// A packed group of nested VMs sharing one server (Sec. 4's multi-market
+// packing: "a multi-market strategy involves packing multiple nested VMs
+// onto a larger spot or on-demand server").
+//
+// The group presents the ServiceEndpoint surface to the scheduler: when the
+// shared server migrates or is revoked, every member goes down and comes
+// back together. Each member keeps its own availability books, so fleet
+// metrics and per-tenant SLO reporting still work.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "workload/endpoint.hpp"
+#include "workload/service.hpp"
+
+namespace spothost::workload {
+
+class ServiceGroup final : public ServiceEndpoint {
+ public:
+  /// `count` members named "<prefix>-0".."<prefix>-<count-1>", each a nested
+  /// VM of `member_spec`.
+  ServiceGroup(const std::string& prefix, int count, virt::VmSpec member_spec);
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(members_.size()); }
+  [[nodiscard]] const AlwaysOnService& member(int index) const;
+
+  /// Aggregate VM spec for migration planning: transfers of the members'
+  /// memory/disk happen back-to-back over the same stream, so the group
+  /// migrates like one VM of the summed size (working set and dirty rate sum
+  /// as well — every member keeps serving until suspension).
+  [[nodiscard]] virt::VmSpec aggregate_spec() const;
+
+  // --- ServiceEndpoint -------------------------------------------------
+  void go_live(sim::SimTime t0) override;
+  void begin_outage(sim::SimTime t, OutageCause cause) override;
+  void end_outage(sim::SimTime t, bool degraded) override;
+  void end_degraded(sim::SimTime t) override;
+  void finalize(sim::SimTime t_end) override;
+  [[nodiscard]] bool is_up() const override;
+
+  /// Mean unavailability across members (identical books in lockstep, but
+  /// exposed for symmetry with fleet reporting).
+  [[nodiscard]] double mean_unavailability_percent() const;
+
+ private:
+  std::vector<std::unique_ptr<AlwaysOnService>> members_;
+};
+
+}  // namespace spothost::workload

@@ -1,0 +1,48 @@
+#include "workload/iobench.hpp"
+
+#include <stdexcept>
+
+namespace spothost::workload {
+
+IoBench::IoBench(IoBenchBaselines baselines, virt::NestedVirtParams nested,
+                 double jitter_cv)
+    : baselines_(baselines), nested_(nested), jitter_cv_(jitter_cv) {
+  if (jitter_cv_ < 0) throw std::invalid_argument("IoBench: negative jitter");
+}
+
+double IoBench::run(IoBenchKind kind, HostKind host, sim::RngStream& rng) const {
+  double native = 0.0;
+  // Network paths through Xen-Blanket's NAT are effectively line-rate
+  // (Table 4 shows no measurable TX/RX loss); disk I/O pays the ~2 % tax.
+  bool penalized = false;
+  switch (kind) {
+    case IoBenchKind::kNetworkTx: native = baselines_.network_tx_mbps; break;
+    case IoBenchKind::kNetworkRx: native = baselines_.network_rx_mbps; break;
+    case IoBenchKind::kDiskRead:
+      native = baselines_.disk_read_mbps;
+      penalized = true;
+      break;
+    case IoBenchKind::kDiskWrite:
+      native = baselines_.disk_write_mbps;
+      penalized = true;
+      break;
+  }
+  double rate = native;
+  if (host == HostKind::kNestedVm && penalized) {
+    rate = virt::nested_io_throughput(native, nested_);
+  }
+  if (jitter_cv_ > 0) {
+    rate = rng.lognormal_mean_cv(rate, jitter_cv_);
+  }
+  return rate;
+}
+
+double IoBench::mean_of_runs(IoBenchKind kind, HostKind host, int runs,
+                             sim::RngStream& rng) const {
+  if (runs <= 0) throw std::invalid_argument("IoBench: runs must be > 0");
+  double sum = 0.0;
+  for (int i = 0; i < runs; ++i) sum += run(kind, host, rng);
+  return sum / runs;
+}
+
+}  // namespace spothost::workload

@@ -1,0 +1,42 @@
+// Simulated I/O microbenchmarks (Table 4): iperf network throughput and dd
+// disk throughput, run against a native Amazon VM or through the nested
+// (Xen-Blanket) stack. Baseline rates are the paper's measured values; the
+// nested path applies the NestedVirtParams I/O penalty, and a seeded jitter
+// reproduces run-to-run measurement noise.
+#pragma once
+
+#include "simcore/rng.hpp"
+#include "virt/nested.hpp"
+#include "workload/tpcw.hpp"  // HostKind
+
+namespace spothost::workload {
+
+enum class IoBenchKind { kNetworkTx, kNetworkRx, kDiskRead, kDiskWrite };
+
+struct IoBenchBaselines {
+  // Table 4 native-VM values, Mbps.
+  double network_tx_mbps = 304.0;
+  double network_rx_mbps = 316.0;
+  double disk_read_mbps = 304.6;
+  double disk_write_mbps = 280.4;
+};
+
+class IoBench {
+ public:
+  IoBench(IoBenchBaselines baselines, virt::NestedVirtParams nested,
+          double jitter_cv = 0.01);
+
+  /// One benchmark run; returns measured throughput in Mbps.
+  [[nodiscard]] double run(IoBenchKind kind, HostKind host, sim::RngStream& rng) const;
+
+  /// Mean over `runs` repetitions (what Table 4 reports).
+  [[nodiscard]] double mean_of_runs(IoBenchKind kind, HostKind host, int runs,
+                                    sim::RngStream& rng) const;
+
+ private:
+  IoBenchBaselines baselines_;
+  virt::NestedVirtParams nested_;
+  double jitter_cv_;
+};
+
+}  // namespace spothost::workload

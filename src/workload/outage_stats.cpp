@@ -1,0 +1,47 @@
+#include "workload/outage_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace spothost::workload {
+namespace {
+
+double nearest_rank(const std::vector<double>& sorted, double percentile) {
+  if (sorted.empty()) return 0.0;
+  const double rank = percentile / 100.0 * static_cast<double>(sorted.size());
+  const auto index = static_cast<std::size_t>(std::max(0.0, std::ceil(rank) - 1.0));
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+}  // namespace
+
+OutageStats compute_outage_stats(const AvailabilityTracker& tracker,
+                                 sim::SimTime horizon) {
+  OutageStats stats;
+  std::vector<double> durations;
+  durations.reserve(tracker.outages().size());
+  double total = 0.0;
+  for (const auto& outage : tracker.outages()) {
+    const double d = sim::to_seconds(outage.duration());
+    durations.push_back(d);
+    total += d;
+  }
+  stats.count = static_cast<int>(durations.size());
+  if (stats.count == 0) {
+    stats.mtbf_hours = std::numeric_limits<double>::infinity();
+    return stats;
+  }
+  std::sort(durations.begin(), durations.end());
+  stats.mean_s = total / stats.count;
+  stats.mttr_s = stats.mean_s;
+  stats.p50_s = nearest_rank(durations, 50.0);
+  stats.p95_s = nearest_rank(durations, 95.0);
+  stats.max_s = durations.back();
+  const double uptime_s = sim::to_seconds(horizon) - total;
+  stats.mtbf_hours = std::max(0.0, uptime_s) / 3600.0 / stats.count;
+  return stats;
+}
+
+}  // namespace spothost::workload

@@ -1,0 +1,27 @@
+// Reliability statistics over an availability history: MTTR/MTBF and outage
+// duration percentiles — the numbers an SRE reads off a month of hosting.
+#pragma once
+
+#include "workload/availability.hpp"
+
+namespace spothost::workload {
+
+struct OutageStats {
+  int count = 0;
+  double mean_s = 0.0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double max_s = 0.0;
+  /// Mean time to repair = mean outage duration.
+  double mttr_s = 0.0;
+  /// Mean time between failures = up-time / failure count (hours).
+  /// Infinity when there were no failures.
+  double mtbf_hours = 0.0;
+};
+
+/// Computes stats over a finalized tracker's outage history spanning
+/// `horizon` of tracked time. Percentiles use the nearest-rank method.
+OutageStats compute_outage_stats(const AvailabilityTracker& tracker,
+                                 sim::SimTime horizon);
+
+}  // namespace spothost::workload

@@ -1,0 +1,49 @@
+#include "workload/queueing.hpp"
+
+#include <stdexcept>
+
+namespace spothost::workload {
+
+MvaResult solve_closed_mva(std::span<const Station> stations, int customers,
+                           double think_time_s) {
+  if (customers < 0) throw std::invalid_argument("solve_closed_mva: customers < 0");
+  if (think_time_s < 0) throw std::invalid_argument("solve_closed_mva: negative Z");
+  for (const auto& s : stations) {
+    if (s.demand_s < 0) {
+      throw std::invalid_argument("solve_closed_mva: negative demand at " + s.name);
+    }
+  }
+
+  const std::size_t k = stations.size();
+  std::vector<double> queue(k, 0.0);
+  std::vector<double> residence(k, 0.0);
+  double throughput = 0.0;
+  double response = 0.0;
+
+  for (int n = 1; n <= customers; ++n) {
+    response = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      residence[i] = stations[i].delay_center
+                         ? stations[i].demand_s
+                         : stations[i].demand_s * (1.0 + queue[i]);
+      response += residence[i];
+    }
+    throughput = static_cast<double>(n) / (think_time_s + response);
+    for (std::size_t i = 0; i < k; ++i) {
+      queue[i] = throughput * residence[i];
+    }
+  }
+
+  MvaResult result;
+  result.response_time_s = response;
+  result.throughput_per_s = throughput;
+  result.queue_lengths = queue;
+  result.utilizations.resize(k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    result.utilizations[i] =
+        stations[i].delay_center ? 0.0 : throughput * stations[i].demand_s;
+  }
+  return result;
+}
+
+}  // namespace spothost::workload

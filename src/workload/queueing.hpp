@@ -1,0 +1,35 @@
+// Exact Mean Value Analysis for closed product-form queueing networks.
+//
+// Used to reproduce the TPC-W experiment (Fig. 12): N emulated browsers with
+// a think time circulate through CPU and I/O stations. MVA recurrence:
+//   R_i(n) = D_i * (1 + Q_i(n-1))        (queueing station)
+//   R_i(n) = D_i                          (delay station)
+//   X(n)   = n / (Z + sum_i R_i(n))
+//   Q_i(n) = X(n) * R_i(n)
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace spothost::workload {
+
+struct Station {
+  std::string name;
+  double demand_s = 0.0;      ///< total service demand per interaction
+  bool delay_center = false;  ///< no queueing (infinite servers)
+};
+
+struct MvaResult {
+  double response_time_s = 0.0;         ///< sum of station residence times
+  double throughput_per_s = 0.0;        ///< interactions per second
+  std::vector<double> queue_lengths;    ///< per station
+  std::vector<double> utilizations;     ///< per queueing station (X * D)
+};
+
+/// Solves the network for `customers` circulating jobs with `think_time_s`.
+/// Throws std::invalid_argument on customers < 0 or a negative demand.
+MvaResult solve_closed_mva(std::span<const Station> stations, int customers,
+                           double think_time_s);
+
+}  // namespace spothost::workload

@@ -1,0 +1,48 @@
+#include "workload/service.hpp"
+
+#include <stdexcept>
+
+namespace spothost::workload {
+
+AlwaysOnService::AlwaysOnService(std::string name, virt::VmSpec spec)
+    : name_(std::move(name)), vm_(spec) {}
+
+void AlwaysOnService::go_live(sim::SimTime t0) {
+  tracker_.start(t0);
+}
+
+void AlwaysOnService::begin_outage(sim::SimTime t, OutageCause cause) {
+  if (vm_.state() == virt::VmState::kDegraded) {
+    tracker_.mark_normal(t);  // the degraded window ends where the outage starts
+  }
+  tracker_.mark_down(t);
+  vm_.transition(virt::VmState::kDown, t);
+  ++cause_counts_[static_cast<std::size_t>(cause)];
+}
+
+void AlwaysOnService::end_outage(sim::SimTime t, bool degraded) {
+  tracker_.mark_up(t);
+  if (degraded) {
+    vm_.transition(virt::VmState::kDegraded, t);
+    tracker_.mark_degraded(t);
+  } else {
+    vm_.transition(virt::VmState::kRunning, t);
+  }
+}
+
+void AlwaysOnService::end_degraded(sim::SimTime t) {
+  if (vm_.state() == virt::VmState::kDegraded) {
+    vm_.transition(virt::VmState::kRunning, t);
+    tracker_.mark_normal(t);
+  }
+}
+
+void AlwaysOnService::finalize(sim::SimTime t_end) {
+  tracker_.finalize(t_end);
+}
+
+int AlwaysOnService::outage_count(OutageCause cause) const {
+  return cause_counts_[static_cast<std::size_t>(cause)];
+}
+
+}  // namespace spothost::workload

@@ -1,0 +1,55 @@
+// The always-on Internet service being hosted: a nested VM plus availability
+// accounting, with outages attributed to the migration class that caused
+// them. The scheduler drives this facade; examples and tests read it.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "simcore/time.hpp"
+#include "virt/mechanisms.hpp"
+#include "virt/vm.hpp"
+#include "workload/availability.hpp"
+#include "workload/endpoint.hpp"
+
+namespace spothost::workload {
+
+class AlwaysOnService final : public ServiceEndpoint {
+ public:
+  AlwaysOnService(std::string name, virt::VmSpec spec);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const virt::Vm& vm() const noexcept { return vm_; }
+  [[nodiscard]] const virt::VmSpec& spec() const noexcept { return vm_.spec(); }
+  [[nodiscard]] const AvailabilityTracker& availability() const noexcept {
+    return tracker_;
+  }
+
+  /// Starts serving at `t0` (the initial provisioning period is not counted
+  /// as an outage — the service "goes live" when first up).
+  void go_live(sim::SimTime t0) override;
+
+  /// Service-stopping outage begins (VM suspended or lost).
+  void begin_outage(sim::SimTime t, OutageCause cause) override;
+
+  /// Service resumes; if `degraded`, a lazy-restore degraded window follows
+  /// (the caller calls end_degraded when it elapses).
+  void end_outage(sim::SimTime t, bool degraded) override;
+
+  /// Ends a degraded window begun by end_outage(..., true).
+  void end_degraded(sim::SimTime t) override;
+
+  /// Closes accounting at the experiment horizon.
+  void finalize(sim::SimTime t_end) override;
+
+  [[nodiscard]] int outage_count(OutageCause cause) const;
+  [[nodiscard]] bool is_up() const override { return !tracker_.is_down(); }
+
+ private:
+  std::string name_;
+  virt::Vm vm_;
+  AvailabilityTracker tracker_;
+  std::array<int, 5> cause_counts_{};
+};
+
+}  // namespace spothost::workload

@@ -1,0 +1,53 @@
+#include "workload/tpcw.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace spothost::workload {
+
+TpcwModel::TpcwModel(TpcwConfig config) : config_(config) {
+  if (config_.think_time_s < 0 || config_.cpu_demand_s <= 0 ||
+      config_.io_demand_with_images_s <= 0 || config_.io_demand_no_images_s <= 0) {
+    throw std::invalid_argument("TpcwModel: demands must be positive");
+  }
+}
+
+MvaResult TpcwModel::solve(int browsers, TpcwScenario scenario, HostKind host) const {
+  const double io_demand = (scenario == TpcwScenario::kWithImages)
+                               ? config_.io_demand_with_images_s
+                               : config_.io_demand_no_images_s;
+  // I/O through the nested stack loses only the small Table 4 penalty.
+  const double io_eff = (host == HostKind::kNestedVm)
+                            ? io_demand / (1.0 - config_.nested.io_throughput_penalty)
+                            : io_demand;
+
+  double cpu_factor = 1.0;
+  MvaResult result;
+  for (int it = 0; it < config_.fixed_point_iterations; ++it) {
+    const double cpu_demand = config_.cpu_demand_s * cpu_factor;
+    const std::array<Station, 2> stations{
+        Station{"cpu", cpu_demand, false},
+        Station{"io", io_eff, false},
+    };
+    result = solve_closed_mva(stations, browsers, config_.think_time_s);
+    if (host != HostKind::kNestedVm) break;
+    const double cpu_util = result.utilizations[0];
+    const double next_factor = virt::nested_cpu_demand_factor(cpu_util, config_.nested);
+    if (std::abs(next_factor - cpu_factor) < 1e-9) break;
+    cpu_factor = next_factor;
+  }
+  return result;
+}
+
+double TpcwModel::response_time_ms(int browsers, TpcwScenario scenario,
+                                   HostKind host) const {
+  return solve(browsers, scenario, host).response_time_s * 1000.0;
+}
+
+double TpcwModel::throughput_per_s(int browsers, TpcwScenario scenario,
+                                   HostKind host) const {
+  return solve(browsers, scenario, host).throughput_per_s;
+}
+
+}  // namespace spothost::workload

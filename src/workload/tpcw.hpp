@@ -1,0 +1,57 @@
+// TPC-W response-time model (Sec. 6.2, Fig. 12).
+//
+// A multi-tiered e-commerce site is modelled as a closed queueing network:
+// N emulated browsers (EBs) with a think time circulate through a CPU
+// station and an I/O (disk+network) station. Two scenarios:
+//  * kWithImages ("browsers fetch images"): demand dominated by I/O, where
+//    the nested hypervisor is near-native — curves overlap (Fig. 12(a));
+//  * kNoImages (images served by a CDN): demand dominated by CPU, where the
+//    nested layer adds up to 50 % — curves diverge under load (Fig. 12(b)).
+// The nested CPU overhead is load-dependent, so the model iterates MVA and
+// the overhead factor to a fixed point.
+#pragma once
+
+#include "virt/nested.hpp"
+#include "workload/queueing.hpp"
+
+namespace spothost::workload {
+
+enum class TpcwScenario { kWithImages, kNoImages };
+
+enum class HostKind { kNativeVm, kNestedVm };
+
+struct TpcwConfig {
+  double think_time_s = 7.0;       ///< TPC-W standard think time
+  double cpu_demand_s = 0.022;     ///< per interaction, native
+  double io_demand_with_images_s = 0.060;
+  double io_demand_no_images_s = 0.006;
+  /// Nested overheads as seen by TPC-W. The CPU-demand inflation is
+  /// calibrated so the *response-time* overhead at 400 EBs lands near the
+  /// paper's measured "up to 50% worse" (closed-loop queueing amplifies a
+  /// demand inflation well beyond its raw percentage at saturation).
+  virt::NestedVirtParams nested{0.02, 0.18, 1.0};
+  int fixed_point_iterations = 12;
+};
+
+class TpcwModel {
+ public:
+  explicit TpcwModel(TpcwConfig config = {});
+
+  /// Mean response time (ms) for `browsers` EBs.
+  [[nodiscard]] double response_time_ms(int browsers, TpcwScenario scenario,
+                                        HostKind host) const;
+
+  /// Site throughput (interactions/s) for `browsers` EBs.
+  [[nodiscard]] double throughput_per_s(int browsers, TpcwScenario scenario,
+                                        HostKind host) const;
+
+  [[nodiscard]] const TpcwConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] MvaResult solve(int browsers, TpcwScenario scenario,
+                                HostKind host) const;
+
+  TpcwConfig config_;
+};
+
+}  // namespace spothost::workload

@@ -1,0 +1,62 @@
+#include "cloud/instance_types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spothost::cloud {
+namespace {
+
+TEST(InstanceTypes, CatalogMatchesPaperPricing) {
+  // "from 6 cents per hour for the small configuration" (Sec. 2.1).
+  EXPECT_DOUBLE_EQ(type_info(InstanceSize::kSmall).on_demand_price, 0.06);
+  // Each size doubles capacity and price.
+  EXPECT_DOUBLE_EQ(type_info(InstanceSize::kMedium).on_demand_price, 0.12);
+  EXPECT_DOUBLE_EQ(type_info(InstanceSize::kLarge).on_demand_price, 0.24);
+  EXPECT_DOUBLE_EQ(type_info(InstanceSize::kXLarge).on_demand_price, 0.48);
+}
+
+TEST(InstanceTypes, CapacityUnitsDouble) {
+  EXPECT_EQ(type_info(InstanceSize::kSmall).capacity_units, 1);
+  EXPECT_EQ(type_info(InstanceSize::kMedium).capacity_units, 2);
+  EXPECT_EQ(type_info(InstanceSize::kLarge).capacity_units, 4);
+  EXPECT_EQ(type_info(InstanceSize::kXLarge).capacity_units, 8);
+}
+
+TEST(InstanceTypes, MemoryGrowsWithSize) {
+  double prev = 0.0;
+  for (const auto size : kAllSizes) {
+    EXPECT_GT(type_info(size).memory_gb, prev);
+    prev = type_info(size).memory_gb;
+  }
+}
+
+TEST(InstanceTypes, NamesRoundTrip) {
+  for (const auto size : kAllSizes) {
+    EXPECT_EQ(size_from_string(to_string(size)), size);
+  }
+}
+
+TEST(InstanceTypes, UnknownNameThrows) {
+  EXPECT_THROW(size_from_string("tiny"), std::invalid_argument);
+  EXPECT_THROW(size_from_string(""), std::invalid_argument);
+}
+
+TEST(InstanceTypes, RegionalMultipliers) {
+  EXPECT_DOUBLE_EQ(region_price_multiplier("us-east-1a"), 1.0);
+  EXPECT_DOUBLE_EQ(region_price_multiplier("us-east-1b"), 1.0);
+  EXPECT_GT(region_price_multiplier("us-west-1a"), 1.0);
+  EXPECT_GT(region_price_multiplier("eu-west-1a"),
+            region_price_multiplier("us-west-1a"));
+}
+
+TEST(InstanceTypes, OnDemandPriceComposesSizeAndRegion) {
+  EXPECT_DOUBLE_EQ(on_demand_price(InstanceSize::kSmall, "us-east-1a"), 0.06);
+  EXPECT_NEAR(on_demand_price(InstanceSize::kLarge, "eu-west-1a"), 0.24 * 1.15,
+              1e-12);
+}
+
+TEST(InstanceTypes, UnknownRegionDefaultsToReference) {
+  EXPECT_DOUBLE_EQ(region_price_multiplier("ap-south-1a"), 1.0);
+}
+
+}  // namespace
+}  // namespace spothost::cloud

@@ -1,0 +1,88 @@
+#include "metrics/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace spothost::metrics {
+namespace {
+
+using cloud::InstanceSize;
+using sim::kDay;
+
+sched::Scenario small_scenario() {
+  sched::Scenario s;
+  s.horizon = 5 * kDay;
+  s.regions = {"us-east-1a"};
+  s.sizes = {InstanceSize::kSmall};
+  return s;
+}
+
+TEST(Aggregate, OfComputesMoments) {
+  const std::array<double, 4> xs{1.0, 2.0, 3.0, 4.0};
+  const auto a = Aggregate::of(xs);
+  EXPECT_DOUBLE_EQ(a.mean, 2.5);
+  EXPECT_DOUBLE_EQ(a.min, 1.0);
+  EXPECT_DOUBLE_EQ(a.max, 4.0);
+  EXPECT_NEAR(a.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(Aggregate, EmptyIsZero) {
+  const std::vector<double> none;
+  const auto a = Aggregate::of(none);
+  EXPECT_DOUBLE_EQ(a.mean, 0.0);
+  EXPECT_DOUBLE_EQ(a.stddev, 0.0);
+}
+
+TEST(ExperimentRunner, RejectsZeroRuns) {
+  EXPECT_THROW(ExperimentRunner(0), std::invalid_argument);
+}
+
+TEST(ExperimentRunner, RunsProduceAggregates) {
+  const ExperimentRunner runner(3, 500, /*parallel=*/true);
+  const auto cfg = sched::proactive_config(
+      {"us-east-1a", InstanceSize::kSmall});
+  const auto agg = runner.run(small_scenario(), cfg);
+  EXPECT_EQ(agg.runs, 3);
+  EXPECT_EQ(agg.per_run.size(), 3u);
+  EXPECT_GT(agg.normalized_cost_pct.mean, 5.0);
+  EXPECT_LT(agg.normalized_cost_pct.mean, 70.0);
+  EXPECT_GE(agg.unavailability_pct.mean, 0.0);
+}
+
+TEST(ExperimentRunner, ParallelMatchesSerial) {
+  const auto cfg = sched::proactive_config(
+      {"us-east-1a", InstanceSize::kSmall});
+  const auto par = ExperimentRunner(3, 500, true).run(small_scenario(), cfg);
+  const auto ser = ExperimentRunner(3, 500, false).run(small_scenario(), cfg);
+  EXPECT_DOUBLE_EQ(par.normalized_cost_pct.mean, ser.normalized_cost_pct.mean);
+  EXPECT_DOUBLE_EQ(par.unavailability_pct.mean, ser.unavailability_pct.mean);
+  EXPECT_DOUBLE_EQ(par.forced_per_hour.mean, ser.forced_per_hour.mean);
+}
+
+TEST(ExperimentRunner, RunWithCustomBody) {
+  const ExperimentRunner runner(4, 1, false);
+  int calls = 0;
+  const auto agg = runner.run_with([&](std::uint64_t seed) {
+    ++calls;
+    RunMetrics m;
+    m.normalized_cost_pct = static_cast<double>(seed % 10);
+    return m;
+  });
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(agg.per_run.size(), 4u);
+}
+
+TEST(RunHostingScenario, PureSpotHasWorseAvailabilityThanProactive) {
+  // The Fig. 11 headline, as a property over a few seeds.
+  const auto scenario = small_scenario();
+  const ExperimentRunner runner(3, 42);
+  const auto pro = runner.run(scenario, sched::proactive_config(
+                                            {"us-east-1a", InstanceSize::kSmall}));
+  const auto spot = runner.run(scenario, sched::pure_spot_config(
+                                             {"us-east-1a", InstanceSize::kSmall}));
+  EXPECT_GT(spot.unavailability_pct.mean, pro.unavailability_pct.mean);
+}
+
+}  // namespace
+}  // namespace spothost::metrics

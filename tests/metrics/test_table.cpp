@@ -1,0 +1,58 @@
+#include "metrics/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace spothost::metrics {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"market", "cost"});
+  t.add_row({"us-east-1a/small", "17.2"});
+  t.add_row({"eu", "33.0"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("| market"), std::string::npos);
+  EXPECT_NE(s.find("us-east-1a/small"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("|---"), std::string::npos);
+  // Four lines: header, rule, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, EmptyHeadersRejected) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 4), "3.1416");
+  EXPECT_EQ(fmt(42.0, 0), "42");
+}
+
+TEST(Fmt, PlusMinus) {
+  EXPECT_EQ(fmt_pm(10.0, 0.5, 1), "10.0 +- 0.5");
+}
+
+TEST(Banner, ContainsTitle) {
+  std::ostringstream out;
+  print_banner(out, "Figure 6");
+  EXPECT_EQ(out.str(), "\n== Figure 6 ==\n\n");
+}
+
+}  // namespace
+}  // namespace spothost::metrics

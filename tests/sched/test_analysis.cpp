@@ -1,0 +1,131 @@
+#include "sched/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/experiment.hpp"
+#include "sched/baselines.hpp"
+#include "sched/config.hpp"
+
+namespace spothost::sched {
+namespace {
+
+using sim::kDay;
+using sim::kHour;
+using sim::kMinute;
+
+constexpr double kPon = 0.06;
+constexpr double kBid = 0.24;
+
+trace::PriceTrace step_trace() {
+  // Calm at 0.02 with two excursions: one planned-grade (0.10 for 2 h), one
+  // forced-grade (0.50 for 1 h).
+  trace::PriceTrace t;
+  t.append(0, 0.02);
+  t.append(10 * kHour, 0.10);
+  t.append(12 * kHour, 0.02);
+  t.append(30 * kHour, 0.50);
+  t.append(31 * kHour, 0.02);
+  t.set_end(48 * kHour);
+  return t;
+}
+
+TEST(AnalyzeTrace, CountsExcursionsByClass) {
+  const auto a = analyze_trace(step_trace(), kPon, kBid);
+  EXPECT_EQ(a.excursions_above_pon, 2);
+  EXPECT_EQ(a.excursions_above_bid, 1);
+  EXPECT_EQ(a.time_above_pon, 3 * kHour);
+  EXPECT_EQ(a.longest_excursion, 2 * kHour);
+}
+
+TEST(AnalyzeTrace, BelowPonStatistics) {
+  const auto a = analyze_trace(step_trace(), kPon, kBid);
+  EXPECT_NEAR(a.fraction_below_pon, 45.0 / 48.0, 1e-12);
+  EXPECT_NEAR(a.mean_price_when_below, 0.02, 1e-12);
+}
+
+TEST(AnalyzeTrace, ExcursionOpenAtTraceEndStillCounted) {
+  trace::PriceTrace t;
+  t.append(0, 0.02);
+  t.append(10 * kHour, 0.50);
+  t.set_end(12 * kHour);
+  const auto a = analyze_trace(t, kPon, kBid);
+  EXPECT_EQ(a.excursions_above_pon, 1);
+  EXPECT_EQ(a.excursions_above_bid, 1);
+  EXPECT_EQ(a.longest_excursion, 2 * kHour);
+}
+
+TEST(AnalyzeTrace, CalmTraceHasNoExcursions) {
+  trace::PriceTrace t;
+  t.append(0, 0.02);
+  t.set_end(kDay);
+  const auto a = analyze_trace(t, kPon, kBid);
+  EXPECT_EQ(a.excursions_above_pon, 0);
+  EXPECT_DOUBLE_EQ(a.fraction_below_pon, 1.0);
+}
+
+TEST(AnalyzeTrace, RejectsBadInput) {
+  trace::PriceTrace t;
+  EXPECT_THROW(analyze_trace(t, kPon, kBid), std::invalid_argument);
+  EXPECT_THROW(analyze_trace(step_trace(), 0.0, kBid), std::invalid_argument);
+  EXPECT_THROW(analyze_trace(step_trace(), kPon, kPon / 2), std::invalid_argument);
+}
+
+TEST(EstimateHosting, StepTraceEstimateIsExactArithmetic) {
+  const auto e = estimate_hosting(step_trace(), kPon);
+  // Cost: 45h * 0.02 + 3h * 0.06 + 2 excursions * 0.5h * 0.06 = 1.14.
+  EXPECT_NEAR(e.normalized_cost_pct, 100.0 * 1.14 / (48 * 0.06), 1e-9);
+  EXPECT_NEAR(e.forced_per_hour, 1.0 / 48.0, 1e-12);
+  EXPECT_NEAR(e.planned_reverse_per_hour, 3.0 / 48.0, 1e-12);
+  EXPECT_GT(e.unavailability_pct, 0.0);
+}
+
+TEST(EstimateHosting, LazyCombosEstimateLessUnavailability) {
+  EstimateParams lazy;
+  lazy.combo = virt::MechanismCombo::kCkptLazyLive;
+  EstimateParams full;
+  full.combo = virt::MechanismCombo::kCkpt;
+  EXPECT_LT(estimate_hosting(step_trace(), kPon, lazy).unavailability_pct,
+            estimate_hosting(step_trace(), kPon, full).unavailability_pct);
+}
+
+TEST(EstimateHosting, AgreesWithSimulationOnSyntheticMarkets) {
+  // Independent cross-check: closed-form estimate vs the full simulator on
+  // the same generated market, averaged over seeds. Factors of ~2 are fine —
+  // the estimate ignores allocation latencies, billing-hour alignment, and
+  // spike cancellation.
+  double est_cost = 0.0, sim_cost = 0.0, est_unavail = 0.0, sim_unavail = 0.0;
+  const int seeds = 5;
+  for (int i = 0; i < seeds; ++i) {
+    Scenario scenario;
+    scenario.seed = 900u + static_cast<std::uint64_t>(i);
+    scenario.horizon = 30 * kDay;
+    scenario.regions = {"us-east-1a"};
+    scenario.sizes = {cloud::InstanceSize::kSmall};
+
+    World world(scenario);
+    const auto& price_trace =
+        world.provider()
+            .market({"us-east-1a", cloud::InstanceSize::kSmall})
+            .price_trace();
+    const auto est = estimate_hosting(price_trace, 0.06);
+    est_cost += est.normalized_cost_pct;
+    est_unavail += est.unavailability_pct;
+
+    const auto run = metrics::run_hosting_scenario(
+        scenario,
+        proactive_config({"us-east-1a", cloud::InstanceSize::kSmall}));
+    sim_cost += run.normalized_cost_pct;
+    sim_unavail += run.unavailability_pct;
+  }
+  est_cost /= seeds;
+  sim_cost /= seeds;
+  est_unavail /= seeds;
+  sim_unavail /= seeds;
+
+  EXPECT_NEAR(est_cost, sim_cost, 0.35 * sim_cost);
+  EXPECT_GT(est_unavail, sim_unavail / 4.0);
+  EXPECT_LT(est_unavail, sim_unavail * 4.0);
+}
+
+}  // namespace
+}  // namespace spothost::sched

@@ -1,0 +1,51 @@
+#include "sched/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spothost::sched {
+namespace {
+
+using cloud::InstanceSize;
+using cloud::MarketId;
+using sim::kDay;
+using sim::kHour;
+
+const MarketId kHome{"us-east-1a", InstanceSize::kSmall};
+
+TEST(Baselines, OnDemandOnlyCostIsPriceTimesHours) {
+  sim::Simulation sim;
+  sim::RngFactory rng(1);
+  cloud::CloudProvider provider(sim, rng);
+  trace::PriceTrace t;
+  t.append(0, 0.01);
+  t.set_end(30 * kDay);
+  provider.add_market(kHome, std::move(t), 0.06);
+  provider.start();
+  EXPECT_DOUBLE_EQ(on_demand_only_cost(provider, kHome, 30 * kDay),
+                   0.06 * 24 * 30);
+  EXPECT_DOUBLE_EQ(on_demand_only_cost(provider, kHome, kHour + 1), 0.06 * 2);
+}
+
+TEST(Baselines, ReactivePreset) {
+  const auto cfg = reactive_config(kHome);
+  EXPECT_EQ(cfg.bid.mode, BiddingMode::kReactive);
+  EXPECT_EQ(cfg.scope, MarketScope::kSingleMarket);
+  EXPECT_TRUE(cfg.allow_on_demand);
+  EXPECT_EQ(cfg.home_market, kHome);
+}
+
+TEST(Baselines, ProactivePreset) {
+  const auto cfg = proactive_config(kHome);
+  EXPECT_EQ(cfg.bid.mode, BiddingMode::kProactive);
+  EXPECT_DOUBLE_EQ(cfg.bid.proactive_multiple, 4.0);
+  EXPECT_TRUE(cfg.allow_on_demand);
+}
+
+TEST(Baselines, PureSpotPreset) {
+  const auto cfg = pure_spot_config(kHome);
+  EXPECT_FALSE(cfg.allow_on_demand);
+  EXPECT_EQ(cfg.bid.mode, BiddingMode::kReactive);  // bid = p_on
+}
+
+}  // namespace
+}  // namespace spothost::sched

@@ -1,0 +1,154 @@
+#include "sched/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/baselines.hpp"
+#include "sched/config.hpp"
+
+namespace spothost::sched {
+namespace {
+
+using cloud::InstanceSize;
+using cloud::MarketId;
+using sim::kDay;
+using sim::kHour;
+using workload::OutageRecord;
+
+TEST(OutageOverlap, EmptyFleetNeverDown) {
+  const auto overlap = compute_outage_overlap({}, kDay);
+  EXPECT_EQ(overlap.any_down, 0);
+  EXPECT_EQ(overlap.max_concurrent, 0);
+}
+
+TEST(OutageOverlap, DisjointOutagesAdd) {
+  std::vector<std::vector<OutageRecord>> per_service{
+      {{kHour, 2 * kHour}},
+      {{3 * kHour, 4 * kHour}},
+  };
+  const auto overlap = compute_outage_overlap(per_service, kDay);
+  EXPECT_EQ(overlap.any_down, 2 * kHour);
+  EXPECT_EQ(overlap.max_concurrent, 1);
+}
+
+TEST(OutageOverlap, OverlappingOutagesCountOnceForAnyDown) {
+  std::vector<std::vector<OutageRecord>> per_service{
+      {{kHour, 3 * kHour}},
+      {{2 * kHour, 4 * kHour}},
+      {{2 * kHour + 30 * sim::kMinute, 3 * kHour}},
+  };
+  const auto overlap = compute_outage_overlap(per_service, kDay);
+  EXPECT_EQ(overlap.any_down, 3 * kHour);  // union [1h, 4h)
+  EXPECT_EQ(overlap.max_concurrent, 3);
+}
+
+TEST(OutageOverlap, ClampsToHorizon) {
+  std::vector<std::vector<OutageRecord>> per_service{{{kHour, 30 * kDay}}};
+  const auto overlap = compute_outage_overlap(per_service, 2 * kHour);
+  EXPECT_EQ(overlap.any_down, kHour);
+}
+
+class FleetTest : public ::testing::Test {
+ protected:
+  static Scenario scenario() {
+    Scenario s;
+    s.seed = 5;
+    s.horizon = 10 * kDay;
+    s.regions = {"us-east-1a"};
+    return s;
+  }
+};
+
+TEST_F(FleetTest, RejectsEmptyFleet) {
+  World world(scenario());
+  FleetConfig cfg;
+  cfg.num_services = 0;
+  EXPECT_THROW(FleetScheduler(world.simulation(), world.provider(), cfg,
+                              world.rng()),
+               std::invalid_argument);
+}
+
+TEST_F(FleetTest, HostsWholeFleetThroughTheMonth) {
+  World world(scenario());
+  FleetConfig cfg;
+  cfg.num_services = 4;
+  cfg.service_template =
+      proactive_config({"us-east-1a", InstanceSize::kSmall});
+  FleetScheduler fleet(world.simulation(), world.provider(), cfg, world.rng());
+  fleet.start();
+  world.simulation().run_until(world.horizon());
+  world.provider().finalize(world.horizon());
+  fleet.finalize(world.horizon());
+
+  const auto m = fleet.metrics(world.horizon());
+  EXPECT_EQ(m.services, 4);
+  EXPECT_GT(m.total_cost, 0.0);
+  EXPECT_GT(m.normalized_cost_pct, 5.0);
+  EXPECT_LT(m.normalized_cost_pct, 60.0);
+  EXPECT_LT(m.mean_unavailability_pct, 0.1);
+  EXPECT_GE(m.worst_unavailability_pct, m.mean_unavailability_pct);
+}
+
+TEST_F(FleetTest, SameMarketFleetSharesRevocations) {
+  // All services in one market: a spike revokes everyone at once, so the
+  // peak concurrent-down count should reach the fleet size at least once
+  // over a long horizon (statistically robust with this seed).
+  Scenario s = scenario();
+  s.horizon = 30 * kDay;
+  World world(s);
+  FleetConfig cfg;
+  cfg.num_services = 3;
+  cfg.service_template = reactive_config({"us-east-1a", InstanceSize::kSmall});
+  FleetScheduler fleet(world.simulation(), world.provider(), cfg, world.rng());
+  fleet.start();
+  world.simulation().run_until(world.horizon());
+  world.provider().finalize(world.horizon());
+  fleet.finalize(world.horizon());
+
+  const auto m = fleet.metrics(world.horizon());
+  EXPECT_GE(m.max_concurrent_down, 2);
+  // Union downtime cannot exceed the sum of per-service downtimes.
+  EXPECT_LE(m.any_down_pct, m.mean_unavailability_pct * m.services + 1e-9);
+}
+
+TEST_F(FleetTest, SpreadingHomesReducesCorrelatedOutages) {
+  // Spreading the fleet across the two us-east zones should lower the peak
+  // simultaneous-down count versus concentrating it in one market.
+  Scenario s = scenario();
+  s.horizon = 30 * kDay;
+  s.regions = {"us-east-1a", "us-east-1b"};
+
+  auto run_fleet = [&](std::vector<MarketId> homes) {
+    World world(s);
+    FleetConfig cfg;
+    cfg.num_services = 4;
+    cfg.service_template = reactive_config({"us-east-1a", InstanceSize::kSmall});
+    cfg.home_markets = std::move(homes);
+    FleetScheduler fleet(world.simulation(), world.provider(), cfg, world.rng());
+    fleet.start();
+    world.simulation().run_until(world.horizon());
+    world.provider().finalize(world.horizon());
+    fleet.finalize(world.horizon());
+    return fleet.metrics(world.horizon());
+  };
+
+  const auto concentrated =
+      run_fleet({MarketId{"us-east-1a", InstanceSize::kSmall}});
+  const auto spread = run_fleet({MarketId{"us-east-1a", InstanceSize::kSmall},
+                                 MarketId{"us-east-1b", InstanceSize::kSmall}});
+  EXPECT_LE(spread.max_concurrent_down, concentrated.max_concurrent_down);
+}
+
+TEST_F(FleetTest, AccessorsExposeUnits) {
+  World world(scenario());
+  FleetConfig cfg;
+  cfg.num_services = 2;
+  cfg.service_template = proactive_config({"us-east-1a", InstanceSize::kSmall});
+  FleetScheduler fleet(world.simulation(), world.provider(), cfg, world.rng());
+  EXPECT_EQ(fleet.size(), 2);
+  EXPECT_EQ(fleet.service(0).name(), "svc-0");
+  EXPECT_EQ(fleet.service(1).name(), "svc-1");
+  EXPECT_THROW(fleet.service(2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace spothost::sched

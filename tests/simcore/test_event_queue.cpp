@@ -1,0 +1,120 @@
+#include "simcore/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace spothost::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(300, [&] { fired.push_back(3); });
+  q.schedule(100, [&] { fired.push_back(1); });
+  q.schedule(200, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimestampsFireFifo) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(500, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().callback();
+  ASSERT_EQ(fired.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(100, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(100, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueue, CancelledEventSkippedOnPop) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(100, [&] { fired.push_back(1); });
+  const EventId mid = q.schedule(200, [&] { fired.push_back(2); });
+  q.schedule(300, [&] { fired.push_back(3); });
+  q.cancel(mid);
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelledHead) {
+  EventQueue q;
+  const EventId head = q.schedule(100, [] {});
+  q.schedule(200, [] {});
+  q.cancel(head);
+  EXPECT_EQ(q.next_time(), 200);
+}
+
+TEST(EventQueue, PopReturnsTimeAndId) {
+  EventQueue q;
+  const EventId id = q.schedule(42, [] {});
+  const auto fired = q.pop();
+  EXPECT_EQ(fired.time, 42);
+  EXPECT_EQ(fired.id, id);
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, IdsAreUniqueAndNonZero) {
+  EventQueue q;
+  const EventId a = q.schedule(1, [] {});
+  const EventId b = q.schedule(1, [] {});
+  EXPECT_NE(a, kInvalidEventId);
+  EXPECT_NE(b, kInvalidEventId);
+  EXPECT_NE(a, b);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue q;
+  // Deterministic pseudo-random times; verify global ordering on pop.
+  std::uint64_t state = 99;
+  for (int i = 0; i < 5000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    q.schedule(static_cast<SimTime>(state % 100000), [] {});
+  }
+  SimTime last = -1;
+  while (!q.empty()) {
+    const auto fired = q.pop();
+    EXPECT_GE(fired.time, last);
+    last = fired.time;
+  }
+}
+
+}  // namespace
+}  // namespace spothost::sim

@@ -1,0 +1,72 @@
+#include "simcore/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace spothost::sim {
+namespace {
+
+struct SinkCapture {
+  std::vector<std::pair<LogLevel, std::string>> records;
+};
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = Logger::global().level();
+    Logger::global().set_sink([this](LogLevel level, const std::string& msg) {
+      capture_.records.emplace_back(level, msg);
+    });
+  }
+  void TearDown() override {
+    Logger::global().set_level(saved_level_);
+    Logger::global().set_sink(nullptr);
+  }
+  SinkCapture capture_;
+  LogLevel saved_level_ = LogLevel::kWarn;
+};
+
+TEST_F(LoggingTest, RespectsLevelThreshold) {
+  Logger::global().set_level(LogLevel::kWarn);
+  Logger::global().log(LogLevel::kInfo, 0, "hidden");
+  Logger::global().log(LogLevel::kWarn, 0, "shown");
+  ASSERT_EQ(capture_.records.size(), 1u);
+  EXPECT_EQ(capture_.records[0].first, LogLevel::kWarn);
+}
+
+TEST_F(LoggingTest, MessageCarriesTimestampPrefix) {
+  Logger::global().set_level(LogLevel::kDebug);
+  Logger::global().log(LogLevel::kError, 2 * kHour, "boom");
+  ASSERT_EQ(capture_.records.size(), 1u);
+  EXPECT_NE(capture_.records[0].second.find("0d02:00:00.000"), std::string::npos);
+  EXPECT_NE(capture_.records[0].second.find("boom"), std::string::npos);
+}
+
+TEST_F(LoggingTest, MacroSkipsFormattingWhenDisabled) {
+  Logger::global().set_level(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "x";
+  };
+  SPOTHOST_LOG(LogLevel::kError, 0, expensive());
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_TRUE(capture_.records.empty());
+}
+
+TEST_F(LoggingTest, MacroEmitsWhenEnabled) {
+  Logger::global().set_level(LogLevel::kDebug);
+  SPOTHOST_LOG(LogLevel::kInfo, kSecond, "value=" << 42);
+  ASSERT_EQ(capture_.records.size(), 1u);
+  EXPECT_NE(capture_.records[0].second.find("value=42"), std::string::npos);
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(to_string(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace spothost::sim

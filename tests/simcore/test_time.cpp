@@ -1,0 +1,71 @@
+#include "simcore/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spothost::sim {
+namespace {
+
+TEST(Time, UnitConstantsCompose) {
+  EXPECT_EQ(kSecond, 1000);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 60 * kMinute);
+  EXPECT_EQ(kDay, 24 * kHour);
+}
+
+TEST(Time, ToSecondsRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_seconds(1500), 1.5);
+  EXPECT_EQ(from_seconds(1.5), 1500);
+  EXPECT_EQ(from_seconds(to_seconds(123456789)), 123456789);
+}
+
+TEST(Time, FromSecondsRoundsToNearestMillisecond) {
+  EXPECT_EQ(from_seconds(0.0004), 0);
+  EXPECT_EQ(from_seconds(0.0006), 1);
+  EXPECT_EQ(from_seconds(-0.0006), -1);
+}
+
+TEST(Time, ToHours) {
+  EXPECT_DOUBLE_EQ(to_hours(kDay), 24.0);
+  EXPECT_DOUBLE_EQ(to_hours(kHour / 2), 0.5);
+}
+
+TEST(Time, FromHours) {
+  EXPECT_EQ(from_hours(1.0), kHour);
+  EXPECT_EQ(from_hours(0.5), 30 * kMinute);
+}
+
+TEST(Time, HourFloorAlignsDown) {
+  EXPECT_EQ(hour_floor(0), 0);
+  EXPECT_EQ(hour_floor(kHour - 1), 0);
+  EXPECT_EQ(hour_floor(kHour), kHour);
+  EXPECT_EQ(hour_floor(kHour + 1), kHour);
+  EXPECT_EQ(hour_floor(5 * kHour + 30 * kMinute), 5 * kHour);
+}
+
+TEST(Time, NextHourBoundaryIsStrictlyAfter) {
+  EXPECT_EQ(next_hour_boundary(0), kHour);
+  EXPECT_EQ(next_hour_boundary(kHour - 1), kHour);
+  EXPECT_EQ(next_hour_boundary(kHour), 2 * kHour);
+}
+
+TEST(Time, FormatTimeRendersComponents) {
+  EXPECT_EQ(format_time(0), "0d00:00:00.000");
+  EXPECT_EQ(format_time(kDay + 2 * kHour + 3 * kMinute + 4 * kSecond + 5),
+            "1d02:03:04.005");
+  EXPECT_EQ(format_time(-kSecond), "-0d00:00:01.000");
+}
+
+class TimeConversionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TimeConversionSweep, SecondsRoundTripWithinHalfMillisecond) {
+  const double s = GetParam();
+  const SimTime t = from_seconds(s);
+  EXPECT_NEAR(to_seconds(t), s, 0.0005);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TimeConversionSweep,
+                         ::testing::Values(0.0, 0.001, 0.42, 1.0, 59.999, 3600.0,
+                                           86400.0, 123456.789));
+
+}  // namespace
+}  // namespace spothost::sim

@@ -1,0 +1,113 @@
+#include "trace/auction_market.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simcore/rng.hpp"
+#include "trace/features.hpp"
+
+namespace spothost::trace {
+namespace {
+
+using sim::kDay;
+
+constexpr double kPon = 0.24;
+constexpr sim::SimTime kMonth = 30 * kDay;
+
+PriceTrace make(std::uint64_t seed,
+                AuctionMarketParams params = AuctionMarketParams{}) {
+  sim::RngFactory f(seed);
+  auto rng = f.stream("auction");
+  return generate_auction_market(params, kPon, kMonth, rng);
+}
+
+TEST(AuctionMarket, CoversHorizonWithPositivePrices) {
+  const auto t = make(1);
+  EXPECT_EQ(t.start(), 0);
+  EXPECT_EQ(t.end(), kMonth);
+  for (const auto& p : t.points()) EXPECT_GT(p.price, 0.0);
+}
+
+TEST(AuctionMarket, PriceBoundedByFloorAndCap) {
+  const AuctionMarketParams params;
+  const auto t = make(2, params);
+  EXPECT_GE(t.min_price(0, kMonth), params.floor_multiple * kPon - 1e-12);
+  EXPECT_LE(t.max_price(0, kMonth), params.price_cap_multiple * kPon + 1e-12);
+}
+
+TEST(AuctionMarket, SlackCapacityPinsPriceAtFloor) {
+  AuctionMarketParams params;
+  params.capacity_units = 100000.0;  // effectively infinite pool
+  const auto t = make(3, params);
+  EXPECT_NEAR(t.max_price(0, kMonth), params.floor_multiple * kPon, 1e-9);
+}
+
+TEST(AuctionMarket, ScarcityRaisesPrices) {
+  AuctionMarketParams roomy;
+  roomy.capacity_units = 400.0;
+  AuctionMarketParams tight = roomy;
+  tight.capacity_units = 60.0;
+  const auto cheap = make(4, roomy);
+  const auto pricey = make(4, tight);
+  EXPECT_GT(pricey.time_average(0, kMonth), cheap.time_average(0, kMonth));
+}
+
+TEST(AuctionMarket, MostlyUndercutsOnDemandAtDefaults) {
+  const auto t = make(5);
+  EXPECT_GT(t.fraction_below(kPon, 0, kMonth), 0.7);
+  EXPECT_LT(t.time_average(0, kMonth), kPon);
+}
+
+TEST(AuctionMarket, ProducesExcursionsAboveOnDemand) {
+  // Availability buyers bidding over p_on push the clearing price past it
+  // when capacity tightens — the dynamics the hosting scheduler lives on.
+  AuctionMarketParams tight;
+  tight.capacity_units = 70.0;  // scarcer pool than the calm defaults
+  const auto t = make(6, tight);
+  const auto features = extract_features(t, kPon);
+  EXPECT_GT(features.excursions_above_reference, 0);
+  EXPECT_GT(features.max_over_reference, 1.0);
+}
+
+TEST(AuctionMarket, DeterministicPerSeed) {
+  const auto a = make(7);
+  const auto b = make(7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.points()[i].time, b.points()[i].time);
+    EXPECT_DOUBLE_EQ(a.points()[i].price, b.points()[i].price);
+  }
+}
+
+TEST(AuctionMarket, RejectsBadArguments) {
+  sim::RngFactory f(1);
+  auto rng = f.stream("x");
+  AuctionMarketParams params;
+  EXPECT_THROW(generate_auction_market(params, 0.0, kMonth, rng),
+               std::invalid_argument);
+  EXPECT_THROW(generate_auction_market(params, kPon, 0, rng),
+               std::invalid_argument);
+  params.capacity_units = 0.0;
+  EXPECT_THROW(generate_auction_market(params, kPon, kMonth, rng),
+               std::invalid_argument);
+}
+
+TEST(AuctionMarket, DiurnalOnDemandLoadShapesPrices) {
+  // Average price during the on-demand peak hours should exceed the trough
+  // (capacity is scarcer when the on-demand side is busy).
+  AuctionMarketParams params;
+  params.od_load_min_fraction = 0.05;
+  params.od_load_max_fraction = 0.75;
+  const auto t = make(8, params);
+  double peak = 0.0, trough = 0.0;
+  int days = 0;
+  for (sim::SimTime day = 0; day + kDay <= kMonth; day += kDay) {
+    peak += t.time_average(day + sim::from_hours(18.0), day + sim::from_hours(21.0));
+    trough +=
+        t.time_average(day + sim::from_hours(6.0), day + sim::from_hours(9.0));
+    ++days;
+  }
+  EXPECT_GT(peak / days, trough / days);
+}
+
+}  // namespace
+}  // namespace spothost::trace

@@ -1,0 +1,121 @@
+#include "trace/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace spothost::trace {
+namespace {
+
+PriceTrace make_trace() {
+  PriceTrace t;
+  t.append(0, 0.061);
+  t.append(120000, 0.125);
+  t.append(240000, 0.0375);
+  t.set_end(500000);
+  return t;
+}
+
+TEST(Csv, RoundTripPreservesEverything) {
+  const auto original = make_trace();
+  std::stringstream ss;
+  save_csv(original, ss);
+  const auto loaded = load_csv(ss);
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.end(), original.end());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.points()[i].time, original.points()[i].time);
+    EXPECT_DOUBLE_EQ(loaded.points()[i].price, original.points()[i].price);
+  }
+}
+
+TEST(Csv, OutputFormatIsStable) {
+  PriceTrace t;
+  t.append(0, 0.5);
+  t.set_end(1000);
+  std::stringstream ss;
+  save_csv(t, ss);
+  EXPECT_EQ(ss.str(), "time_ms,price_per_hour\n0,0.5\nend,1000\n");
+}
+
+TEST(Csv, RejectsMissingHeader) {
+  std::stringstream ss("0,0.5\n");
+  EXPECT_THROW(load_csv(ss), std::runtime_error);
+}
+
+TEST(Csv, RejectsEmptyInput) {
+  std::stringstream ss("");
+  EXPECT_THROW(load_csv(ss), std::runtime_error);
+}
+
+TEST(Csv, RejectsMissingComma) {
+  std::stringstream ss("time_ms,price_per_hour\n1234\n");
+  EXPECT_THROW(load_csv(ss), std::runtime_error);
+}
+
+TEST(Csv, RejectsBadTimestamp) {
+  std::stringstream ss("time_ms,price_per_hour\nabc,0.5\n");
+  EXPECT_THROW(load_csv(ss), std::runtime_error);
+}
+
+TEST(Csv, RejectsBadPrice) {
+  std::stringstream ss("time_ms,price_per_hour\n0,zebra\n");
+  EXPECT_THROW(load_csv(ss), std::runtime_error);
+}
+
+TEST(Csv, RejectsTrailingJunkInPrice) {
+  std::stringstream ss("time_ms,price_per_hour\n0,0.5x\n");
+  EXPECT_THROW(load_csv(ss), std::runtime_error);
+}
+
+TEST(Csv, RejectsNonPositivePrice) {
+  std::stringstream ss("time_ms,price_per_hour\n0,-0.5\n");
+  EXPECT_THROW(load_csv(ss), std::runtime_error);
+}
+
+TEST(Csv, RejectsOutOfOrderRows) {
+  std::stringstream ss("time_ms,price_per_hour\n100,0.5\n50,0.6\n");
+  EXPECT_THROW(load_csv(ss), std::runtime_error);
+}
+
+TEST(Csv, RejectsDataAfterEndMarker) {
+  std::stringstream ss("time_ms,price_per_hour\n0,0.5\nend,100\n200,0.6\n");
+  EXPECT_THROW(load_csv(ss), std::runtime_error);
+}
+
+TEST(Csv, RejectsNoDataRows) {
+  std::stringstream ss("time_ms,price_per_hour\n");
+  EXPECT_THROW(load_csv(ss), std::runtime_error);
+}
+
+TEST(Csv, SkipsBlankLines) {
+  std::stringstream ss("time_ms,price_per_hour\n0,0.5\n\n100,0.6\nend,200\n");
+  const auto t = load_csv(ss);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(Csv, ErrorMessagesCarryLineNumbers) {
+  std::stringstream ss("time_ms,price_per_hour\n0,0.5\nbroken\n");
+  try {
+    load_csv(ss);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Csv, FileRoundTrip) {
+  const auto original = make_trace();
+  const std::string path = ::testing::TempDir() + "/spothost_trace_test.csv";
+  save_csv_file(original, path);
+  const auto loaded = load_csv_file(path);
+  EXPECT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.end(), original.end());
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(load_csv_file("/nonexistent/nowhere.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace spothost::trace

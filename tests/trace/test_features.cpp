@@ -1,0 +1,100 @@
+#include "trace/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simcore/rng.hpp"
+#include "trace/profiles.hpp"
+#include "trace/synthetic.hpp"
+
+namespace spothost::trace {
+namespace {
+
+using sim::kDay;
+using sim::kHour;
+using sim::kMinute;
+
+PriceTrace step_trace() {
+  // 0.02 base; one 2 h excursion to 0.10; one 30 min excursion to 0.50.
+  PriceTrace t;
+  t.append(0, 0.02);
+  t.append(10 * kHour, 0.10);
+  t.append(12 * kHour, 0.02);
+  t.append(20 * kHour, 0.50);
+  t.append(20 * kHour + 30 * kMinute, 0.02);
+  t.set_end(2 * kDay);
+  return t;
+}
+
+TEST(Features, CountsAndMeasuresExcursions) {
+  const auto f = extract_features(step_trace(), 0.06);
+  EXPECT_EQ(f.excursions_above_reference, 2);
+  EXPECT_NEAR(f.mean_excursion_minutes, (120.0 + 30.0) / 2.0, 1e-9);
+  EXPECT_NEAR(f.max_over_reference, 0.50 / 0.06, 1e-9);
+  EXPECT_NEAR(f.fraction_below_reference, 1.0 - 2.5 / 48.0, 1e-9);
+}
+
+TEST(Features, BasicMoments) {
+  const auto f = extract_features(step_trace(), 0.06);
+  EXPECT_DOUBLE_EQ(f.min_price, 0.02);
+  EXPECT_DOUBLE_EQ(f.max_price, 0.50);
+  EXPECT_GT(f.mean_price, 0.02);
+  EXPECT_LT(f.mean_price, 0.06);
+  EXPECT_NEAR(f.changes_per_day, 5.0 / 2.0, 1e-9);
+}
+
+TEST(Features, FlatTraceHasNoExcursionsAndFullAutocorrelationIsZero) {
+  PriceTrace t;
+  t.append(0, 0.03);
+  t.set_end(2 * kDay);
+  const auto f = extract_features(t, 0.06);
+  EXPECT_EQ(f.excursions_above_reference, 0);
+  EXPECT_DOUBLE_EQ(f.stddev, 0.0);
+  // Constant series: correlation undefined -> reported as 0.
+  EXPECT_DOUBLE_EQ(f.hourly_autocorrelation, 0.0);
+}
+
+TEST(Features, PersistentSeriesHasPositiveAutocorrelation) {
+  // Slowly alternating 6-hour plateaus: strong 1-hour self-similarity.
+  PriceTrace t;
+  for (int i = 0; i < 8; ++i) {
+    t.append(i * 6 * kHour, (i % 2 == 0) ? 0.02 : 0.05);
+  }
+  t.set_end(2 * kDay);
+  const auto f = extract_features(t, 0.06);
+  EXPECT_GT(f.hourly_autocorrelation, 0.5);
+}
+
+TEST(Features, DistanceIsZeroForIdenticalFingerprints) {
+  const auto f = extract_features(step_trace(), 0.06);
+  EXPECT_DOUBLE_EQ(feature_distance(f, f), 0.0);
+}
+
+TEST(Features, DistanceSeparatesCalmFromSpiky) {
+  sim::RngFactory factory(9);
+  const double pon = 0.06;
+  auto r1 = factory.stream("calm");
+  MarketProfile calm = profile_for("eu-west-1a", "small");
+  const auto calm_trace =
+      SyntheticSpotModel::generate(calm, pon, 14 * kDay, r1);
+  auto r2 = factory.stream("spiky");
+  MarketProfile spiky = profile_for("us-east-1a", "small");
+  const auto spiky_trace =
+      SyntheticSpotModel::generate(spiky, pon, 14 * kDay, r2);
+  auto r3 = factory.stream("spiky2");
+  const auto spiky_trace2 =
+      SyntheticSpotModel::generate(spiky, pon, 14 * kDay, r3);
+
+  const auto fc = extract_features(calm_trace, pon);
+  const auto fs = extract_features(spiky_trace, pon);
+  const auto fs2 = extract_features(spiky_trace2, pon);
+  // Same-profile fingerprints are closer than cross-profile ones.
+  EXPECT_LT(feature_distance(fs, fs2), feature_distance(fs, fc));
+}
+
+TEST(Features, RejectsBadInput) {
+  EXPECT_THROW(extract_features(PriceTrace{}, 0.06), std::invalid_argument);
+  EXPECT_THROW(extract_features(step_trace(), 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spothost::trace

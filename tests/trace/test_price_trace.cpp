@@ -1,0 +1,136 @@
+#include "trace/price_trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spothost::trace {
+namespace {
+
+using sim::kHour;
+using sim::kMinute;
+
+PriceTrace make_simple() {
+  // 0.10 on [0, 10min), 0.30 on [10min, 30min), 0.05 on [30min, 1h)
+  PriceTrace t;
+  t.append(0, 0.10);
+  t.append(10 * kMinute, 0.30);
+  t.append(30 * kMinute, 0.05);
+  t.set_end(kHour);
+  return t;
+}
+
+TEST(PriceTrace, PriceAtLooksUpGoverningSegment) {
+  const auto t = make_simple();
+  EXPECT_DOUBLE_EQ(t.price_at(0), 0.10);
+  EXPECT_DOUBLE_EQ(t.price_at(10 * kMinute - 1), 0.10);
+  EXPECT_DOUBLE_EQ(t.price_at(10 * kMinute), 0.30);
+  EXPECT_DOUBLE_EQ(t.price_at(kHour - 1), 0.05);
+}
+
+TEST(PriceTrace, QueryOutsideWindowThrows) {
+  const auto t = make_simple();
+  EXPECT_THROW(t.price_at(-1), std::out_of_range);
+  EXPECT_THROW(t.price_at(kHour), std::out_of_range);
+}
+
+TEST(PriceTrace, AppendRejectsNonIncreasingTime) {
+  PriceTrace t;
+  t.append(100, 0.1);
+  EXPECT_THROW(t.append(100, 0.2), std::invalid_argument);
+  EXPECT_THROW(t.append(50, 0.2), std::invalid_argument);
+}
+
+TEST(PriceTrace, AppendRejectsBadPrice) {
+  PriceTrace t;
+  EXPECT_THROW(t.append(0, 0.0), std::invalid_argument);
+  EXPECT_THROW(t.append(0, -0.1), std::invalid_argument);
+}
+
+TEST(PriceTrace, EqualConsecutivePricesCoalesce) {
+  PriceTrace t;
+  t.append(0, 0.1);
+  t.append(100, 0.1);  // coalesced
+  t.append(200, 0.2);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_GE(t.end(), 200);
+}
+
+TEST(PriceTrace, SetEndBeforeLastPointThrows) {
+  auto t = make_simple();
+  EXPECT_THROW(t.set_end(20 * kMinute), std::invalid_argument);
+}
+
+TEST(PriceTrace, NextChangeAfterFindsFollowingEvent) {
+  const auto t = make_simple();
+  const auto next = t.next_change_after(0);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->time, 10 * kMinute);
+  EXPECT_DOUBLE_EQ(next->price, 0.30);
+  EXPECT_FALSE(t.next_change_after(30 * kMinute).has_value());
+}
+
+TEST(PriceTrace, NextChangeAtExactEventTimeIsStrictlyAfter) {
+  const auto t = make_simple();
+  const auto next = t.next_change_after(10 * kMinute);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->time, 30 * kMinute);
+}
+
+TEST(PriceTrace, TimeAverageIsExactIntegral) {
+  const auto t = make_simple();
+  // (0.10*10 + 0.30*20 + 0.05*30) / 60 = (1 + 6 + 1.5)/60
+  EXPECT_NEAR(t.time_average(0, kHour), 8.5 / 60.0, 1e-12);
+}
+
+TEST(PriceTrace, TimeAverageSubInterval) {
+  const auto t = make_simple();
+  // [5min, 15min): 5min at 0.10 + 5min at 0.30
+  EXPECT_NEAR(t.time_average(5 * kMinute, 15 * kMinute), 0.20, 1e-12);
+}
+
+TEST(PriceTrace, FractionBelowThreshold) {
+  const auto t = make_simple();
+  // below 0.2: [0,10) and [30,60) => 40 of 60 minutes
+  EXPECT_NEAR(t.fraction_below(0.2, 0, kHour), 40.0 / 60.0, 1e-12);
+  EXPECT_NEAR(t.fraction_below(0.01, 0, kHour), 0.0, 1e-12);
+  EXPECT_NEAR(t.fraction_below(1.0, 0, kHour), 1.0, 1e-12);
+}
+
+TEST(PriceTrace, MinMaxOverWindow) {
+  const auto t = make_simple();
+  EXPECT_DOUBLE_EQ(t.min_price(0, kHour), 0.05);
+  EXPECT_DOUBLE_EQ(t.max_price(0, kHour), 0.30);
+  EXPECT_DOUBLE_EQ(t.max_price(0, 5 * kMinute), 0.10);
+}
+
+TEST(PriceTrace, SampleProducesUniformGrid) {
+  const auto t = make_simple();
+  const auto xs = t.sample(0, kHour, 10 * kMinute);
+  ASSERT_EQ(xs.size(), 6u);
+  EXPECT_DOUBLE_EQ(xs[0], 0.10);
+  EXPECT_DOUBLE_EQ(xs[1], 0.30);
+  EXPECT_DOUBLE_EQ(xs[3], 0.05);
+}
+
+TEST(PriceTrace, ConstructFromPointsValidates) {
+  std::vector<PricePoint> pts{{0, 0.1}, {100, 0.2}};
+  const PriceTrace t(pts, 200);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.start(), 0);
+  EXPECT_EQ(t.end(), 200);
+}
+
+TEST(PriceTrace, EmptyTraceStartThrows) {
+  const PriceTrace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_THROW(t.start(), std::logic_error);
+}
+
+TEST(PriceTrace, EmptyIntervalQueriesThrow) {
+  const auto t = make_simple();
+  EXPECT_THROW(t.time_average(10, 10), std::invalid_argument);
+  EXPECT_THROW(t.fraction_below(0.1, 20, 10), std::invalid_argument);
+  EXPECT_THROW(t.sample(0, kHour, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spothost::trace

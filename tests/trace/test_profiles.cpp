@@ -1,0 +1,84 @@
+#include "trace/profiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace spothost::trace {
+namespace {
+
+TEST(Profiles, FourCanonicalRegions) {
+  const auto regions = canonical_regions();
+  ASSERT_EQ(regions.size(), 4u);
+  EXPECT_EQ(regions[0], "us-east-1a");
+  EXPECT_EQ(regions[3], "eu-west-1a");
+}
+
+TEST(Profiles, FourCanonicalSizes) {
+  const auto sizes = canonical_sizes();
+  ASSERT_EQ(sizes.size(), 4u);
+  EXPECT_EQ(sizes[0], "small");
+  EXPECT_EQ(sizes[3], "xlarge");
+}
+
+TEST(Profiles, UnknownRegionThrows) {
+  EXPECT_THROW(profile_for("mars-1a", "small"), std::invalid_argument);
+}
+
+TEST(Profiles, UnknownSizeThrows) {
+  EXPECT_THROW(profile_for("us-east-1a", "gargantuan"), std::invalid_argument);
+}
+
+TEST(Profiles, UsEastCheaperThanEuWest) {
+  // Sec. 4.5: us-east markets are cheaper relative to on-demand.
+  const auto east = profile_for("us-east-1a", "small");
+  const auto eu = profile_for("eu-west-1a", "small");
+  EXPECT_LT(east.base_fraction, eu.base_fraction);
+}
+
+TEST(Profiles, UsEastMoreVolatileThanEuWest) {
+  // Fig. 10: us-east prices vary more.
+  const auto east = profile_for("us-east-1a", "small");
+  const auto eu = profile_for("eu-west-1a", "small");
+  EXPECT_GT(east.spike_rate_per_day, eu.spike_rate_per_day);
+  EXPECT_GT(east.base_jitter_sigma, eu.base_jitter_sigma);
+  EXPECT_LT(east.spike_pareto_alpha, eu.spike_pareto_alpha);  // heavier tail
+}
+
+TEST(Profiles, LargerSizesSpikier) {
+  const auto small = profile_for("us-east-1a", "small");
+  const auto xlarge = profile_for("us-east-1a", "xlarge");
+  EXPECT_GT(xlarge.spike_rate_per_day, small.spike_rate_per_day);
+  EXPECT_LT(xlarge.base_fraction, small.base_fraction);
+}
+
+TEST(Profiles, SharedSpikeRatePositiveEverywhere) {
+  for (const auto region : canonical_regions()) {
+    EXPECT_GT(region_shared_spike_rate(std::string(region)), 0.0);
+  }
+}
+
+class ProfileSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {};
+
+TEST_P(ProfileSweep, AllProfilesAreSane) {
+  const auto& [region, size] = GetParam();
+  const auto p = profile_for(region, size);
+  EXPECT_GT(p.base_fraction, 0.0);
+  EXPECT_LT(p.base_fraction, 1.0);  // spot base must undercut on-demand
+  EXPECT_GT(p.spike_rate_per_day, 0.0);
+  EXPECT_GT(p.spike_pareto_alpha, 0.0);
+  EXPECT_GT(p.spike_pareto_xm, 0.0);
+  EXPECT_GE(p.shared_spike_fraction, 0.0);
+  EXPECT_LE(p.shared_spike_fraction, 1.0);
+  EXPECT_GT(p.spike_duration_mean_minutes, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMarkets, ProfileSweep,
+    ::testing::Combine(::testing::Values("us-east-1a", "us-east-1b", "us-west-1a",
+                                         "eu-west-1a"),
+                       ::testing::Values("small", "medium", "large", "xlarge")));
+
+}  // namespace
+}  // namespace spothost::trace

@@ -1,0 +1,111 @@
+#include "trace/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace spothost::trace {
+namespace {
+
+using sim::kHour;
+using sim::kMinute;
+
+TEST(Stats, MeanOfConstants) {
+  const std::array<double, 4> xs{2.0, 2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.0);
+}
+
+TEST(Stats, MeanRejectsEmpty) {
+  const std::vector<double> empty;
+  EXPECT_THROW(mean(empty), std::invalid_argument);
+}
+
+TEST(Stats, StddevKnownValue) {
+  const std::array<double, 4> xs{1.0, 2.0, 3.0, 4.0};
+  // population stddev of 1..4 = sqrt(1.25)
+  EXPECT_NEAR(stddev(xs), std::sqrt(1.25), 1e-12);
+}
+
+TEST(Stats, PearsonPerfectPositive) {
+  const std::array<double, 5> xs{1, 2, 3, 4, 5};
+  const std::array<double, 5> ys{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectNegative) {
+  const std::array<double, 5> xs{1, 2, 3, 4, 5};
+  const std::array<double, 5> ys{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSideIsZero) {
+  const std::array<double, 3> xs{1, 2, 3};
+  const std::array<double, 3> ys{5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, PearsonLengthMismatchThrows) {
+  const std::array<double, 3> xs{1, 2, 3};
+  const std::array<double, 2> ys{1, 2};
+  EXPECT_THROW(pearson(xs, ys), std::invalid_argument);
+}
+
+TEST(Stats, TraceStddevExactOnStepFunction) {
+  PriceTrace t;
+  t.append(0, 1.0);
+  t.append(30 * kMinute, 3.0);
+  t.set_end(kHour);
+  // Half the time at 1, half at 3: mean 2, variance 1.
+  EXPECT_NEAR(trace_stddev(t, 0, kHour), 1.0, 1e-12);
+}
+
+TEST(Stats, TraceStddevZeroForConstantTrace) {
+  PriceTrace t;
+  t.append(0, 0.5);
+  t.set_end(kHour);
+  EXPECT_NEAR(trace_stddev(t, 0, kHour), 0.0, 1e-12);
+}
+
+TEST(Stats, TraceCorrelationIdenticalTracesIsOne) {
+  PriceTrace t;
+  t.append(0, 1.0);
+  t.append(20 * kMinute, 2.0);
+  t.append(40 * kMinute, 0.5);
+  t.set_end(kHour);
+  EXPECT_NEAR(trace_correlation(t, t, kMinute), 1.0, 1e-12);
+}
+
+TEST(Stats, TraceCorrelationDisjointWindowsThrows) {
+  PriceTrace a;
+  a.append(0, 1.0);
+  a.set_end(kMinute);
+  PriceTrace b;
+  b.append(2 * kMinute, 1.0);
+  b.set_end(3 * kMinute);
+  EXPECT_THROW(trace_correlation(a, b), std::invalid_argument);
+}
+
+TEST(Stats, MeanPairwiseCorrelationAveragesPairs) {
+  PriceTrace a;
+  a.append(0, 1.0);
+  a.append(30 * kMinute, 2.0);
+  a.set_end(kHour);
+  PriceTrace b = a;   // corr(a,b) = 1
+  PriceTrace c;       // anti-correlated
+  c.append(0, 2.0);
+  c.append(30 * kMinute, 1.0);
+  c.set_end(kHour);
+  const std::array<PriceTrace, 3> traces{a, b, c};
+  // pairs: (a,b)=1, (a,c)=-1, (b,c)=-1 => mean = -1/3
+  EXPECT_NEAR(mean_pairwise_correlation(traces, kMinute), -1.0 / 3.0, 1e-9);
+}
+
+TEST(Stats, MeanPairwiseNeedsTwo) {
+  const std::array<PriceTrace, 1> one{PriceTrace{}};
+  EXPECT_THROW(mean_pairwise_correlation(one), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spothost::trace

@@ -1,0 +1,91 @@
+#include "virt/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spothost::virt {
+namespace {
+
+VmSpec spec(double memory_gb = 2.0, double dirty = 30.0, double ws = 512.0) {
+  VmSpec s;
+  s.memory_gb = memory_gb;
+  s.dirty_rate_mb_s = dirty;
+  s.working_set_mb = ws;
+  return s;
+}
+
+TEST(Checkpoint, FlushAlwaysWithinBound) {
+  const BoundedCheckpointer ck(CheckpointParams{10.0, 36.0});
+  for (const double ws : {64.0, 256.0, 512.0, 4096.0}) {
+    EXPECT_LE(ck.flush_time_s(spec(2.0, 30.0, ws)), 10.0 + 1e-9);
+  }
+}
+
+TEST(Checkpoint, IncrementCapIsTauTimesRate) {
+  const BoundedCheckpointer ck(CheckpointParams{10.0, 36.0});
+  EXPECT_DOUBLE_EQ(ck.max_incremental_mb(spec(2.0, 30.0, 4096.0)), 360.0);
+}
+
+TEST(Checkpoint, SmallWorkingSetCapsIncrement) {
+  const BoundedCheckpointer ck(CheckpointParams{10.0, 36.0});
+  EXPECT_DOUBLE_EQ(ck.max_incremental_mb(spec(2.0, 30.0, 128.0)), 128.0);
+}
+
+TEST(Checkpoint, PeriodAdaptsToDirtyRate) {
+  const BoundedCheckpointer ck(CheckpointParams{10.0, 36.0});
+  // cap = 360 MB; dirty 30 MB/s => period 12 s; dirty 60 MB/s => 6 s.
+  EXPECT_NEAR(ck.checkpoint_period_s(spec(2.0, 30.0, 4096.0)), 12.0, 1e-9);
+  EXPECT_NEAR(ck.checkpoint_period_s(spec(2.0, 60.0, 4096.0)), 6.0, 1e-9);
+}
+
+TEST(Checkpoint, IdleGuestCheckpointsLazily) {
+  const BoundedCheckpointer ck(CheckpointParams{10.0, 36.0});
+  EXPECT_TRUE(std::isinf(ck.checkpoint_period_s(spec(2.0, 0.0, 512.0))));
+}
+
+TEST(Checkpoint, FullCheckpointTimeScalesWithMemory) {
+  const BoundedCheckpointer ck(CheckpointParams{10.0, 36.0});
+  // Table 2: ~28 s/GB write rate.
+  EXPECT_NEAR(ck.full_checkpoint_time_s(spec(1.0)), 28.4, 0.5);
+  EXPECT_NEAR(ck.full_checkpoint_time_s(spec(2.0)), 56.9, 1.0);
+}
+
+TEST(Checkpoint, BackgroundOverheadFractionBounded) {
+  const BoundedCheckpointer ck(CheckpointParams{10.0, 36.0});
+  const double f = ck.background_overhead_fraction(spec(2.0, 30.0, 4096.0));
+  EXPECT_GT(f, 0.0);
+  EXPECT_LE(f, 1.0);
+  // 360 MB per 12 s at 36 MB/s = 10 s of writing per 12 s.
+  EXPECT_NEAR(f, 10.0 / 12.0, 1e-9);
+}
+
+TEST(Checkpoint, ZeroOverheadWhenIdle) {
+  const BoundedCheckpointer ck(CheckpointParams{10.0, 36.0});
+  EXPECT_DOUBLE_EQ(ck.background_overhead_fraction(spec(2.0, 0.0)), 0.0);
+}
+
+TEST(Checkpoint, RejectsBadParams) {
+  EXPECT_THROW(BoundedCheckpointer(CheckpointParams{0.0, 36.0}),
+               std::invalid_argument);
+  EXPECT_THROW(BoundedCheckpointer(CheckpointParams{10.0, 0.0}),
+               std::invalid_argument);
+}
+
+class TauSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TauSweep, BoundHonouredAcrossTaus) {
+  const double tau = GetParam();
+  const BoundedCheckpointer ck(CheckpointParams{tau, 36.0});
+  for (const double dirty : {1.0, 10.0, 50.0, 200.0}) {
+    const auto s = spec(2.0, dirty, 8192.0);
+    EXPECT_LE(ck.flush_time_s(s), tau + 1e-9)
+        << "tau=" << tau << " dirty=" << dirty;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, TauSweep, ::testing::Values(1.0, 5.0, 10.0, 30.0,
+                                                           120.0));
+
+}  // namespace
+}  // namespace spothost::virt

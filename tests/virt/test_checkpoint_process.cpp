@@ -1,0 +1,177 @@
+#include "virt/checkpoint_process.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simcore/rng.hpp"
+
+namespace spothost::virt {
+namespace {
+
+using sim::kHour;
+using sim::kMinute;
+using sim::kSecond;
+
+VmSpec spec(double memory_gb = 2.0, double dirty = 30.0, double ws = 2048.0) {
+  VmSpec s;
+  s.memory_gb = memory_gb;
+  s.dirty_rate_mb_s = dirty;
+  s.working_set_mb = ws;
+  return s;
+}
+
+const CheckpointParams kParams{10.0, 36.0};
+
+TEST(CheckpointProcess, InitialFullCheckpointTakesMemoryOverRate) {
+  sim::Simulation sim;
+  CheckpointProcess cp(sim, spec(), kParams);
+  cp.start();
+  EXPECT_TRUE(cp.write_in_progress());
+  EXPECT_FALSE(cp.initial_checkpoint_done());
+  sim.run_until(sim::from_seconds(2048.0 / 36.0) + kSecond);
+  EXPECT_TRUE(cp.initial_checkpoint_done());
+  EXPECT_EQ(cp.completed_checkpoints(), 1);
+}
+
+TEST(CheckpointProcess, FlushBoundHoldsAtAllTimes) {
+  // The core Yank invariant: after the initial checkpoint, sampling the
+  // flush time at arbitrary instants never exceeds tau.
+  sim::Simulation sim;
+  CheckpointProcess cp(sim, spec(), kParams);
+  cp.start();
+  sim.run_until(2 * kMinute);  // initial done (~57 s)
+  ASSERT_TRUE(cp.initial_checkpoint_done());
+  for (sim::SimTime t = 2 * kMinute; t <= kHour; t += 7 * kSecond + 311) {
+    sim.run_until(t);
+    EXPECT_LE(cp.flush_time_now_s(), kParams.bound_tau_s + 1e-9)
+        << "violated at " << sim::format_time(t);
+  }
+}
+
+TEST(CheckpointProcess, TriggerTightenedForInFlightDirt) {
+  sim::Simulation sim;
+  CheckpointProcess cp(sim, spec(2.0, 36.0, 4096.0), kParams);
+  // cap = 360; equal dirty and write rates => trigger = cap / 2.
+  EXPECT_NEAR(cp.trigger_mb(), 180.0, 1e-9);
+}
+
+TEST(CheckpointProcess, CheckpointsKeepCompleting) {
+  sim::Simulation sim;
+  CheckpointProcess cp(sim, spec(), kParams);
+  cp.start();
+  sim.run_until(kHour);
+  // cap 360 MB, trigger ~196 MB, dirty 30 MB/s: a checkpoint roughly every
+  // 12 s of accumulation + write time => dozens per hour.
+  EXPECT_GT(cp.completed_checkpoints(), 50);
+}
+
+TEST(CheckpointProcess, IdleGuestStopsCheckpointing) {
+  sim::Simulation sim;
+  CheckpointProcess cp(sim, spec(2.0, 0.0), kParams);
+  cp.start();
+  sim.run_until(kHour);
+  EXPECT_EQ(cp.completed_checkpoints(), 1);  // the initial one only
+  EXPECT_NEAR(cp.staleness_mb(), 0.0, 1e-9);
+}
+
+TEST(CheckpointProcess, DirtyRateIncreaseStillHonoursBound) {
+  sim::Simulation sim;
+  CheckpointProcess cp(sim, spec(2.0, 10.0), kParams);
+  cp.start();
+  sim.run_until(3 * kMinute);
+  ASSERT_TRUE(cp.initial_checkpoint_done());
+  cp.set_dirty_rate(120.0);  // hot burst: dirties 3.3x the write rate
+  const sim::SimTime end = sim.now() + 20 * kMinute;
+  for (sim::SimTime t = sim.now(); t <= end; t += 5 * kSecond) {
+    sim.run_until(t);
+    EXPECT_LE(cp.flush_time_now_s(), kParams.bound_tau_s + 1e-6);
+  }
+}
+
+TEST(CheckpointProcess, ThrottlesWhenGuestOutrunsStorage) {
+  // Dirty rate above the write rate: the bound survives only because the
+  // guest is stunned — the process must report that it is throttling.
+  sim::Simulation sim;
+  CheckpointProcess cp(sim, spec(2.0, 80.0, 2048.0), kParams);
+  cp.start();
+  sim.run_until(3 * kMinute);
+  ASSERT_TRUE(cp.initial_checkpoint_done());
+  bool throttled = false;
+  const sim::SimTime end = sim.now() + 10 * kMinute;
+  for (sim::SimTime t = sim.now(); t <= end; t += 3 * kSecond) {
+    sim.run_until(t);
+    EXPECT_LE(cp.flush_time_now_s(), kParams.bound_tau_s + 1e-6);
+    throttled = throttled || cp.is_throttling();
+  }
+  EXPECT_TRUE(throttled);
+}
+
+TEST(CheckpointProcess, CalmGuestNeverThrottled) {
+  sim::Simulation sim;
+  CheckpointProcess cp(sim, spec(2.0, 10.0, 2048.0), kParams);
+  cp.start();
+  sim.run_until(3 * kMinute);
+  ASSERT_TRUE(cp.initial_checkpoint_done());
+  // Let the process reach steady state, then sample.
+  const sim::SimTime end = sim.now() + 10 * kMinute;
+  for (sim::SimTime t = sim.now(); t <= end; t += 7 * kSecond) {
+    sim.run_until(t);
+    EXPECT_FALSE(cp.is_throttling());
+  }
+}
+
+TEST(CheckpointProcess, StopCancelsFutureWork) {
+  sim::Simulation sim;
+  CheckpointProcess cp(sim, spec(), kParams);
+  cp.start();
+  sim.run_until(5 * kMinute);
+  const int done = cp.completed_checkpoints();
+  cp.stop();
+  sim.run_until(kHour);
+  EXPECT_EQ(cp.completed_checkpoints(), done);
+  EXPECT_FALSE(cp.write_in_progress());
+}
+
+TEST(CheckpointProcess, StalenessBeforeInitialIsWholeMemory) {
+  sim::Simulation sim;
+  CheckpointProcess cp(sim, spec(), kParams);
+  EXPECT_DOUBLE_EQ(cp.staleness_mb(), 2048.0);
+}
+
+TEST(CheckpointProcess, StartTwiceThrows) {
+  sim::Simulation sim;
+  CheckpointProcess cp(sim, spec(), kParams);
+  cp.start();
+  EXPECT_THROW(cp.start(), std::logic_error);
+}
+
+TEST(CheckpointProcess, RejectsBadParameters) {
+  sim::Simulation sim;
+  EXPECT_THROW(CheckpointProcess(sim, spec(), CheckpointParams{0.0, 36.0}),
+               std::invalid_argument);
+  CheckpointProcess cp(sim, spec(), kParams);
+  EXPECT_THROW(cp.set_dirty_rate(-1.0), std::invalid_argument);
+}
+
+class ProcessTauSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ProcessTauSweep, BoundHoldsUnderRandomSampling) {
+  const double tau = GetParam();
+  sim::Simulation simulation;
+  CheckpointProcess cp(simulation, spec(4.0, 45.0, 4096.0),
+                       CheckpointParams{tau, 36.0});
+  cp.start();
+  simulation.run_until(5 * kMinute);
+  ASSERT_TRUE(cp.initial_checkpoint_done());
+  sim::RngStream rng(GetParam() > 5 ? 1u : 2u);
+  for (int i = 0; i < 200; ++i) {
+    simulation.run_until(simulation.now() +
+                         sim::from_seconds(rng.uniform(0.5, 30.0)));
+    ASSERT_LE(cp.flush_time_now_s(), tau + 1e-6) << "tau=" << tau;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, ProcessTauSweep,
+                         ::testing::Values(2.0, 5.0, 10.0, 30.0));
+
+}  // namespace
+}  // namespace spothost::virt

@@ -1,0 +1,64 @@
+#include "virt/memory_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spothost::virt {
+namespace {
+
+VmSpec spec(double dirty_rate, double working_set) {
+  VmSpec s;
+  s.dirty_rate_mb_s = dirty_rate;
+  s.working_set_mb = working_set;
+  return s;
+}
+
+TEST(MemoryModel, LinearGrowthBeforeSaturation) {
+  const auto s = spec(30.0, 600.0);
+  EXPECT_DOUBLE_EQ(dirty_mb_after(s, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(dirty_mb_after(s, 10.0), 300.0);
+}
+
+TEST(MemoryModel, SaturatesAtWorkingSet) {
+  const auto s = spec(30.0, 600.0);
+  EXPECT_DOUBLE_EQ(dirty_mb_after(s, 100.0), 600.0);
+  EXPECT_DOUBLE_EQ(dirty_mb_after(s, 1e6), 600.0);
+}
+
+TEST(MemoryModel, NegativeTimeRejected) {
+  EXPECT_THROW(dirty_mb_after(spec(30, 600), -1.0), std::invalid_argument);
+}
+
+TEST(MemoryModel, TimeToDirtyInvertsGrowth) {
+  const auto s = spec(30.0, 600.0);
+  EXPECT_DOUBLE_EQ(time_to_dirty_s(s, 300.0), 10.0);
+  EXPECT_DOUBLE_EQ(time_to_dirty_s(s, 0.0), 0.0);
+}
+
+TEST(MemoryModel, TimeToDirtyBeyondWorkingSetIsInfinite) {
+  const auto s = spec(30.0, 600.0);
+  EXPECT_TRUE(std::isinf(time_to_dirty_s(s, 601.0)));
+}
+
+TEST(MemoryModel, IdleGuestNeverDirties) {
+  const auto s = spec(0.0, 600.0);
+  EXPECT_DOUBLE_EQ(dirty_mb_after(s, 1000.0), 0.0);
+  EXPECT_TRUE(std::isinf(time_to_dirty_s(s, 1.0)));
+  EXPECT_DOUBLE_EQ(time_to_dirty_s(s, 0.0), 0.0);
+}
+
+class DirtyRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(DirtyRoundTrip, InverseConsistency) {
+  const auto s = spec(42.0, 800.0);
+  const double target = GetParam();
+  const double t = time_to_dirty_s(s, target);
+  EXPECT_NEAR(dirty_mb_after(s, t), target, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, DirtyRoundTrip,
+                         ::testing::Values(0.0, 10.0, 100.0, 400.0, 800.0));
+
+}  // namespace
+}  // namespace spothost::virt

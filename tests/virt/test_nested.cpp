@@ -1,0 +1,54 @@
+#include "virt/nested.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spothost::virt {
+namespace {
+
+TEST(Nested, IoPenaltyMatchesTable4) {
+  const NestedVirtParams p;
+  // Table 4: disk write 280.4 native -> 274.2 nested (~2 %).
+  EXPECT_NEAR(nested_io_throughput(280.4, p), 274.8, 1.0);
+}
+
+TEST(Nested, IoThroughputRejectsNegative) {
+  EXPECT_THROW(nested_io_throughput(-1.0, NestedVirtParams{}),
+               std::invalid_argument);
+}
+
+TEST(Nested, CpuFactorIsOneWhenIdle) {
+  EXPECT_DOUBLE_EQ(nested_cpu_demand_factor(0.0, NestedVirtParams{}), 1.0);
+}
+
+TEST(Nested, CpuFactorReachesWorstCaseAtSaturation) {
+  // Sec. 6.2: up to 50 % overhead under load.
+  EXPECT_DOUBLE_EQ(nested_cpu_demand_factor(1.0, NestedVirtParams{}), 1.5);
+}
+
+TEST(Nested, CpuFactorMonotoneInLoad) {
+  const NestedVirtParams p;
+  double prev = 0.0;
+  for (double u = 0.0; u <= 1.0; u += 0.1) {
+    const double f = nested_cpu_demand_factor(u, p);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(Nested, UtilizationClampedToUnitInterval) {
+  const NestedVirtParams p;
+  EXPECT_DOUBLE_EQ(nested_cpu_demand_factor(-0.5, p), 1.0);
+  EXPECT_DOUBLE_EQ(nested_cpu_demand_factor(2.0, p), 1.5);
+}
+
+TEST(Nested, ExponentShapesTheCurve) {
+  NestedVirtParams convex;
+  convex.cpu_overhead_exponent = 2.0;
+  // Convex curve sits below linear at mid load.
+  EXPECT_LT(nested_cpu_demand_factor(0.5, convex),
+            nested_cpu_demand_factor(0.5, NestedVirtParams{}));
+  EXPECT_DOUBLE_EQ(nested_cpu_demand_factor(1.0, convex), 1.5);
+}
+
+}  // namespace
+}  // namespace spothost::virt

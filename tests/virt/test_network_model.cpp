@@ -1,0 +1,87 @@
+#include "virt/network_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spothost::virt {
+namespace {
+
+TEST(NetworkModel, RegionFamilyStripsZoneSuffix) {
+  EXPECT_EQ(NetworkModel::region_family("us-east-1a"), "us-east");
+  EXPECT_EQ(NetworkModel::region_family("eu-west-1a"), "eu-west");
+  EXPECT_EQ(NetworkModel::region_family("us-west-1a"), "us-west");
+}
+
+TEST(NetworkModel, RegionFamilyLeavesBareNamesAlone) {
+  EXPECT_EQ(NetworkModel::region_family("localcluster"), "localcluster");
+}
+
+TEST(NetworkModel, SameZoneIsLanWithSharedStorage) {
+  const NetworkModel nm;
+  const auto link = nm.link("us-east-1a", "us-east-1a");
+  EXPECT_DOUBLE_EQ(link.mem_bandwidth_mb_s, 38.0);
+  EXPECT_DOUBLE_EQ(link.disk_copy_rate_mb_s, 0.0);  // networked storage
+  EXPECT_DOUBLE_EQ(link.switch_penalty_s, 0.0);
+}
+
+TEST(NetworkModel, CrossZoneSameFamilyNeedsDiskCopy) {
+  const NetworkModel nm;
+  const auto link = nm.link("us-east-1a", "us-east-1b");
+  EXPECT_GT(link.mem_bandwidth_mb_s, 30.0);
+  EXPECT_GT(link.disk_copy_rate_mb_s, 0.0);
+}
+
+TEST(NetworkModel, CrossFamilyBandwidthsMatchTable2Ordering) {
+  const NetworkModel nm;
+  const auto east_west = nm.link("us-east-1a", "us-west-1a");
+  const auto east_eu = nm.link("us-east-1a", "eu-west-1a");
+  const auto west_eu = nm.link("us-west-1a", "eu-west-1a");
+  // Table 2: us-east<->us-west and us-east<->eu-west live-migrate a 2 GB VM
+  // in ~74 s; us-west<->eu-west takes ~140 s (half the bandwidth).
+  EXPECT_NEAR(east_west.mem_bandwidth_mb_s, east_eu.mem_bandwidth_mb_s, 2.0);
+  EXPECT_LT(west_eu.mem_bandwidth_mb_s, 0.6 * east_west.mem_bandwidth_mb_s);
+  // Disk copy: 2-3 minutes per GB across families.
+  for (const auto& link : {east_west, east_eu, west_eu}) {
+    const double s_per_gb = 1024.0 / link.disk_copy_rate_mb_s;
+    EXPECT_GE(s_per_gb, 100.0);
+    EXPECT_LE(s_per_gb, 200.0);
+  }
+}
+
+TEST(NetworkModel, LinkIsSymmetric) {
+  const NetworkModel nm;
+  const auto ab = nm.link("us-east-1a", "eu-west-1a");
+  const auto ba = nm.link("eu-west-1a", "us-east-1a");
+  EXPECT_DOUBLE_EQ(ab.mem_bandwidth_mb_s, ba.mem_bandwidth_mb_s);
+  EXPECT_DOUBLE_EQ(ab.disk_copy_rate_mb_s, ba.disk_copy_rate_mb_s);
+}
+
+TEST(NetworkModel, UnknownPairGetsConservativeLink) {
+  const NetworkModel nm;
+  const auto link = nm.link("us-east-1a", "ap-south-1a");
+  EXPECT_GT(link.mem_bandwidth_mb_s, 0.0);
+  EXPECT_GT(link.disk_copy_rate_mb_s, 0.0);
+}
+
+TEST(NetworkModel, CheckpointRateMatchesTable2) {
+  // 28s/GB => ~36 MB/s.
+  const NetworkModel nm;
+  EXPECT_NEAR(1024.0 / nm.checkpoint_write_rate_mb_s(), 28.4, 1.0);
+}
+
+TEST(NetworkModel, SettersValidate) {
+  NetworkModel nm;
+  nm.set_checkpoint_write_rate_mb_s(17.0);
+  EXPECT_DOUBLE_EQ(nm.checkpoint_write_rate_mb_s(), 17.0);
+  EXPECT_THROW(nm.set_checkpoint_write_rate_mb_s(0.0), std::invalid_argument);
+  EXPECT_THROW(nm.set_restore_read_rate_mb_s(-1.0), std::invalid_argument);
+  EXPECT_THROW(nm.set_lan_bandwidth_mb_s(0.0), std::invalid_argument);
+}
+
+TEST(NetworkModel, LanOverrideFlowsIntoLinks) {
+  NetworkModel nm;
+  nm.set_lan_bandwidth_mb_s(100.0);
+  EXPECT_DOUBLE_EQ(nm.link("r-1a", "r-1a").mem_bandwidth_mb_s, 100.0);
+}
+
+}  // namespace
+}  // namespace spothost::virt

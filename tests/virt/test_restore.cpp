@@ -1,0 +1,75 @@
+#include "virt/restore.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spothost::virt {
+namespace {
+
+VmSpec spec(double memory_gb) {
+  VmSpec s;
+  s.memory_gb = memory_gb;
+  return s;
+}
+
+TEST(Restore, FullRestoreScalesWithMemory) {
+  const RestoreParams p;
+  // Table 2: restore reads at ~28 s/GB.
+  EXPECT_NEAR(simulate_full_restore(spec(1.0), p).downtime_s, 28.4, 0.5);
+  EXPECT_NEAR(simulate_full_restore(spec(2.0), p).downtime_s, 56.9, 1.0);
+  EXPECT_NEAR(simulate_full_restore(spec(15.0), p).downtime_s, 426.7, 5.0);
+}
+
+TEST(Restore, FullRestoreHasNoDegradedWindow) {
+  EXPECT_DOUBLE_EQ(simulate_full_restore(spec(2.0), RestoreParams{}).degraded_s, 0.0);
+}
+
+TEST(Restore, LazyRestoreDowntimeIndependentOfMemory) {
+  const RestoreParams p;
+  EXPECT_DOUBLE_EQ(simulate_lazy_restore(spec(1.0), p).downtime_s, 20.0);
+  EXPECT_DOUBLE_EQ(simulate_lazy_restore(spec(15.0), p).downtime_s, 20.0);
+}
+
+TEST(Restore, LazyRestoreDegradedWindowScalesWithMemory) {
+  const RestoreParams p;
+  const auto small = simulate_lazy_restore(spec(1.0), p);
+  const auto big = simulate_lazy_restore(spec(15.0), p);
+  EXPECT_GT(big.degraded_s, small.degraded_s);
+  // Total lazy work (prefix + background) == full image read time.
+  EXPECT_NEAR(big.downtime_s + big.degraded_s,
+              simulate_full_restore(spec(15.0), p).downtime_s, 1e-9);
+}
+
+TEST(Restore, TinyVmFullyRestoredWithinResumeLatency) {
+  RestoreParams p;
+  p.lazy_resume_latency_s = 20.0;
+  // 0.5 GB at 36 MB/s reads completely in ~14 s < 20 s resume latency.
+  const auto r = simulate_lazy_restore(spec(0.5), p);
+  EXPECT_DOUBLE_EQ(r.degraded_s, 0.0);
+}
+
+TEST(Restore, LazyBeatsFullForRealSizes) {
+  const RestoreParams p;
+  for (const double gb : {1.7, 3.75, 7.5, 15.0}) {
+    EXPECT_LT(simulate_lazy_restore(spec(gb), p).downtime_s,
+              simulate_full_restore(spec(gb), p).downtime_s);
+  }
+}
+
+TEST(Restore, PessimisticLazyLatency) {
+  RestoreParams p;
+  p.lazy_resume_latency_s = 120.0;  // Fig. 7 pessimistic
+  EXPECT_DOUBLE_EQ(simulate_lazy_restore(spec(2.0), p).downtime_s, 120.0);
+}
+
+TEST(Restore, RejectsBadParams) {
+  RestoreParams p;
+  p.read_rate_mb_s = 0.0;
+  EXPECT_THROW(simulate_full_restore(spec(2.0), p), std::invalid_argument);
+  EXPECT_THROW(simulate_lazy_restore(spec(2.0), p), std::invalid_argument);
+  RestoreParams q;
+  q.lazy_resume_latency_s = -1.0;
+  EXPECT_THROW(simulate_lazy_restore(spec(2.0), q), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spothost::virt

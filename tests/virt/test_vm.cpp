@@ -1,0 +1,72 @@
+#include "virt/vm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spothost::virt {
+namespace {
+
+TEST(VmSpec, DefaultSpecDerivation) {
+  const VmSpec s = default_spec_for_memory(4.0, 16.0);
+  EXPECT_DOUBLE_EQ(s.memory_gb, 4.0);
+  EXPECT_DOUBLE_EQ(s.disk_gb, 16.0);
+  EXPECT_DOUBLE_EQ(s.working_set_mb, 1024.0);  // capped at 1 GB
+  EXPECT_DOUBLE_EQ(default_spec_for_memory(1.0, 8.0).working_set_mb, 256.0);
+}
+
+TEST(VmSpec, ConvenienceConversions) {
+  VmSpec s;
+  s.memory_gb = 2.0;
+  s.disk_gb = 3.0;
+  EXPECT_DOUBLE_EQ(s.memory_mb(), 2048.0);
+  EXPECT_DOUBLE_EQ(s.disk_mb(), 3072.0);
+}
+
+TEST(Vm, StartsRunning) {
+  const Vm vm{VmSpec{}};
+  EXPECT_EQ(vm.state(), VmState::kRunning);
+}
+
+TEST(Vm, LegalLifecyclePath) {
+  Vm vm{VmSpec{}};
+  vm.transition(VmState::kSuspended, 10);
+  vm.transition(VmState::kDegraded, 20);   // lazy resume
+  vm.transition(VmState::kRunning, 30);    // restore stream finished
+  vm.transition(VmState::kDown, 40);       // revoked
+  vm.transition(VmState::kRunning, 50);    // restored elsewhere
+  EXPECT_EQ(vm.state(), VmState::kRunning);
+  EXPECT_EQ(vm.last_transition(), 50);
+}
+
+TEST(Vm, SuspendedCanResumeDirectly) {
+  Vm vm{VmSpec{}};
+  vm.transition(VmState::kSuspended, 1);
+  vm.transition(VmState::kRunning, 2);
+  EXPECT_EQ(vm.state(), VmState::kRunning);
+}
+
+TEST(Vm, DownCannotSuspend) {
+  Vm vm{VmSpec{}};
+  vm.transition(VmState::kDown, 1);
+  EXPECT_THROW(vm.transition(VmState::kSuspended, 2), std::logic_error);
+}
+
+TEST(Vm, RunningCannotJumpToDegraded) {
+  Vm vm{VmSpec{}};
+  EXPECT_THROW(vm.transition(VmState::kDegraded, 1), std::logic_error);
+}
+
+TEST(Vm, TimeRegressionRejected) {
+  Vm vm{VmSpec{}};
+  vm.transition(VmState::kSuspended, 100);
+  EXPECT_THROW(vm.transition(VmState::kRunning, 50), std::logic_error);
+}
+
+TEST(Vm, StateNames) {
+  EXPECT_EQ(to_string(VmState::kRunning), "running");
+  EXPECT_EQ(to_string(VmState::kSuspended), "suspended");
+  EXPECT_EQ(to_string(VmState::kDown), "down");
+  EXPECT_EQ(to_string(VmState::kDegraded), "degraded");
+}
+
+}  // namespace
+}  // namespace spothost::virt

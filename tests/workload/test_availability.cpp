@@ -1,0 +1,136 @@
+#include "workload/availability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spothost::workload {
+namespace {
+
+using sim::kDay;
+using sim::kHour;
+using sim::kMinute;
+using sim::kSecond;
+
+TEST(Availability, PerfectUptimeIsZeroUnavailability) {
+  AvailabilityTracker t;
+  t.start(0);
+  t.finalize(30 * kDay);
+  EXPECT_DOUBLE_EQ(t.unavailability(), 0.0);
+  EXPECT_EQ(t.outage_count(), 0u);
+}
+
+TEST(Availability, SingleOutageFractions) {
+  AvailabilityTracker t;
+  t.start(0);
+  t.mark_down(kHour);
+  t.mark_up(kHour + 36 * kSecond);
+  t.finalize(100 * kHour);
+  // 36 s of 100 h = 0.01 %: exactly the four-nines budget.
+  EXPECT_NEAR(t.unavailability_percent(), 0.01, 1e-9);
+  EXPECT_EQ(t.outage_count(), 1u);
+  EXPECT_EQ(t.total_downtime(), 36 * kSecond);
+}
+
+TEST(Availability, MultipleOutagesAccumulate) {
+  AvailabilityTracker t;
+  t.start(0);
+  t.mark_down(kHour);
+  t.mark_up(kHour + 30 * kSecond);
+  t.mark_down(5 * kHour);
+  t.mark_up(5 * kHour + 90 * kSecond);
+  t.finalize(10 * kHour);
+  EXPECT_EQ(t.total_downtime(), 120 * kSecond);
+  EXPECT_EQ(t.outage_count(), 2u);
+  EXPECT_EQ(t.longest_outage(), 90 * kSecond);
+}
+
+TEST(Availability, OpenOutageClosedAtFinalize) {
+  AvailabilityTracker t;
+  t.start(0);
+  t.mark_down(9 * kHour);
+  t.finalize(10 * kHour);
+  EXPECT_EQ(t.total_downtime(), kHour);
+  EXPECT_FALSE(t.is_down());  // finalized
+}
+
+TEST(Availability, DegradedTimeTrackedSeparately) {
+  AvailabilityTracker t;
+  t.start(0);
+  t.mark_down(kHour);
+  t.mark_up(kHour + 20 * kSecond);
+  t.mark_degraded(kHour + 20 * kSecond);
+  t.mark_normal(kHour + 80 * kSecond);
+  t.finalize(10 * kHour);
+  EXPECT_EQ(t.total_downtime(), 20 * kSecond);
+  EXPECT_EQ(t.total_degraded(), 60 * kSecond);
+  // Degraded time is NOT downtime.
+  EXPECT_NEAR(t.unavailability(), 20.0 / (10.0 * 3600.0), 1e-12);
+}
+
+TEST(Availability, NestedDegradedCallsCollapse) {
+  AvailabilityTracker t;
+  t.start(0);
+  t.mark_degraded(10 * kSecond);
+  t.mark_degraded(20 * kSecond);  // no-op
+  t.mark_normal(30 * kSecond);
+  t.mark_normal(40 * kSecond);  // no-op
+  t.finalize(kMinute);
+  EXPECT_EQ(t.total_degraded(), 20 * kSecond);
+}
+
+TEST(Availability, OpenDegradedClosedAtFinalize) {
+  AvailabilityTracker t;
+  t.start(0);
+  t.mark_degraded(50 * kSecond);
+  t.finalize(kMinute);
+  EXPECT_EQ(t.total_degraded(), 10 * kSecond);
+}
+
+TEST(Availability, DoubleDownThrows) {
+  AvailabilityTracker t;
+  t.start(0);
+  t.mark_down(1);
+  EXPECT_THROW(t.mark_down(2), std::logic_error);
+}
+
+TEST(Availability, UpWithoutDownThrows) {
+  AvailabilityTracker t;
+  t.start(0);
+  EXPECT_THROW(t.mark_up(1), std::logic_error);
+}
+
+TEST(Availability, UseBeforeStartThrows) {
+  AvailabilityTracker t;
+  EXPECT_THROW(t.mark_down(1), std::logic_error);
+  EXPECT_THROW(t.finalize(10), std::logic_error);
+}
+
+TEST(Availability, UnavailabilityBeforeFinalizeThrows) {
+  AvailabilityTracker t;
+  t.start(0);
+  EXPECT_THROW((void)t.unavailability(), std::logic_error);
+}
+
+TEST(Availability, StartTwiceThrows) {
+  AvailabilityTracker t;
+  t.start(0);
+  EXPECT_THROW(t.start(0), std::logic_error);
+}
+
+TEST(Availability, TimeRegressionInOutageThrows) {
+  AvailabilityTracker t;
+  t.start(0);
+  t.mark_down(100);
+  EXPECT_THROW(t.mark_up(50), std::logic_error);
+}
+
+TEST(Availability, NonZeroTrackingStart) {
+  AvailabilityTracker t;
+  t.start(kDay);  // went live a day in
+  t.mark_down(kDay + kHour);
+  t.mark_up(kDay + kHour + 36 * kSecond);
+  t.finalize(kDay + 100 * kHour);
+  EXPECT_NEAR(t.unavailability_percent(), 0.01, 1e-9);
+}
+
+}  // namespace
+}  // namespace spothost::workload

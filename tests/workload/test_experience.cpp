@@ -1,0 +1,105 @@
+#include "workload/experience.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spothost::workload {
+namespace {
+
+using sim::kDay;
+using sim::kHour;
+using sim::kMinute;
+
+ExperienceConfig fast_config() {
+  ExperienceConfig cfg;
+  cfg.sample_step = 5 * kMinute;
+  cfg.peak_browsers = 100;  // below the knee: sane response times
+  return cfg;
+}
+
+AvailabilityTracker perfect_month() {
+  AvailabilityTracker t;
+  t.start(0);
+  t.finalize(30 * kDay);
+  return t;
+}
+
+TEST(Experience, PerfectUptimeNeverFails) {
+  const auto report =
+      evaluate_experience(perfect_month(), 30 * kDay, fast_config());
+  EXPECT_DOUBLE_EQ(report.failed_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(report.degraded_fraction, 0.0);
+  EXPECT_GT(report.mean_response_ms, 0.0);
+  EXPECT_GT(report.apdex, 0.9);  // light load, I/O-bound: snappy site
+}
+
+TEST(Experience, OutagesFailTheirTraffic) {
+  AvailabilityTracker t;
+  t.start(0);
+  // A day-long outage (extreme, to dominate sampling noise).
+  t.mark_down(5 * kDay);
+  t.mark_up(6 * kDay);
+  t.finalize(30 * kDay);
+  const auto report = evaluate_experience(t, 30 * kDay, fast_config());
+  // Roughly 1/30 of traffic fails (modulo the diurnal weighting).
+  EXPECT_GT(report.failed_fraction, 0.02);
+  EXPECT_LT(report.failed_fraction, 0.05);
+}
+
+TEST(Experience, PeakOutageFailsMoreTrafficThanTroughOutage) {
+  auto outage_at = [&](int hour_of_day) {
+    AvailabilityTracker t;
+    t.start(0);
+    t.mark_down(hour_of_day * kHour);
+    t.mark_up(hour_of_day * kHour + 2 * kHour);
+    t.finalize(2 * kDay);
+    return evaluate_experience(t, 2 * kDay, fast_config()).failed_fraction;
+  };
+  EXPECT_GT(outage_at(19), 2.0 * outage_at(7));  // peak at 20:00, trough 08:00
+}
+
+TEST(Experience, DegradedWindowsSlowTheSite) {
+  AvailabilityTracker with_degraded;
+  with_degraded.start(0);
+  with_degraded.mark_down(10 * kHour);
+  with_degraded.mark_up(10 * kHour + kMinute);
+  with_degraded.mark_degraded(10 * kHour + kMinute);
+  with_degraded.mark_normal(16 * kHour);  // long degraded tail
+  with_degraded.finalize(kDay);
+
+  AvailabilityTracker clean;
+  clean.start(0);
+  clean.mark_down(10 * kHour);
+  clean.mark_up(10 * kHour + kMinute);
+  clean.finalize(kDay);
+
+  ExperienceConfig cfg = fast_config();
+  cfg.scenario = TpcwScenario::kNoImages;  // CPU-bound: slowdown visible
+  cfg.peak_browsers = 200;
+  const auto slow = evaluate_experience(with_degraded, kDay, cfg);
+  const auto fast = evaluate_experience(clean, kDay, cfg);
+  EXPECT_GT(slow.degraded_fraction, 0.0);
+  EXPECT_GT(slow.mean_response_ms, fast.mean_response_ms);
+}
+
+TEST(Experience, ApdexDropsWithOutages) {
+  AvailabilityTracker t;
+  t.start(0);
+  t.mark_down(10 * kHour);
+  t.mark_up(20 * kHour);
+  t.finalize(kDay);
+  const auto bad = evaluate_experience(t, kDay, fast_config());
+  const auto good = evaluate_experience(perfect_month(), 30 * kDay, fast_config());
+  EXPECT_LT(bad.apdex, good.apdex - 0.2);
+}
+
+TEST(Experience, RejectsBadArguments) {
+  EXPECT_THROW(evaluate_experience(perfect_month(), 0, fast_config()),
+               std::invalid_argument);
+  ExperienceConfig cfg = fast_config();
+  cfg.sample_step = 0;
+  EXPECT_THROW(evaluate_experience(perfect_month(), kDay, cfg),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spothost::workload

@@ -1,0 +1,64 @@
+#include "workload/outage_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spothost::workload {
+namespace {
+
+using sim::kDay;
+using sim::kHour;
+using sim::kSecond;
+
+AvailabilityTracker tracker_with(std::initializer_list<int> durations_s) {
+  AvailabilityTracker t;
+  t.start(0);
+  sim::SimTime at = kHour;
+  for (const int d : durations_s) {
+    t.mark_down(at);
+    t.mark_up(at + d * kSecond);
+    at += kHour;
+  }
+  t.finalize(30 * kDay);
+  return t;
+}
+
+TEST(OutageStats, NoOutages) {
+  const auto t = tracker_with({});
+  const auto s = compute_outage_stats(t, 30 * kDay);
+  EXPECT_EQ(s.count, 0);
+  EXPECT_TRUE(std::isinf(s.mtbf_hours));
+  EXPECT_DOUBLE_EQ(s.max_s, 0.0);
+}
+
+TEST(OutageStats, SingleOutage) {
+  const auto t = tracker_with({120});
+  const auto s = compute_outage_stats(t, 30 * kDay);
+  EXPECT_EQ(s.count, 1);
+  EXPECT_DOUBLE_EQ(s.mean_s, 120.0);
+  EXPECT_DOUBLE_EQ(s.p50_s, 120.0);
+  EXPECT_DOUBLE_EQ(s.p95_s, 120.0);
+  EXPECT_DOUBLE_EQ(s.max_s, 120.0);
+  EXPECT_NEAR(s.mtbf_hours, (30 * 24 * 3600.0 - 120.0) / 3600.0, 1e-9);
+}
+
+TEST(OutageStats, PercentilesNearestRank) {
+  const auto t = tracker_with({10, 20, 30, 40, 100});
+  const auto s = compute_outage_stats(t, 30 * kDay);
+  EXPECT_EQ(s.count, 5);
+  EXPECT_DOUBLE_EQ(s.mean_s, 40.0);
+  EXPECT_DOUBLE_EQ(s.p50_s, 30.0);   // rank ceil(2.5)=3 -> 30
+  EXPECT_DOUBLE_EQ(s.p95_s, 100.0);  // rank ceil(4.75)=5 -> 100
+  EXPECT_DOUBLE_EQ(s.max_s, 100.0);
+  EXPECT_DOUBLE_EQ(s.mttr_s, s.mean_s);
+}
+
+TEST(OutageStats, MtbfDividesUptimeByFailures) {
+  const auto t = tracker_with({60, 60});
+  const auto s = compute_outage_stats(t, 2 * kDay);
+  EXPECT_NEAR(s.mtbf_hours, (2 * 24 * 3600.0 - 120.0) / 3600.0 / 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace spothost::workload

@@ -1,0 +1,97 @@
+#include "workload/queueing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace spothost::workload {
+namespace {
+
+TEST(Mva, ZeroCustomersIsIdle) {
+  const std::array<Station, 1> st{Station{"cpu", 0.1, false}};
+  const auto r = solve_closed_mva(st, 0, 1.0);
+  EXPECT_DOUBLE_EQ(r.throughput_per_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.response_time_s, 0.0);
+}
+
+TEST(Mva, SingleCustomerSeesRawDemand) {
+  // With one customer there is never queueing: R = sum of demands.
+  const std::array<Station, 2> st{Station{"cpu", 0.10, false},
+                                  Station{"io", 0.05, false}};
+  const auto r = solve_closed_mva(st, 1, 2.0);
+  EXPECT_NEAR(r.response_time_s, 0.15, 1e-12);
+  EXPECT_NEAR(r.throughput_per_s, 1.0 / 2.15, 1e-12);
+}
+
+TEST(Mva, ThroughputBoundedByBottleneck) {
+  const std::array<Station, 2> st{Station{"cpu", 0.10, false},
+                                  Station{"io", 0.02, false}};
+  const auto r = solve_closed_mva(st, 500, 1.0);
+  EXPECT_LE(r.throughput_per_s, 1.0 / 0.10 + 1e-9);
+  EXPECT_GT(r.throughput_per_s, 0.95 / 0.10);  // saturated
+}
+
+TEST(Mva, HighLoadResponseMatchesAsymptote) {
+  // R(n) -> n * D_max - Z as n -> infinity.
+  const std::array<Station, 1> st{Station{"cpu", 0.05, false}};
+  const int n = 400;
+  const double z = 7.0;
+  const auto r = solve_closed_mva(st, n, z);
+  EXPECT_NEAR(r.response_time_s, n * 0.05 - z, 0.05);
+}
+
+TEST(Mva, LittlesLawHolds) {
+  const std::array<Station, 2> st{Station{"cpu", 0.03, false},
+                                  Station{"io", 0.06, false}};
+  const int n = 50;
+  const double z = 1.0;
+  const auto r = solve_closed_mva(st, n, z);
+  // N = X * (R + Z)
+  EXPECT_NEAR(n, r.throughput_per_s * (r.response_time_s + z), 1e-9);
+  // Queue lengths sum to customers at stations.
+  double q = 0.0;
+  for (const double x : r.queue_lengths) q += x;
+  EXPECT_NEAR(q + r.throughput_per_s * z, n, 1e-9);
+}
+
+TEST(Mva, UtilizationIsThroughputTimesDemand) {
+  const std::array<Station, 1> st{Station{"cpu", 0.04, false}};
+  const auto r = solve_closed_mva(st, 20, 1.0);
+  EXPECT_NEAR(r.utilizations[0], r.throughput_per_s * 0.04, 1e-12);
+  EXPECT_LE(r.utilizations[0], 1.0 + 1e-9);
+}
+
+TEST(Mva, DelayCenterNeverQueues) {
+  const std::array<Station, 2> st{Station{"cpu", 0.05, false},
+                                  Station{"net", 0.2, true}};
+  const auto r = solve_closed_mva(st, 200, 0.5);
+  // Residence at the delay center equals its demand regardless of load,
+  // so R >= 0.2 but the delay contribution is exactly 0.2.
+  const auto r1 = solve_closed_mva(st, 1, 0.5);
+  EXPECT_NEAR(r1.response_time_s, 0.25, 1e-12);
+  EXPECT_GT(r.response_time_s, 5.0);  // CPU queues, delay does not
+}
+
+TEST(Mva, MonotoneInCustomers) {
+  const std::array<Station, 2> st{Station{"cpu", 0.03, false},
+                                  Station{"io", 0.05, false}};
+  double prev_r = 0.0, prev_x = 0.0;
+  for (int n = 1; n <= 300; n += 20) {
+    const auto r = solve_closed_mva(st, n, 2.0);
+    EXPECT_GE(r.response_time_s, prev_r - 1e-9);
+    EXPECT_GE(r.throughput_per_s, prev_x - 1e-9);
+    prev_r = r.response_time_s;
+    prev_x = r.throughput_per_s;
+  }
+}
+
+TEST(Mva, RejectsBadInput) {
+  const std::array<Station, 1> st{Station{"cpu", 0.1, false}};
+  EXPECT_THROW(solve_closed_mva(st, -1, 1.0), std::invalid_argument);
+  EXPECT_THROW(solve_closed_mva(st, 1, -1.0), std::invalid_argument);
+  const std::array<Station, 1> bad{Station{"cpu", -0.1, false}};
+  EXPECT_THROW(solve_closed_mva(bad, 1, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spothost::workload

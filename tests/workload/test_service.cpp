@@ -1,0 +1,93 @@
+#include "workload/service.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spothost::workload {
+namespace {
+
+using sim::kHour;
+using sim::kSecond;
+
+AlwaysOnService make_service() {
+  return AlwaysOnService("shop", virt::default_spec_for_memory(1.7, 8.0));
+}
+
+TEST(Service, GoLiveStartsUp) {
+  auto s = make_service();
+  s.go_live(0);
+  EXPECT_TRUE(s.is_up());
+  EXPECT_EQ(s.name(), "shop");
+  EXPECT_DOUBLE_EQ(s.spec().memory_gb, 1.7);
+}
+
+TEST(Service, OutageRoundTripUpdatesAvailability) {
+  auto s = make_service();
+  s.go_live(0);
+  s.begin_outage(kHour, OutageCause::kForcedMigration);
+  EXPECT_FALSE(s.is_up());
+  EXPECT_EQ(s.vm().state(), virt::VmState::kDown);
+  s.end_outage(kHour + 30 * kSecond, /*degraded=*/false);
+  EXPECT_TRUE(s.is_up());
+  EXPECT_EQ(s.vm().state(), virt::VmState::kRunning);
+  s.finalize(10 * kHour);
+  EXPECT_EQ(s.availability().total_downtime(), 30 * kSecond);
+}
+
+TEST(Service, DegradedResumeTransitionsThroughDegraded) {
+  auto s = make_service();
+  s.go_live(0);
+  s.begin_outage(kHour, OutageCause::kForcedMigration);
+  s.end_outage(kHour + 20 * kSecond, /*degraded=*/true);
+  EXPECT_TRUE(s.is_up());
+  EXPECT_EQ(s.vm().state(), virt::VmState::kDegraded);
+  s.end_degraded(kHour + 60 * kSecond);
+  EXPECT_EQ(s.vm().state(), virt::VmState::kRunning);
+  s.finalize(10 * kHour);
+  EXPECT_EQ(s.availability().total_degraded(), 40 * kSecond);
+}
+
+TEST(Service, EndDegradedIsIdempotent) {
+  auto s = make_service();
+  s.go_live(0);
+  s.end_degraded(kHour);  // not degraded: no-op
+  EXPECT_EQ(s.vm().state(), virt::VmState::kRunning);
+}
+
+TEST(Service, OutageCausesCountedSeparately) {
+  auto s = make_service();
+  s.go_live(0);
+  s.begin_outage(1 * kHour, OutageCause::kForcedMigration);
+  s.end_outage(1 * kHour + kSecond, false);
+  s.begin_outage(2 * kHour, OutageCause::kPlannedMigration);
+  s.end_outage(2 * kHour + kSecond, false);
+  s.begin_outage(3 * kHour, OutageCause::kForcedMigration);
+  s.end_outage(3 * kHour + kSecond, false);
+  EXPECT_EQ(s.outage_count(OutageCause::kForcedMigration), 2);
+  EXPECT_EQ(s.outage_count(OutageCause::kPlannedMigration), 1);
+  EXPECT_EQ(s.outage_count(OutageCause::kReverseMigration), 0);
+  EXPECT_EQ(s.outage_count(OutageCause::kSpotLoss), 0);
+}
+
+TEST(Service, OutageFromDegradedState) {
+  // A forced migration can hit during a lazy-restore window.
+  auto s = make_service();
+  s.go_live(0);
+  s.begin_outage(kHour, OutageCause::kForcedMigration);
+  s.end_outage(kHour + 20 * kSecond, true);
+  s.begin_outage(kHour + 40 * kSecond, OutageCause::kForcedMigration);
+  EXPECT_FALSE(s.is_up());
+  s.end_outage(kHour + 80 * kSecond, false);
+  s.finalize(2 * kHour);
+  // Degraded window was cut short at the second outage.
+  EXPECT_EQ(s.availability().total_degraded(), 20 * kSecond);
+}
+
+TEST(Service, DoubleOutageThrows) {
+  auto s = make_service();
+  s.go_live(0);
+  s.begin_outage(1, OutageCause::kOther);
+  EXPECT_THROW(s.begin_outage(2, OutageCause::kOther), std::logic_error);
+}
+
+}  // namespace
+}  // namespace spothost::workload

@@ -1,0 +1,99 @@
+#include "workload/tpcw.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spothost::workload {
+namespace {
+
+TEST(Tpcw, ResponseRisesWithLoad) {
+  const TpcwModel model;
+  double prev = 0.0;
+  for (int eb = 100; eb <= 400; eb += 50) {
+    const double r =
+        model.response_time_ms(eb, TpcwScenario::kWithImages, HostKind::kNativeVm);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+}
+
+TEST(Tpcw, WithImagesNestedMatchesNative) {
+  // Fig. 12(a): I/O-bound workload — nested within a few percent of native.
+  const TpcwModel model;
+  for (int eb = 100; eb <= 400; eb += 100) {
+    const double native =
+        model.response_time_ms(eb, TpcwScenario::kWithImages, HostKind::kNativeVm);
+    const double nested =
+        model.response_time_ms(eb, TpcwScenario::kWithImages, HostKind::kNestedVm);
+    EXPECT_LT(std::abs(nested - native) / std::max(native, 1.0), 0.15)
+        << "EBs=" << eb;
+  }
+}
+
+TEST(Tpcw, NoImagesNestedDegradesUnderLoad) {
+  // Fig. 12(b): CPU-bound workload — nested up to ~50 % worse at high load.
+  const TpcwModel model;
+  const double native400 =
+      model.response_time_ms(400, TpcwScenario::kNoImages, HostKind::kNativeVm);
+  const double nested400 =
+      model.response_time_ms(400, TpcwScenario::kNoImages, HostKind::kNestedVm);
+  EXPECT_GT(nested400, 1.4 * native400);
+
+  // At light load the gap is modest (overhead is load-dependent).
+  const double native100 =
+      model.response_time_ms(100, TpcwScenario::kNoImages, HostKind::kNativeVm);
+  const double nested100 =
+      model.response_time_ms(100, TpcwScenario::kNoImages, HostKind::kNestedVm);
+  EXPECT_LT(nested100 / native100, nested400 / native400);
+}
+
+TEST(Tpcw, WithImagesIsSlowerThanWithout) {
+  // Serving images through the site adds I/O demand.
+  const TpcwModel model;
+  EXPECT_GT(model.response_time_ms(300, TpcwScenario::kWithImages,
+                                   HostKind::kNativeVm),
+            model.response_time_ms(300, TpcwScenario::kNoImages,
+                                   HostKind::kNativeVm));
+}
+
+TEST(Tpcw, ResponseMagnitudesInPaperBallpark) {
+  // Fig. 12(a) shows multi-second responses at 400 EBs with images;
+  // Fig. 12(b) stays below ~10 s without images.
+  const TpcwModel model;
+  const double with_images =
+      model.response_time_ms(400, TpcwScenario::kWithImages, HostKind::kNativeVm);
+  EXPECT_GT(with_images, 5000.0);
+  EXPECT_LT(with_images, 30000.0);
+  const double no_images =
+      model.response_time_ms(400, TpcwScenario::kNoImages, HostKind::kNestedVm);
+  EXPECT_LT(no_images, 12000.0);
+}
+
+TEST(Tpcw, ThroughputSaturatesAtBottleneck) {
+  const TpcwModel model;
+  const auto cfg = model.config();
+  const double x =
+      model.throughput_per_s(400, TpcwScenario::kWithImages, HostKind::kNativeVm);
+  EXPECT_LE(x, 1.0 / cfg.io_demand_with_images_s + 1e-6);
+}
+
+TEST(Tpcw, NestedFixedPointConverges) {
+  // Run with very few iterations vs many: result must be stable by 12.
+  TpcwConfig few;
+  few.fixed_point_iterations = 12;
+  TpcwConfig many;
+  many.fixed_point_iterations = 50;
+  const double a = TpcwModel(few).response_time_ms(350, TpcwScenario::kNoImages,
+                                                   HostKind::kNestedVm);
+  const double b = TpcwModel(many).response_time_ms(350, TpcwScenario::kNoImages,
+                                                    HostKind::kNestedVm);
+  EXPECT_NEAR(a, b, 1.0);
+}
+
+TEST(Tpcw, RejectsBadConfig) {
+  TpcwConfig bad;
+  bad.cpu_demand_s = 0.0;
+  EXPECT_THROW(TpcwModel{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spothost::workload
