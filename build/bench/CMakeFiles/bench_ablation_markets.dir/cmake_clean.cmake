@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_markets.dir/bench_ablation_markets.cpp.o"
+  "CMakeFiles/bench_ablation_markets.dir/bench_ablation_markets.cpp.o.d"
+  "bench_ablation_markets"
+  "bench_ablation_markets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_markets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_price_traces.dir/bench_fig01_price_traces.cpp.o"
+  "CMakeFiles/bench_fig01_price_traces.dir/bench_fig01_price_traces.cpp.o.d"
+  "bench_fig01_price_traces"
+  "bench_fig01_price_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_price_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

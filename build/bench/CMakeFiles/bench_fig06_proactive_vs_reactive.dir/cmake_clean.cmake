@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_proactive_vs_reactive.dir/bench_fig06_proactive_vs_reactive.cpp.o"
+  "CMakeFiles/bench_fig06_proactive_vs_reactive.dir/bench_fig06_proactive_vs_reactive.cpp.o.d"
+  "bench_fig06_proactive_vs_reactive"
+  "bench_fig06_proactive_vs_reactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_proactive_vs_reactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

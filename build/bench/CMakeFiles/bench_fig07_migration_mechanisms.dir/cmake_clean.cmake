@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_migration_mechanisms.dir/bench_fig07_migration_mechanisms.cpp.o"
+  "CMakeFiles/bench_fig07_migration_mechanisms.dir/bench_fig07_migration_mechanisms.cpp.o.d"
+  "bench_fig07_migration_mechanisms"
+  "bench_fig07_migration_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_migration_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_multimarket.dir/bench_fig08_multimarket.cpp.o"
+  "CMakeFiles/bench_fig08_multimarket.dir/bench_fig08_multimarket.cpp.o.d"
+  "bench_fig08_multimarket"
+  "bench_fig08_multimarket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_multimarket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

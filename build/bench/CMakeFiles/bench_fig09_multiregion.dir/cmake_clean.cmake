@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_multiregion.dir/bench_fig09_multiregion.cpp.o"
+  "CMakeFiles/bench_fig09_multiregion.dir/bench_fig09_multiregion.cpp.o.d"
+  "bench_fig09_multiregion"
+  "bench_fig09_multiregion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_multiregion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_price_stddev.dir/bench_fig10_price_stddev.cpp.o"
+  "CMakeFiles/bench_fig10_price_stddev.dir/bench_fig10_price_stddev.cpp.o.d"
+  "bench_fig10_price_stddev"
+  "bench_fig10_price_stddev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_price_stddev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

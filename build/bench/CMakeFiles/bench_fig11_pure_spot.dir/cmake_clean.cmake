@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_pure_spot.dir/bench_fig11_pure_spot.cpp.o"
+  "CMakeFiles/bench_fig11_pure_spot.dir/bench_fig11_pure_spot.cpp.o.d"
+  "bench_fig11_pure_spot"
+  "bench_fig11_pure_spot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_pure_spot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecommerce_site.dir/ecommerce_site.cpp.o"
+  "CMakeFiles/ecommerce_site.dir/ecommerce_site.cpp.o.d"
+  "ecommerce_site"
+  "ecommerce_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecommerce_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

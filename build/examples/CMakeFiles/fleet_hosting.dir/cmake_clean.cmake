@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_hosting.dir/fleet_hosting.cpp.o"
+  "CMakeFiles/fleet_hosting.dir/fleet_hosting.cpp.o.d"
+  "fleet_hosting"
+  "fleet_hosting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_hosting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiregion_failover.dir/multiregion_failover.cpp.o"
+  "CMakeFiles/multiregion_failover.dir/multiregion_failover.cpp.o.d"
+  "multiregion_failover"
+  "multiregion_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiregion_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

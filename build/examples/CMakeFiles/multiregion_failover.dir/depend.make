@@ -1,0 +1,2 @@
+# Empty dependencies file for multiregion_failover.
+# This may be replaced when dependencies are built.

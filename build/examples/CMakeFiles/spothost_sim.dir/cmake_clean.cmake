@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spothost_sim.dir/spothost_sim.cpp.o"
+  "CMakeFiles/spothost_sim.dir/spothost_sim.cpp.o.d"
+  "spothost_sim"
+  "spothost_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spothost_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/billing.cpp" "src/CMakeFiles/spothost.dir/cloud/billing.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/cloud/billing.cpp.o.d"
+  "/root/repo/src/cloud/instance_types.cpp" "src/CMakeFiles/spothost.dir/cloud/instance_types.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/cloud/instance_types.cpp.o.d"
+  "/root/repo/src/cloud/market.cpp" "src/CMakeFiles/spothost.dir/cloud/market.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/cloud/market.cpp.o.d"
+  "/root/repo/src/cloud/provider.cpp" "src/CMakeFiles/spothost.dir/cloud/provider.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/cloud/provider.cpp.o.d"
+  "/root/repo/src/cloud/volume.cpp" "src/CMakeFiles/spothost.dir/cloud/volume.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/cloud/volume.cpp.o.d"
+  "/root/repo/src/metrics/experiment.cpp" "src/CMakeFiles/spothost.dir/metrics/experiment.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/metrics/experiment.cpp.o.d"
+  "/root/repo/src/metrics/run_metrics.cpp" "src/CMakeFiles/spothost.dir/metrics/run_metrics.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/metrics/run_metrics.cpp.o.d"
+  "/root/repo/src/metrics/table.cpp" "src/CMakeFiles/spothost.dir/metrics/table.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/metrics/table.cpp.o.d"
+  "/root/repo/src/sched/analysis.cpp" "src/CMakeFiles/spothost.dir/sched/analysis.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/sched/analysis.cpp.o.d"
+  "/root/repo/src/sched/baselines.cpp" "src/CMakeFiles/spothost.dir/sched/baselines.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/sched/baselines.cpp.o.d"
+  "/root/repo/src/sched/bid_advisor.cpp" "src/CMakeFiles/spothost.dir/sched/bid_advisor.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/sched/bid_advisor.cpp.o.d"
+  "/root/repo/src/sched/bidding.cpp" "src/CMakeFiles/spothost.dir/sched/bidding.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/sched/bidding.cpp.o.d"
+  "/root/repo/src/sched/config.cpp" "src/CMakeFiles/spothost.dir/sched/config.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/sched/config.cpp.o.d"
+  "/root/repo/src/sched/fleet.cpp" "src/CMakeFiles/spothost.dir/sched/fleet.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/sched/fleet.cpp.o.d"
+  "/root/repo/src/sched/market_selection.cpp" "src/CMakeFiles/spothost.dir/sched/market_selection.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/sched/market_selection.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/CMakeFiles/spothost.dir/sched/scheduler.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/sched/scheduler.cpp.o.d"
+  "/root/repo/src/simcore/event_queue.cpp" "src/CMakeFiles/spothost.dir/simcore/event_queue.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/simcore/event_queue.cpp.o.d"
+  "/root/repo/src/simcore/logging.cpp" "src/CMakeFiles/spothost.dir/simcore/logging.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/simcore/logging.cpp.o.d"
+  "/root/repo/src/simcore/rng.cpp" "src/CMakeFiles/spothost.dir/simcore/rng.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/simcore/rng.cpp.o.d"
+  "/root/repo/src/simcore/simulation.cpp" "src/CMakeFiles/spothost.dir/simcore/simulation.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/simcore/simulation.cpp.o.d"
+  "/root/repo/src/simcore/time.cpp" "src/CMakeFiles/spothost.dir/simcore/time.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/simcore/time.cpp.o.d"
+  "/root/repo/src/trace/auction_market.cpp" "src/CMakeFiles/spothost.dir/trace/auction_market.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/trace/auction_market.cpp.o.d"
+  "/root/repo/src/trace/csv.cpp" "src/CMakeFiles/spothost.dir/trace/csv.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/trace/csv.cpp.o.d"
+  "/root/repo/src/trace/features.cpp" "src/CMakeFiles/spothost.dir/trace/features.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/trace/features.cpp.o.d"
+  "/root/repo/src/trace/price_trace.cpp" "src/CMakeFiles/spothost.dir/trace/price_trace.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/trace/price_trace.cpp.o.d"
+  "/root/repo/src/trace/profiles.cpp" "src/CMakeFiles/spothost.dir/trace/profiles.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/trace/profiles.cpp.o.d"
+  "/root/repo/src/trace/stats.cpp" "src/CMakeFiles/spothost.dir/trace/stats.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/trace/stats.cpp.o.d"
+  "/root/repo/src/trace/synthetic.cpp" "src/CMakeFiles/spothost.dir/trace/synthetic.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/trace/synthetic.cpp.o.d"
+  "/root/repo/src/virt/checkpoint.cpp" "src/CMakeFiles/spothost.dir/virt/checkpoint.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/virt/checkpoint.cpp.o.d"
+  "/root/repo/src/virt/checkpoint_process.cpp" "src/CMakeFiles/spothost.dir/virt/checkpoint_process.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/virt/checkpoint_process.cpp.o.d"
+  "/root/repo/src/virt/live_migration.cpp" "src/CMakeFiles/spothost.dir/virt/live_migration.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/virt/live_migration.cpp.o.d"
+  "/root/repo/src/virt/mechanisms.cpp" "src/CMakeFiles/spothost.dir/virt/mechanisms.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/virt/mechanisms.cpp.o.d"
+  "/root/repo/src/virt/memory_model.cpp" "src/CMakeFiles/spothost.dir/virt/memory_model.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/virt/memory_model.cpp.o.d"
+  "/root/repo/src/virt/nested.cpp" "src/CMakeFiles/spothost.dir/virt/nested.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/virt/nested.cpp.o.d"
+  "/root/repo/src/virt/network_model.cpp" "src/CMakeFiles/spothost.dir/virt/network_model.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/virt/network_model.cpp.o.d"
+  "/root/repo/src/virt/restore.cpp" "src/CMakeFiles/spothost.dir/virt/restore.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/virt/restore.cpp.o.d"
+  "/root/repo/src/virt/vm.cpp" "src/CMakeFiles/spothost.dir/virt/vm.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/virt/vm.cpp.o.d"
+  "/root/repo/src/workload/availability.cpp" "src/CMakeFiles/spothost.dir/workload/availability.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/workload/availability.cpp.o.d"
+  "/root/repo/src/workload/diurnal.cpp" "src/CMakeFiles/spothost.dir/workload/diurnal.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/workload/diurnal.cpp.o.d"
+  "/root/repo/src/workload/experience.cpp" "src/CMakeFiles/spothost.dir/workload/experience.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/workload/experience.cpp.o.d"
+  "/root/repo/src/workload/group.cpp" "src/CMakeFiles/spothost.dir/workload/group.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/workload/group.cpp.o.d"
+  "/root/repo/src/workload/iobench.cpp" "src/CMakeFiles/spothost.dir/workload/iobench.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/workload/iobench.cpp.o.d"
+  "/root/repo/src/workload/outage_stats.cpp" "src/CMakeFiles/spothost.dir/workload/outage_stats.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/workload/outage_stats.cpp.o.d"
+  "/root/repo/src/workload/queueing.cpp" "src/CMakeFiles/spothost.dir/workload/queueing.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/workload/queueing.cpp.o.d"
+  "/root/repo/src/workload/service.cpp" "src/CMakeFiles/spothost.dir/workload/service.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/workload/service.cpp.o.d"
+  "/root/repo/src/workload/tpcw.cpp" "src/CMakeFiles/spothost.dir/workload/tpcw.cpp.o" "gcc" "src/CMakeFiles/spothost.dir/workload/tpcw.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for spothost.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cloud/test_billing.cpp" "tests/CMakeFiles/test_cloud.dir/cloud/test_billing.cpp.o" "gcc" "tests/CMakeFiles/test_cloud.dir/cloud/test_billing.cpp.o.d"
+  "/root/repo/tests/cloud/test_instance_types.cpp" "tests/CMakeFiles/test_cloud.dir/cloud/test_instance_types.cpp.o" "gcc" "tests/CMakeFiles/test_cloud.dir/cloud/test_instance_types.cpp.o.d"
+  "/root/repo/tests/cloud/test_market.cpp" "tests/CMakeFiles/test_cloud.dir/cloud/test_market.cpp.o" "gcc" "tests/CMakeFiles/test_cloud.dir/cloud/test_market.cpp.o.d"
+  "/root/repo/tests/cloud/test_provider.cpp" "tests/CMakeFiles/test_cloud.dir/cloud/test_provider.cpp.o" "gcc" "tests/CMakeFiles/test_cloud.dir/cloud/test_provider.cpp.o.d"
+  "/root/repo/tests/cloud/test_volume.cpp" "tests/CMakeFiles/test_cloud.dir/cloud/test_volume.cpp.o" "gcc" "tests/CMakeFiles/test_cloud.dir/cloud/test_volume.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spothost.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cloud.dir/cloud/test_billing.cpp.o"
+  "CMakeFiles/test_cloud.dir/cloud/test_billing.cpp.o.d"
+  "CMakeFiles/test_cloud.dir/cloud/test_instance_types.cpp.o"
+  "CMakeFiles/test_cloud.dir/cloud/test_instance_types.cpp.o.d"
+  "CMakeFiles/test_cloud.dir/cloud/test_market.cpp.o"
+  "CMakeFiles/test_cloud.dir/cloud/test_market.cpp.o.d"
+  "CMakeFiles/test_cloud.dir/cloud/test_provider.cpp.o"
+  "CMakeFiles/test_cloud.dir/cloud/test_provider.cpp.o.d"
+  "CMakeFiles/test_cloud.dir/cloud/test_volume.cpp.o"
+  "CMakeFiles/test_cloud.dir/cloud/test_volume.cpp.o.d"
+  "test_cloud"
+  "test_cloud.pdb"
+  "test_cloud[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

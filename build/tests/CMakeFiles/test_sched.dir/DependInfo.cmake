@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched/test_analysis.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_analysis.cpp.o.d"
+  "/root/repo/tests/sched/test_baselines.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_baselines.cpp.o.d"
+  "/root/repo/tests/sched/test_bid_advisor.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_bid_advisor.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_bid_advisor.cpp.o.d"
+  "/root/repo/tests/sched/test_bidding.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_bidding.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_bidding.cpp.o.d"
+  "/root/repo/tests/sched/test_config.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_config.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_config.cpp.o.d"
+  "/root/repo/tests/sched/test_fleet.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_fleet.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_fleet.cpp.o.d"
+  "/root/repo/tests/sched/test_group_hosting.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_group_hosting.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_group_hosting.cpp.o.d"
+  "/root/repo/tests/sched/test_market_selection.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_market_selection.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_market_selection.cpp.o.d"
+  "/root/repo/tests/sched/test_scheduler.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_scheduler.cpp.o.d"
+  "/root/repo/tests/sched/test_scheduler_edge.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_scheduler_edge.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_scheduler_edge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spothost.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched.dir/sched/test_analysis.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_analysis.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_baselines.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_baselines.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_bid_advisor.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_bid_advisor.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_bidding.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_bidding.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_config.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_config.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_fleet.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_fleet.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_group_hosting.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_group_hosting.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_market_selection.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_market_selection.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_scheduler.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_scheduler.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_scheduler_edge.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_scheduler_edge.cpp.o.d"
+  "test_sched"
+  "test_sched.pdb"
+  "test_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

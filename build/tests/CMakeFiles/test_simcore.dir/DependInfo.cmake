@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simcore/test_event_queue.cpp" "tests/CMakeFiles/test_simcore.dir/simcore/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/test_simcore.dir/simcore/test_event_queue.cpp.o.d"
+  "/root/repo/tests/simcore/test_logging.cpp" "tests/CMakeFiles/test_simcore.dir/simcore/test_logging.cpp.o" "gcc" "tests/CMakeFiles/test_simcore.dir/simcore/test_logging.cpp.o.d"
+  "/root/repo/tests/simcore/test_rng.cpp" "tests/CMakeFiles/test_simcore.dir/simcore/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_simcore.dir/simcore/test_rng.cpp.o.d"
+  "/root/repo/tests/simcore/test_simulation.cpp" "tests/CMakeFiles/test_simcore.dir/simcore/test_simulation.cpp.o" "gcc" "tests/CMakeFiles/test_simcore.dir/simcore/test_simulation.cpp.o.d"
+  "/root/repo/tests/simcore/test_time.cpp" "tests/CMakeFiles/test_simcore.dir/simcore/test_time.cpp.o" "gcc" "tests/CMakeFiles/test_simcore.dir/simcore/test_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spothost.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

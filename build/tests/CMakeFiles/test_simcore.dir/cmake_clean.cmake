@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simcore.dir/simcore/test_event_queue.cpp.o"
+  "CMakeFiles/test_simcore.dir/simcore/test_event_queue.cpp.o.d"
+  "CMakeFiles/test_simcore.dir/simcore/test_logging.cpp.o"
+  "CMakeFiles/test_simcore.dir/simcore/test_logging.cpp.o.d"
+  "CMakeFiles/test_simcore.dir/simcore/test_rng.cpp.o"
+  "CMakeFiles/test_simcore.dir/simcore/test_rng.cpp.o.d"
+  "CMakeFiles/test_simcore.dir/simcore/test_simulation.cpp.o"
+  "CMakeFiles/test_simcore.dir/simcore/test_simulation.cpp.o.d"
+  "CMakeFiles/test_simcore.dir/simcore/test_time.cpp.o"
+  "CMakeFiles/test_simcore.dir/simcore/test_time.cpp.o.d"
+  "test_simcore"
+  "test_simcore.pdb"
+  "test_simcore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

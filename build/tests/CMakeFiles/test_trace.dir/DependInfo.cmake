@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/test_auction_market.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_auction_market.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_auction_market.cpp.o.d"
+  "/root/repo/tests/trace/test_csv.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_csv.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_csv.cpp.o.d"
+  "/root/repo/tests/trace/test_features.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_features.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_features.cpp.o.d"
+  "/root/repo/tests/trace/test_price_trace.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_price_trace.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_price_trace.cpp.o.d"
+  "/root/repo/tests/trace/test_profiles.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_profiles.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_profiles.cpp.o.d"
+  "/root/repo/tests/trace/test_stats.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_stats.cpp.o.d"
+  "/root/repo/tests/trace/test_synthetic.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_synthetic.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spothost.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

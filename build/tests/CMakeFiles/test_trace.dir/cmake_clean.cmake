@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/trace/test_auction_market.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_auction_market.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_csv.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_csv.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_features.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_features.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_price_trace.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_price_trace.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_profiles.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_profiles.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_stats.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_stats.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_synthetic.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_synthetic.cpp.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

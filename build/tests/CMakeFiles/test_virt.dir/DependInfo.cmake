@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/virt/test_checkpoint.cpp" "tests/CMakeFiles/test_virt.dir/virt/test_checkpoint.cpp.o" "gcc" "tests/CMakeFiles/test_virt.dir/virt/test_checkpoint.cpp.o.d"
+  "/root/repo/tests/virt/test_checkpoint_process.cpp" "tests/CMakeFiles/test_virt.dir/virt/test_checkpoint_process.cpp.o" "gcc" "tests/CMakeFiles/test_virt.dir/virt/test_checkpoint_process.cpp.o.d"
+  "/root/repo/tests/virt/test_live_migration.cpp" "tests/CMakeFiles/test_virt.dir/virt/test_live_migration.cpp.o" "gcc" "tests/CMakeFiles/test_virt.dir/virt/test_live_migration.cpp.o.d"
+  "/root/repo/tests/virt/test_mechanisms.cpp" "tests/CMakeFiles/test_virt.dir/virt/test_mechanisms.cpp.o" "gcc" "tests/CMakeFiles/test_virt.dir/virt/test_mechanisms.cpp.o.d"
+  "/root/repo/tests/virt/test_memory_model.cpp" "tests/CMakeFiles/test_virt.dir/virt/test_memory_model.cpp.o" "gcc" "tests/CMakeFiles/test_virt.dir/virt/test_memory_model.cpp.o.d"
+  "/root/repo/tests/virt/test_nested.cpp" "tests/CMakeFiles/test_virt.dir/virt/test_nested.cpp.o" "gcc" "tests/CMakeFiles/test_virt.dir/virt/test_nested.cpp.o.d"
+  "/root/repo/tests/virt/test_network_model.cpp" "tests/CMakeFiles/test_virt.dir/virt/test_network_model.cpp.o" "gcc" "tests/CMakeFiles/test_virt.dir/virt/test_network_model.cpp.o.d"
+  "/root/repo/tests/virt/test_restore.cpp" "tests/CMakeFiles/test_virt.dir/virt/test_restore.cpp.o" "gcc" "tests/CMakeFiles/test_virt.dir/virt/test_restore.cpp.o.d"
+  "/root/repo/tests/virt/test_vm.cpp" "tests/CMakeFiles/test_virt.dir/virt/test_vm.cpp.o" "gcc" "tests/CMakeFiles/test_virt.dir/virt/test_vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spothost.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virt.dir/virt/test_checkpoint.cpp.o"
+  "CMakeFiles/test_virt.dir/virt/test_checkpoint.cpp.o.d"
+  "CMakeFiles/test_virt.dir/virt/test_checkpoint_process.cpp.o"
+  "CMakeFiles/test_virt.dir/virt/test_checkpoint_process.cpp.o.d"
+  "CMakeFiles/test_virt.dir/virt/test_live_migration.cpp.o"
+  "CMakeFiles/test_virt.dir/virt/test_live_migration.cpp.o.d"
+  "CMakeFiles/test_virt.dir/virt/test_mechanisms.cpp.o"
+  "CMakeFiles/test_virt.dir/virt/test_mechanisms.cpp.o.d"
+  "CMakeFiles/test_virt.dir/virt/test_memory_model.cpp.o"
+  "CMakeFiles/test_virt.dir/virt/test_memory_model.cpp.o.d"
+  "CMakeFiles/test_virt.dir/virt/test_nested.cpp.o"
+  "CMakeFiles/test_virt.dir/virt/test_nested.cpp.o.d"
+  "CMakeFiles/test_virt.dir/virt/test_network_model.cpp.o"
+  "CMakeFiles/test_virt.dir/virt/test_network_model.cpp.o.d"
+  "CMakeFiles/test_virt.dir/virt/test_restore.cpp.o"
+  "CMakeFiles/test_virt.dir/virt/test_restore.cpp.o.d"
+  "CMakeFiles/test_virt.dir/virt/test_vm.cpp.o"
+  "CMakeFiles/test_virt.dir/virt/test_vm.cpp.o.d"
+  "test_virt"
+  "test_virt.pdb"
+  "test_virt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/test_availability.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_availability.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_availability.cpp.o.d"
+  "/root/repo/tests/workload/test_diurnal.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_diurnal.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_diurnal.cpp.o.d"
+  "/root/repo/tests/workload/test_experience.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_experience.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_experience.cpp.o.d"
+  "/root/repo/tests/workload/test_group.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_group.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_group.cpp.o.d"
+  "/root/repo/tests/workload/test_iobench.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_iobench.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_iobench.cpp.o.d"
+  "/root/repo/tests/workload/test_outage_stats.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_outage_stats.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_outage_stats.cpp.o.d"
+  "/root/repo/tests/workload/test_queueing.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_queueing.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_queueing.cpp.o.d"
+  "/root/repo/tests/workload/test_service.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_service.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_service.cpp.o.d"
+  "/root/repo/tests/workload/test_tpcw.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_tpcw.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_tpcw.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spothost.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload.dir/workload/test_availability.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_availability.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_diurnal.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_diurnal.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_experience.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_experience.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_group.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_group.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_iobench.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_iobench.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_outage_stats.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_outage_stats.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_queueing.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_queueing.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_service.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_service.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_tpcw.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_tpcw.cpp.o.d"
+  "test_workload"
+  "test_workload.pdb"
+  "test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
