@@ -24,7 +24,7 @@ int main() {
 
   for (const double weight : {0.5, 1.0, 2.0, 4.0}) {
     auto cfg = base;
-    cfg.stability_aware = true;
+    cfg.stability = sched::StabilityPolicy::kPenalizeVolatility;
     cfg.stability_penalty_weight = weight;
     table.add_row(bench::hosting_row(
         "stability w=" + metrics::fmt(weight, 1), runner.run(scenario, cfg)));

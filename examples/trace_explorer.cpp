@@ -1,11 +1,19 @@
 // Trace tooling: generate a synthetic month of spot prices for any canonical
 // market, print its statistics, and round-trip it through the CSV format —
 // the same format you can use to feed *real* EC2 price-history exports into
-// the simulator.
+// the simulator. The --timeline mode runs a full hosting month with a tracer
+// attached and dumps the structured event stream.
 //
 //   $ ./trace_explorer                          # generate + stats + CSV demo
 //   $ ./trace_explorer path/to/trace.csv        # inspect an existing CSV
+//   $ ./trace_explorer --timeline               # hosting run event timeline
+//   $ ./trace_explorer --timeline 7 migration_begin
+//                                               # seed 7, one event kind only
+#include <cstdlib>
 #include <iostream>
+#include <map>
+#include <optional>
+#include <string>
 
 #include "spothost.hpp"
 
@@ -35,9 +43,78 @@ void describe(const trace::PriceTrace& t, double pon) {
   }
 }
 
+int run_timeline(std::uint64_t seed, std::optional<obs::EventKind> only) {
+  sched::Scenario scenario;
+  scenario.seed = seed;
+  const auto cfg =
+      sched::proactive_config({"us-east-1a", cloud::InstanceSize::kSmall});
+
+  obs::Tracer tracer;
+  obs::RingBufferSink ring(1 << 16);
+  const std::string jsonl_path = "/tmp/spothost_trace.jsonl";
+  obs::JsonlSink jsonl(jsonl_path);
+  tracer.add_sink(&ring);
+  tracer.add_sink(&jsonl);
+
+  obs::RunProfile profile;
+  const auto m = metrics::run_hosting_scenario(scenario, cfg, &tracer, &profile);
+
+  std::map<std::string_view, int> by_kind;
+  int shown = 0;
+  for (const auto& e : ring.events()) {
+    ++by_kind[obs::to_string(e.kind)];
+    if (only && e.kind != *only) continue;
+    // Price ticks dominate the stream; the timeline shows the decisions.
+    if (!only && e.kind == obs::EventKind::kPriceChange) continue;
+    const auto label = obs::code_label(e.kind, e.code);
+    std::cout << "  " << sim::format_time(e.t) << "  "
+              << obs::to_string(e.kind);
+    if (!label.empty()) std::cout << " [" << label << "]";
+    if (!e.market.empty()) std::cout << "  " << e.market;
+    if (e.value != 0.0) std::cout << "  value=" << metrics::fmt(e.value, 4);
+    std::cout << "\n";
+    ++shown;
+  }
+
+  std::cout << "== event totals (seed " << seed << ") ==\n";
+  for (const auto& [kind, n] : by_kind) {
+    std::cout << "  " << kind << ": " << n << "\n";
+  }
+  std::cout << "  shown above: " << shown << " (dropped by ring: "
+            << ring.dropped() << ")\n";
+  std::cout << "== run ==\n  cost: " << metrics::fmt(m.normalized_cost_pct, 1)
+            << "% of on-demand, unavailability "
+            << metrics::fmt(m.unavailability_pct, 4) << "%\n";
+  std::cout << "  dispatched " << profile.events_dispatched << " sim events in "
+            << metrics::fmt(profile.wall_seconds, 3) << " s ("
+            << metrics::fmt(profile.events_per_second() / 1e6, 2) << " M/s)\n";
+  std::cout << "  full JSONL stream written to " << jsonl_path << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--timeline") {
+    std::uint64_t seed = 42;
+    if (argc > 2) {
+      char* end = nullptr;
+      seed = std::strtoull(argv[2], &end, 10);
+      if (end == argv[2] || *end != '\0') {
+        std::cerr << "seed must be an unsigned integer: " << argv[2] << "\n";
+        return 1;
+      }
+    }
+    std::optional<obs::EventKind> only;
+    if (argc > 3) {
+      only = obs::event_kind_from_string(argv[3]);
+      if (!only) {
+        std::cerr << "unknown event kind: " << argv[3] << "\n";
+        return 1;
+      }
+    }
+    return run_timeline(seed, only);
+  }
   if (argc > 1) {
     std::cout << "== " << argv[1] << " ==\n";
     const auto t = trace::load_csv_file(argv[1]);

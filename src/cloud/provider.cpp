@@ -3,9 +3,23 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/sink.hpp"
 #include "simcore/logging.hpp"
 
 namespace spothost::cloud {
+
+namespace {
+
+obs::TraceEvent provider_event(obs::EventKind kind, sim::SimTime t,
+                               const MarketId& market) {
+  obs::TraceEvent e;
+  e.t = t;
+  e.kind = kind;
+  e.market = market.str();
+  return e;
+}
+
+}  // namespace
 
 CloudProvider::CloudProvider(sim::Simulation& simulation,
                              const sim::RngFactory& rng_factory,
@@ -92,6 +106,13 @@ std::vector<std::string> CloudProvider::regions() const {
 InstanceId CloudProvider::request_on_demand(const MarketId& id, ReadyCallback on_ready) {
   (void)market(id);  // validate
   const InstanceId iid = next_instance_++;
+  if (auto* tracer = simulation_.tracer(); tracer && tracer->enabled()) {
+    auto e = provider_event(obs::EventKind::kBidPlaced, simulation_.now(), id);
+    e.code = obs::code::kOnDemand;
+    e.instance = iid;
+    e.value = od_price(id);
+    tracer->emit(e);
+  }
   Instance inst;
   inst.id = iid;
   inst.market = id;
@@ -117,6 +138,14 @@ InstanceId CloudProvider::request_on_demand(const MarketId& id, ReadyCallback on
     Instance& inst2 = instance_mut(iid);
     inst2.state = InstanceState::kRunning;
     inst2.launch = simulation_.now();
+    if (auto* tracer = simulation_.tracer(); tracer && tracer->enabled()) {
+      auto e = provider_event(obs::EventKind::kAcquisition, simulation_.now(),
+                              inst2.market);
+      e.code = obs::code::kOnDemand;
+      e.instance = iid;
+      e.value = od_price(inst2.market);
+      tracer->emit(e);
+    }
     if (p.on_ready) p.on_ready(iid);
   });
   pending_.emplace(iid, std::move(pending));
@@ -135,6 +164,14 @@ InstanceId CloudProvider::request_spot(const MarketId& id, double bid,
   inst.bid = bid;
   inst.requested_at = simulation_.now();
   instances_.emplace(iid, inst);
+  if (auto* tracer = simulation_.tracer(); tracer && tracer->enabled()) {
+    auto e = provider_event(obs::EventKind::kBidPlaced, simulation_.now(), id);
+    e.code = obs::code::kSpot;
+    e.instance = iid;
+    e.value = bid;
+    e.aux = price(id);
+    tracer->emit(e);
+  }
 
   const AllocationLatency lat = allocation_latency(id.region);
   auto& rng = latency_rng_[id.region];
@@ -164,6 +201,15 @@ InstanceId CloudProvider::request_spot(const MarketId& id, double bid,
     }
     inst2.state = InstanceState::kRunning;
     inst2.launch = simulation_.now();
+    if (auto* tracer = simulation_.tracer(); tracer && tracer->enabled()) {
+      auto e = provider_event(obs::EventKind::kAcquisition, simulation_.now(),
+                              inst2.market);
+      e.code = obs::code::kSpot;
+      e.instance = iid;
+      e.value = current;
+      e.aux = inst2.bid;
+      tracer->emit(e);
+    }
     if (p.on_ready) p.on_ready(iid);
   });
   pending_.emplace(iid, std::move(pending));
@@ -213,6 +259,11 @@ Instance& CloudProvider::instance_mut(InstanceId id) {
 }
 
 void CloudProvider::on_price_change(const MarketId& id, double new_price) {
+  if (auto* tracer = simulation_.tracer(); tracer && tracer->enabled()) {
+    auto e = provider_event(obs::EventKind::kPriceChange, simulation_.now(), id);
+    e.value = new_price;
+    tracer->emit(e);
+  }
   // Walk running spot instances in this market; warn those whose bid is now
   // exceeded. Iterate over ids snapshot: handlers may mutate instances_.
   std::vector<InstanceId> to_warn;
@@ -236,6 +287,14 @@ void CloudProvider::on_price_change(const MarketId& id, double new_price) {
       if (victim.state != InstanceState::kWarned) return;  // customer beat us
       complete_lease(victim, TerminationCause::kProviderRevoked, simulation_.now());
     });
+    if (auto* tracer = simulation_.tracer(); tracer && tracer->enabled()) {
+      auto e = provider_event(obs::EventKind::kRevocationWarning,
+                              simulation_.now(), id);
+      e.instance = iid;
+      e.value = new_price;
+      e.aux = sim::to_seconds(inst.termination_time);
+      tracer->emit(e);
+    }
     const auto hit = revocation_handlers_.find(iid);
     if (hit != revocation_handlers_.end() && hit->second) {
       hit->second(iid, inst.termination_time);

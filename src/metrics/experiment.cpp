@@ -3,23 +3,49 @@
 #include <algorithm>
 #include <cmath>
 #include <future>
+#include <optional>
 #include <stdexcept>
 
+#include "obs/ring_sink.hpp"
+#include "obs/sink.hpp"
 #include "sched/market_selection.hpp"
 
 namespace spothost::metrics {
 
+std::string_view to_string(Execution execution) noexcept {
+  switch (execution) {
+    case Execution::kSerial: return "serial";
+    case Execution::kParallel: return "parallel";
+  }
+  return "?";
+}
+
 RunMetrics run_hosting_scenario(const sched::Scenario& scenario,
                                 const sched::SchedulerConfig& config) {
+  return run_hosting_scenario(scenario, config, nullptr, nullptr);
+}
+
+RunMetrics run_hosting_scenario(const sched::Scenario& scenario,
+                                const sched::SchedulerConfig& config,
+                                obs::Tracer* tracer, obs::RunProfile* profile) {
   sched::World world(scenario);
   workload::AlwaysOnService service("hosted-service",
                                     virt::VmSpec{});  // spec set by scheduler
+  if (tracer != nullptr) {
+    world.simulation().set_tracer(tracer);
+    service.set_tracer(tracer);
+  }
   sched::CloudScheduler scheduler(world.simulation(), world.provider(), service,
                                   config, world.stream("scheduler-timing"));
   scheduler.start();
-  world.simulation().run_until(world.horizon());
+  {
+    std::optional<obs::ProfileScope> scope;
+    if (profile != nullptr) scope.emplace(world.simulation(), *profile);
+    world.simulation().run_until(world.horizon());
+  }
   world.provider().finalize(world.horizon());
   scheduler.finalize(world.horizon());
+  if (tracer != nullptr) tracer->flush();
 
   // Normalization baseline: home-region on-demand price, or the cheapest
   // on-demand price across the allowed regions for multi-region scenarios.
@@ -56,30 +82,68 @@ Aggregate Aggregate::of(std::span<const double> xs) {
   return a;
 }
 
-ExperimentRunner::ExperimentRunner(int runs, std::uint64_t base_seed, bool parallel)
-    : runs_(runs), base_seed_(base_seed), parallel_(parallel) {
+ExperimentRunner::ExperimentRunner(int runs, std::uint64_t base_seed,
+                                   Execution execution)
+    : runs_(runs), base_seed_(base_seed), execution_(execution) {
   if (runs_ <= 0) throw std::invalid_argument("ExperimentRunner: runs must be > 0");
+}
+
+ExperimentRunner::ExperimentRunner(int runs, std::uint64_t base_seed, bool parallel)
+    : ExperimentRunner(runs, base_seed,
+                       parallel ? Execution::kParallel : Execution::kSerial) {}
+
+ExperimentRunner& ExperimentRunner::capture_traces(std::size_t ring_capacity) {
+  if (ring_capacity == 0) {
+    throw std::invalid_argument("capture_traces: ring_capacity must be > 0");
+  }
+  trace_capacity_ = ring_capacity;
+  return *this;
 }
 
 AggregatedMetrics ExperimentRunner::run(const sched::Scenario& scenario,
                                         const sched::SchedulerConfig& config) const {
-  return run_with([&](std::uint64_t seed) {
+  if (trace_capacity_ == 0) {
+    return run_indexed([&](int, std::uint64_t seed) {
+      sched::Scenario s = scenario;
+      s.seed = seed;
+      return run_hosting_scenario(s, config);
+    });
+  }
+  // Trace capture: each seed gets its own tracer + ring buffer; slots are
+  // preassigned by index, so parallel runs never contend.
+  std::vector<SeedTrace> traces(static_cast<std::size_t>(runs_));
+  auto agg = run_indexed([&](int index, std::uint64_t seed) {
     sched::Scenario s = scenario;
     s.seed = seed;
-    return run_hosting_scenario(s, config);
+    obs::Tracer tracer;
+    obs::RingBufferSink ring(trace_capacity_);
+    tracer.add_sink(&ring);
+    SeedTrace& slot = traces[static_cast<std::size_t>(index)];
+    slot.seed = seed;
+    RunMetrics rm = run_hosting_scenario(s, config, &tracer, &slot.profile);
+    slot.events = ring.events();
+    slot.dropped = ring.dropped();
+    return rm;
   });
+  agg.traces = std::move(traces);
+  return agg;
 }
 
 AggregatedMetrics ExperimentRunner::run_with(
     const std::function<RunMetrics(std::uint64_t seed)>& body) const {
+  return run_indexed([&body](int, std::uint64_t seed) { return body(seed); });
+}
+
+AggregatedMetrics ExperimentRunner::run_indexed(
+    const std::function<RunMetrics(int index, std::uint64_t seed)>& body) const {
   std::vector<RunMetrics> results(static_cast<std::size_t>(runs_));
-  if (parallel_) {
+  if (execution_ == Execution::kParallel) {
     std::vector<std::future<RunMetrics>> futures;
     futures.reserve(static_cast<std::size_t>(runs_));
     for (int i = 0; i < runs_; ++i) {
       const std::uint64_t seed = base_seed_ + static_cast<std::uint64_t>(i) * 7919u;
       futures.push_back(
-          std::async(std::launch::async, [&body, seed] { return body(seed); }));
+          std::async(std::launch::async, [&body, i, seed] { return body(i, seed); }));
     }
     for (int i = 0; i < runs_; ++i) {
       results[static_cast<std::size_t>(i)] = futures[static_cast<std::size_t>(i)].get();
@@ -87,7 +151,7 @@ AggregatedMetrics ExperimentRunner::run_with(
   } else {
     for (int i = 0; i < runs_; ++i) {
       const std::uint64_t seed = base_seed_ + static_cast<std::uint64_t>(i) * 7919u;
-      results[static_cast<std::size_t>(i)] = body(seed);
+      results[static_cast<std::size_t>(i)] = body(i, seed);
     }
   }
 

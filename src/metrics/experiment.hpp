@@ -6,11 +6,18 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "metrics/run_metrics.hpp"
+#include "obs/event.hpp"
+#include "obs/profile.hpp"
 #include "sched/baselines.hpp"
 #include "sched/config.hpp"
+
+namespace spothost::obs {
+class Tracer;  // obs/sink.hpp
+}
 
 namespace spothost::metrics {
 
@@ -19,6 +26,13 @@ namespace spothost::metrics {
 RunMetrics run_hosting_scenario(const sched::Scenario& scenario,
                                 const sched::SchedulerConfig& config);
 
+/// Observed form: a non-null `tracer` is attached to the world's simulation
+/// and service for the duration of the run (and flushed afterwards); a
+/// non-null `profile` receives wall-clock dispatch throughput.
+RunMetrics run_hosting_scenario(const sched::Scenario& scenario,
+                                const sched::SchedulerConfig& config,
+                                obs::Tracer* tracer, obs::RunProfile* profile);
+
 struct Aggregate {
   double mean = 0.0;
   double stddev = 0.0;
@@ -26,6 +40,23 @@ struct Aggregate {
   double max = 0.0;
 
   static Aggregate of(std::span<const double> xs);
+};
+
+/// How the runner schedules its per-seed runs. Replaces the old
+/// `bool parallel` flag.
+enum class Execution {
+  kSerial,    ///< one run after another, on the calling thread
+  kParallel,  ///< std::async workers; results stay in seed order
+};
+
+std::string_view to_string(Execution execution) noexcept;
+
+/// Captured observability for one seed's run (capture_traces() opt-in).
+struct SeedTrace {
+  std::uint64_t seed = 0;
+  std::vector<obs::TraceEvent> events;  ///< oldest first (ring survivors)
+  std::uint64_t dropped = 0;            ///< overwritten by ring overflow
+  obs::RunProfile profile;              ///< wall-clock dispatch throughput
 };
 
 struct AggregatedMetrics {
@@ -37,14 +68,25 @@ struct AggregatedMetrics {
   Aggregate cancelled_planned;
   int runs = 0;
   std::vector<RunMetrics> per_run;  ///< in seed order
+  /// One entry per run, in seed order, when capture_traces() was requested
+  /// (empty otherwise). Only populated by run(), not run_with().
+  std::vector<SeedTrace> traces;
 };
 
 class ExperimentRunner {
  public:
-  /// `runs` independent seeds derived from `base_seed`. When `parallel`,
-  /// runs execute on std::async workers (results stay in seed order).
+  /// `runs` independent seeds derived from `base_seed`.
   explicit ExperimentRunner(int runs = 5, std::uint64_t base_seed = 9001,
-                            bool parallel = true);
+                            Execution execution = Execution::kParallel);
+
+  /// Transitional shim for the old bool-flag API.
+  [[deprecated("pass metrics::Execution instead of a bool")]] ExperimentRunner(
+      int runs, std::uint64_t base_seed, bool parallel);
+
+  /// Opt into per-seed trace capture: each run() seed records its events
+  /// into a ring buffer of `ring_capacity` and reports them (with the wall
+  /// clock profile) in AggregatedMetrics::traces, in seed order.
+  ExperimentRunner& capture_traces(std::size_t ring_capacity = 1 << 16);
 
   /// Runs `config` against per-seed variants of `scenario` and aggregates.
   [[nodiscard]] AggregatedMetrics run(const sched::Scenario& scenario,
@@ -55,9 +97,13 @@ class ExperimentRunner {
       const std::function<RunMetrics(std::uint64_t seed)>& body) const;
 
  private:
+  [[nodiscard]] AggregatedMetrics run_indexed(
+      const std::function<RunMetrics(int index, std::uint64_t seed)>& body) const;
+
   int runs_;
   std::uint64_t base_seed_;
-  bool parallel_;
+  Execution execution_;
+  std::size_t trace_capacity_ = 0;  ///< 0 = no capture
 };
 
 }  // namespace spothost::metrics

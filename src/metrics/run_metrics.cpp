@@ -35,7 +35,7 @@ RunMetrics compute_run_metrics(const cloud::CloudProvider& provider,
   m.longest_outage_s = sim::to_seconds(avail.longest_outage());
   m.outages = static_cast<int>(avail.outage_count());
 
-  const auto& stats = scheduler.stats();
+  const auto stats = scheduler.stats();
   m.forced = stats.forced;
   m.planned = stats.planned;
   m.reverse = stats.reverse;

@@ -1,0 +1,24 @@
+#include "obs/jsonl_sink.hpp"
+
+#include <stdexcept>
+
+namespace spothost::obs {
+
+JsonlSink::JsonlSink(std::ostream& out) : out_(&out) {}
+
+JsonlSink::JsonlSink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path, std::ios::trunc)),
+      out_(owned_.get()) {
+  if (!owned_->is_open()) {
+    throw std::runtime_error("JsonlSink: cannot open " + path);
+  }
+}
+
+void JsonlSink::on_event(const TraceEvent& event) {
+  *out_ << to_jsonl(event) << '\n';
+  ++written_;
+}
+
+void JsonlSink::flush() { out_->flush(); }
+
+}  // namespace spothost::obs

@@ -1,0 +1,20 @@
+#include "obs/profile.hpp"
+
+#include "simcore/simulation.hpp"
+
+namespace spothost::obs {
+
+ProfileScope::ProfileScope(const sim::Simulation& simulation, RunProfile& out)
+    : simulation_(simulation),
+      out_(out),
+      start_(std::chrono::steady_clock::now()),
+      dispatched_at_start_(simulation.dispatched()) {}
+
+ProfileScope::~ProfileScope() {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  out_.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed).count();
+  out_.events_dispatched = simulation_.dispatched() - dispatched_at_start_;
+}
+
+}  // namespace spothost::obs

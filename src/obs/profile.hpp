@@ -1,0 +1,43 @@
+// Wall-clock profiling of simulation runs: how many events were dispatched
+// and how fast, in real time. Deliberately separate from the trace-event
+// stream — wall-clock numbers are nondeterministic, and mixing them into
+// TraceEvents would break the byte-identical-trace guarantee.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace spothost::sim {
+class Simulation;
+}
+
+namespace spothost::obs {
+
+struct RunProfile {
+  double wall_seconds = 0.0;
+  std::uint64_t events_dispatched = 0;
+
+  [[nodiscard]] double events_per_second() const noexcept {
+    return wall_seconds > 0.0
+               ? static_cast<double>(events_dispatched) / wall_seconds
+               : 0.0;
+  }
+};
+
+/// RAII scope around a simulation run: records the wall time elapsed and the
+/// events dispatched between construction and destruction into `out`.
+class ProfileScope {
+ public:
+  ProfileScope(const sim::Simulation& simulation, RunProfile& out);
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+  ~ProfileScope();
+
+ private:
+  const sim::Simulation& simulation_;
+  RunProfile& out_;
+  std::chrono::steady_clock::time_point start_;
+  std::uint64_t dispatched_at_start_;
+};
+
+}  // namespace spothost::obs

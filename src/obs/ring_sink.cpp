@@ -1,0 +1,41 @@
+#include "obs/ring_sink.hpp"
+
+#include <stdexcept>
+
+namespace spothost::obs {
+
+RingBufferSink::RingBufferSink(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("RingBufferSink: capacity must be > 0");
+  }
+  buffer_.reserve(capacity_);
+}
+
+void RingBufferSink::on_event(const TraceEvent& event) {
+  if (size_ < capacity_) {
+    buffer_.push_back(event);
+    ++size_;
+    return;
+  }
+  buffer_[head_] = event;
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> RingBufferSink::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(buffer_[(head_ + i) % size_]);
+  }
+  return out;
+}
+
+void RingBufferSink::clear() {
+  buffer_.clear();
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace spothost::obs

@@ -1,0 +1,38 @@
+// In-memory ring-buffer sink: bounded capture for tests and interactive
+// exploration. When full, the oldest event is overwritten and counted in
+// dropped(); events() always returns the survivors in chronological order.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "obs/sink.hpp"
+
+namespace spothost::obs {
+
+class RingBufferSink final : public TraceSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity = 1 << 16);
+
+  void on_event(const TraceEvent& event) override;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  /// Events overwritten because the buffer was full.
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Buffered events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> buffer_;
+  std::size_t head_ = 0;  ///< next write slot once the buffer has wrapped
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace spothost::obs

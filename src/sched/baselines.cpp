@@ -10,29 +10,25 @@ double on_demand_only_cost(const cloud::CloudProvider& provider,
 }
 
 SchedulerConfig reactive_config(cloud::MarketId home_market) {
-  SchedulerConfig cfg;
-  cfg.bid.mode = BiddingMode::kReactive;
-  cfg.home_market = std::move(home_market);
-  cfg.scope = MarketScope::kSingleMarket;
-  return cfg;
+  return SchedulerConfigBuilder(std::move(home_market))
+      .bid({.mode = BiddingMode::kReactive})
+      .scope(MarketScope::kSingleMarket)
+      .build();
 }
 
 SchedulerConfig proactive_config(cloud::MarketId home_market) {
-  SchedulerConfig cfg;
-  cfg.bid.mode = BiddingMode::kProactive;
-  cfg.bid.proactive_multiple = 4.0;
-  cfg.home_market = std::move(home_market);
-  cfg.scope = MarketScope::kSingleMarket;
-  return cfg;
+  return SchedulerConfigBuilder(std::move(home_market))
+      .bid({.mode = BiddingMode::kProactive, .proactive_multiple = 4.0})
+      .scope(MarketScope::kSingleMarket)
+      .build();
 }
 
 SchedulerConfig pure_spot_config(cloud::MarketId home_market) {
-  SchedulerConfig cfg;
-  cfg.bid.mode = BiddingMode::kReactive;  // bid = p_on
-  cfg.home_market = std::move(home_market);
-  cfg.scope = MarketScope::kSingleMarket;
-  cfg.allow_on_demand = false;
-  return cfg;
+  return SchedulerConfigBuilder(std::move(home_market))
+      .bid({.mode = BiddingMode::kReactive})  // bid = p_on
+      .scope(MarketScope::kSingleMarket)
+      .fallback(Fallback::kPureSpot)
+      .build();
 }
 
 }  // namespace spothost::sched

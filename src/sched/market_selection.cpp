@@ -15,6 +15,14 @@ std::string_view to_string(MarketScope scope) noexcept {
   return "?";
 }
 
+std::string_view to_string(StabilityPolicy policy) noexcept {
+  switch (policy) {
+    case StabilityPolicy::kIgnore: return "ignore";
+    case StabilityPolicy::kPenalizeVolatility: return "penalize-volatility";
+  }
+  return "?";
+}
+
 double effective_spot_price(const cloud::CloudProvider& provider,
                             const cloud::MarketId& market, int units_needed) {
   if (units_needed <= 0) {
@@ -74,7 +82,7 @@ std::optional<cloud::MarketId> best_spot_market(
     const double eff = effective_spot_price(provider, market, options.units_needed);
     if (eff >= options.max_effective_price) continue;
     double score = eff;
-    if (options.stability_aware) {
+    if (options.stability == StabilityPolicy::kPenalizeVolatility) {
       score += options.stability_penalty_weight *
                trailing_stddev(provider, market, options.now, options.stability_window);
     }

@@ -21,6 +21,15 @@ enum class MarketScope { kSingleMarket, kMultiMarket, kMultiRegion };
 
 std::string_view to_string(MarketScope scope) noexcept;
 
+/// Whether market selection penalises volatile markets (paper Sec. 8 future
+/// work). Replaces the old `bool stability_aware` flag.
+enum class StabilityPolicy {
+  kIgnore,              ///< rank by effective price alone
+  kPenalizeVolatility,  ///< score = eff_price + weight * trailing stddev
+};
+
+std::string_view to_string(StabilityPolicy policy) noexcept;
+
 /// Effective $/hr to host the service on `market` at its current spot price.
 double effective_spot_price(const cloud::CloudProvider& provider,
                             const cloud::MarketId& market, int units_needed);
@@ -49,7 +58,7 @@ struct SelectionOptions {
   /// Exclude this market (typically the one currently held).
   std::optional<cloud::MarketId> exclude;
   /// Stability-aware scoring: score = eff_price + weight * trailing stddev.
-  bool stability_aware = false;
+  StabilityPolicy stability = StabilityPolicy::kIgnore;
   double stability_penalty_weight = 1.0;
   sim::SimTime stability_window = 3 * sim::kDay;
   sim::SimTime now = 0;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
+#include "obs/sink.hpp"
 #include "simcore/logging.hpp"
 
 namespace spothost::sched {
@@ -16,7 +18,32 @@ namespace {
 constexpr double kLeadSafetyFactor = 1.3;  // allocation-latency headroom
 constexpr SimTime kLeadSlack = 60 * sim::kSecond;
 
+std::uint8_t migration_code(virt::MigrationClass cls) noexcept {
+  switch (cls) {
+    case virt::MigrationClass::kForced: return obs::code::kForced;
+    case virt::MigrationClass::kPlanned: return obs::code::kPlanned;
+    case virt::MigrationClass::kReverse: return obs::code::kReverse;
+  }
+  return obs::code::kNone;
+}
+
 }  // namespace
+
+void CloudScheduler::trace(obs::TraceEvent event) {
+  counters_.on_event(event);
+  if (auto* tracer = simulation_.tracer(); tracer != nullptr && tracer->enabled()) {
+    tracer->emit(event);
+  }
+}
+
+obs::TraceEvent CloudScheduler::trace_event(obs::EventKind kind,
+                                            std::uint8_t code) const {
+  obs::TraceEvent e;
+  e.t = simulation_.now();
+  e.kind = kind;
+  e.code = code;
+  return e;
+}
 
 CloudScheduler::CloudScheduler(sim::Simulation& simulation,
                                cloud::CloudProvider& provider,
@@ -29,6 +56,7 @@ CloudScheduler::CloudScheduler(sim::Simulation& simulation,
       planner_(config_.combo, config_.mech, virt::NetworkModel{}),
       rng_(std::move(timing_rng)),
       spec_(config_.vm_spec) {
+  config_.validate();
   if (spec_.memory_gb <= 0) {
     const auto& info = cloud::type_info(config_.home_market.size);
     spec_ = virt::default_spec_for_memory(info.memory_gb, info.disk_gb);
@@ -58,7 +86,7 @@ SelectionOptions CloudScheduler::selection_options(double threshold) const {
   opts.units_needed = units_needed();
   opts.max_effective_price = threshold;
   if (holding_ && !holding_->on_demand) opts.exclude = holding_->market;
-  opts.stability_aware = config_.stability_aware;
+  opts.stability = config_.stability;
   opts.stability_penalty_weight = config_.stability_penalty_weight;
   opts.stability_window = config_.stability_window;
   opts.now = simulation_.now();
@@ -123,7 +151,7 @@ void CloudScheduler::start() {
 }
 
 void CloudScheduler::acquire_initial() {
-  if (!config_.allow_on_demand) {
+  if (!config_.on_demand_allowed()) {
     pure_spot_reacquire();
     return;
   }
@@ -143,9 +171,11 @@ void CloudScheduler::acquire_initial() {
           pending_acquire_ = cloud::kInvalidInstance;
           adopt(iid, target, /*on_demand=*/false);
         },
-        [this] {
+        [this, target] {
           pending_acquire_ = cloud::kInvalidInstance;
-          ++stats_.spot_request_failures;
+          auto e = trace_event(obs::EventKind::kSpotRequestFailed, obs::code::kNone);
+          e.market = target.str();
+          trace(std::move(e));
           acquire_initial();  // price moved; re-evaluate (likely on-demand now)
         });
     return;
@@ -167,6 +197,7 @@ void CloudScheduler::adopt(InstanceId instance, const MarketId& market,
                            bool on_demand) {
   holding_ = Holding{instance, market, on_demand};
   state_ = on_demand ? State::kOnDemand : State::kOnSpot;
+  price_above_.reset();  // crossings are relative to the adopted market
   if (!service_live_) {
     service_.go_live(simulation_.now());
     service_live_ = true;
@@ -177,7 +208,7 @@ void CloudScheduler::adopt(InstanceId instance, const MarketId& market,
                                        on_revocation_warning(iid, t_term);
                                      });
     // Guard against adopting into an already-hot market.
-    if (config_.bid.plans_migrations() && config_.allow_on_demand &&
+    if (config_.bid.plans_migrations() && config_.on_demand_allowed() &&
         effective_spot_price(provider_, market, units_needed()) > od_threshold()) {
       maybe_schedule_planned();
     }
@@ -199,24 +230,39 @@ void CloudScheduler::on_price_change(const MarketId& market, double new_price) {
 
   // Pure-spot reacquisition: the market dipped back below the bid (also
   // covers an initial acquisition that has been waiting for the price).
-  if (!config_.allow_on_demand &&
+  if (!config_.on_demand_allowed() &&
       (state_ == State::kDown || state_ == State::kAcquiring)) {
     pure_spot_reacquire();
     return;
   }
 
   if (state_ != State::kOnSpot || !holding_ || market != holding_->market) return;
-  if (!config_.bid.plans_migrations() || !config_.allow_on_demand) return;
+  if (!config_.bid.plans_migrations() || !config_.on_demand_allowed()) return;
 
   const double eff = effective_spot_price(provider_, market, units_needed());
   const double threshold = od_threshold();
-  if (eff > threshold) {
+  const bool above = eff > threshold;
+  // Edge-triggered: one event per crossing of the on-demand threshold, not
+  // one per price tick. A freshly adopted market that is already below the
+  // threshold is steady state, not a crossing.
+  const bool crossed = price_above_ ? *price_above_ != above : above;
+  price_above_ = above;
+  if (crossed) {
+    auto e = trace_event(obs::EventKind::kPriceCrossing,
+                         above ? obs::code::kAbove : obs::code::kBelow);
+    e.instance = holding_->id;
+    e.value = eff;
+    e.aux = threshold;
+    e.market = market.str();
+    trace(std::move(e));
+  }
+  if (above) {
     maybe_schedule_planned();
   } else {
     cancel_scheduled_planned();
     if (migration_ && migration_->cls == virt::MigrationClass::kPlanned &&
         !migration_->transfer_started && config_.cancel_planned_on_price_drop) {
-      abandon_migration(/*count_cancel=*/true);
+      abandon_migration(AbandonReason::kPriceRecovered);
     }
   }
 }
@@ -297,8 +343,10 @@ void CloudScheduler::begin_planned() {
               });
           start_transfer();
         },
-        [this] {
-          ++stats_.spot_request_failures;
+        [this, target = m.target] {
+          auto e = trace_event(obs::EventKind::kSpotRequestFailed, obs::code::kNone);
+          e.market = target.str();
+          trace(std::move(e));
           if (!migration_) return;
           // The cheaper market evaporated; fall back to on-demand if the
           // trigger still holds.
@@ -310,6 +358,11 @@ void CloudScheduler::begin_planned() {
           }
         });
   }
+  auto e = trace_event(obs::EventKind::kMigrationBegin, obs::code::kPlanned);
+  e.instance = holding_->id;
+  e.aux = m.target_on_demand ? 1.0 : 0.0;
+  e.market = m.target.str();
+  trace(std::move(e));
   SPOTHOST_LOG(sim::LogLevel::kInfo, simulation_.now(),
                "planned migration -> " << m.target.str()
                                        << (m.target_on_demand ? " (on-demand)"
@@ -335,12 +388,18 @@ void CloudScheduler::begin_reverse(const MarketId& target) {
             });
         start_transfer();
       },
-      [this] {
-        ++stats_.spot_request_failures;
+      [this, target] {
+        auto e = trace_event(obs::EventKind::kSpotRequestFailed, obs::code::kNone);
+        e.market = target.str();
+        trace(std::move(e));
         if (!migration_) return;
         migration_.reset();
         schedule_hour_check();  // try again next billing hour
       });
+  auto e = trace_event(obs::EventKind::kMigrationBegin, obs::code::kReverse);
+  e.instance = holding_->id;
+  e.market = target.str();
+  trace(std::move(e));
   SPOTHOST_LOG(sim::LogLevel::kInfo, simulation_.now(),
                "reverse migration -> " << target.str());
 }
@@ -356,6 +415,12 @@ void CloudScheduler::start_transfer() {
       simulation_.now() + jittered(migration_->timings.prepare_s);
   migration_->switchover_event =
       simulation_.at(migration_->switchover_at, [this] { complete_switchover(); });
+  auto e = trace_event(obs::EventKind::kMigrationTransfer,
+                       migration_code(migration_->cls));
+  e.instance = migration_->dest;
+  e.value = migration_->timings.prepare_s;
+  e.market = migration_->target.str();
+  trace(std::move(e));
 }
 
 void CloudScheduler::complete_switchover() {
@@ -381,11 +446,19 @@ void CloudScheduler::complete_switchover() {
     hour_check_event_ = sim::kInvalidEventId;
   }
 
-  if (m.cls == virt::MigrationClass::kReverse) {
-    ++stats_.reverse;
-  } else {
-    ++stats_.planned;
-    if (!m.target_on_demand) ++stats_.market_switches;
+  {
+    auto e = trace_event(obs::EventKind::kMigrationSwitchover, migration_code(m.cls));
+    e.instance = m.dest;
+    e.value = sim::to_seconds(downtime);
+    e.aux = sim::to_seconds(degraded);
+    e.market = m.target.str();
+    trace(std::move(e));
+  }
+  if (m.cls != virt::MigrationClass::kReverse && !m.target_on_demand) {
+    auto e = trace_event(obs::EventKind::kMarketSwitch, obs::code::kNone);
+    e.instance = m.dest;
+    e.market = m.target.str();
+    trace(std::move(e));
   }
 
   if (downtime > 0 && service_.is_up()) {
@@ -405,7 +478,7 @@ void CloudScheduler::complete_switchover() {
   adopt(m.dest, m.target, m.target_on_demand);
 }
 
-void CloudScheduler::abandon_migration(bool count_cancel) {
+void CloudScheduler::abandon_migration(AbandonReason reason) {
   if (!migration_) return;
   if (migration_->switchover_event != sim::kInvalidEventId) {
     simulation_.cancel(migration_->switchover_event);
@@ -415,8 +488,17 @@ void CloudScheduler::abandon_migration(bool count_cancel) {
     // partial hour is billed — the price of a cancelled migration).
     provider_.terminate(migration_->dest);
   }
+  std::uint8_t code = obs::code::kAbandonPreempted;
+  switch (reason) {
+    case AbandonReason::kPriceRecovered: code = obs::code::kAbandonPriceRecovered; break;
+    case AbandonReason::kDestRevoked: code = obs::code::kAbandonDestRevoked; break;
+    case AbandonReason::kPreempted: code = obs::code::kAbandonPreempted; break;
+  }
+  auto e = trace_event(obs::EventKind::kMigrationAbandon, code);
+  e.instance = migration_->dest;
+  e.market = migration_->target.str();
   migration_.reset();
-  if (count_cancel) ++stats_.cancelled_planned;
+  trace(std::move(e));
 }
 
 // ---------------------------------------------------------------------------
@@ -439,6 +521,12 @@ void CloudScheduler::schedule_hour_check() {
 
 void CloudScheduler::on_hour_check() {
   if (state_ != State::kOnDemand || migration_ || forced_ || !holding_) return;
+  {
+    auto e = trace_event(obs::EventKind::kBillingHourTick, obs::code::kOnDemand);
+    e.instance = holding_->id;
+    e.market = holding_->market.str();
+    trace(std::move(e));
+  }
   const auto candidates = candidate_markets(provider_, config_.scope,
                                             config_.home_market,
                                             config_.allowed_regions);
@@ -460,7 +548,7 @@ void CloudScheduler::on_revocation_warning(InstanceId instance, SimTime t_term) 
   // A migration *destination* got warned before adoption: walk away from it.
   if (migration_ && instance == migration_->dest) {
     const bool was_reverse = migration_->cls == virt::MigrationClass::kReverse;
-    abandon_migration(/*count_cancel=*/false);
+    abandon_migration(AbandonReason::kDestRevoked);
     if (was_reverse) {
       schedule_hour_check();
     } else if (state_ == State::kOnSpot && holding_ && !forced_ &&
@@ -472,7 +560,7 @@ void CloudScheduler::on_revocation_warning(InstanceId instance, SimTime t_term) 
   }
   if (!holding_ || instance != holding_->id) return;  // stale warning
 
-  if (!config_.allow_on_demand) {
+  if (!config_.on_demand_allowed()) {
     // Pure-spot baseline: checkpoint, go down, wait for the market.
     const auto timings = planner_.plan(virt::MigrationClass::kForced, spec_,
                                        holding_->market.region,
@@ -504,7 +592,13 @@ void CloudScheduler::on_revocation_warning(InstanceId instance, SimTime t_term) 
 }
 
 void CloudScheduler::begin_forced(SimTime t_term) {
-  ++stats_.forced;
+  {
+    auto e = trace_event(obs::EventKind::kMigrationBegin, obs::code::kForced);
+    e.instance = holding_->id;
+    e.value = sim::to_seconds(t_term);
+    e.market = holding_->market.str();
+    trace(std::move(e));
+  }
   cancel_scheduled_planned();
 
   Forced f;
@@ -524,7 +618,7 @@ void CloudScheduler::begin_forced(SimTime t_term) {
     if (f.dest_ready) f.dest_ready_at = simulation_.now();
     migration_.reset();
   } else {
-    if (migration_) abandon_migration(/*count_cancel=*/false);
+    if (migration_) abandon_migration(AbandonReason::kPreempted);
   }
   forced_ = f;
 
@@ -563,6 +657,9 @@ void CloudScheduler::begin_forced(SimTime t_term) {
                             workload::OutageCause::kForcedMigration);
     }
     forced_->service_stopped = true;
+    auto e = trace_event(obs::EventKind::kMigrationTransfer, obs::code::kForced);
+    e.value = forced_->timings.flush_s;  // the bounded checkpoint flush
+    trace(std::move(e));
     forced_try_resume();
   });
   simulation_.at(t_term, [this] {
@@ -582,7 +679,7 @@ void CloudScheduler::forced_try_resume() {
   forced_->resume_scheduled = true;
   const SimTime restore = jittered(forced_->timings.restore_s);
   const SimTime degraded = jittered(forced_->timings.degraded_s);
-  simulation_.after(restore, [this, degraded] {
+  simulation_.after(restore, [this, restore, degraded] {
     if (!forced_) return;
     const Forced f = *forced_;
     forced_.reset();
@@ -594,6 +691,12 @@ void CloudScheduler::forced_try_resume() {
       }
     }
     const auto& inst = provider_.instance(f.dest);
+    auto e = trace_event(obs::EventKind::kMigrationSwitchover, obs::code::kForced);
+    e.instance = f.dest;
+    e.value = sim::to_seconds(restore);
+    e.aux = sim::to_seconds(degraded);
+    e.market = inst.market.str();
+    trace(std::move(e));
     adopt(f.dest, inst.market, inst.mode == cloud::BillingMode::kOnDemand);
   });
 }
@@ -633,7 +736,9 @@ void CloudScheduler::pure_spot_reacquire() {
       },
       [this] {
         pending_acquire_ = cloud::kInvalidInstance;
-        ++stats_.spot_request_failures;
+        auto e = trace_event(obs::EventKind::kSpotRequestFailed, obs::code::kNone);
+        e.market = config_.home_market.str();
+        trace(std::move(e));
         // Wait for the next price change; on_price_change retries.
       });
 }

@@ -15,70 +15,30 @@
 //    price again; near the end of each on-demand billing hour the scheduler
 //    re-procures spot capacity and migrates back.
 //
-// With `allow_on_demand = false` the same machinery degenerates to the
-// pure-spot baseline of Fig. 11: a revocation simply leaves the service
+// With `fallback = Fallback::kPureSpot` the same machinery degenerates to
+// the pure-spot baseline of Fig. 11: a revocation simply leaves the service
 // down until the market price returns below the bid.
+//
+// Observability: every trigger and migration phase is emitted as an
+// obs::TraceEvent. The events always feed the scheduler's own CounterSink —
+// the backing store stats() is derived from — and additionally fan out to
+// any tracer attached to the Simulation (Simulation::set_tracer).
 #pragma once
 
 #include <optional>
 #include <vector>
 
 #include "cloud/provider.hpp"
+#include "obs/counter_sink.hpp"
 #include "sched/bidding.hpp"
 #include "sched/market_selection.hpp"
+#include "sched/scheduler_config.hpp"
 #include "simcore/rng.hpp"
 #include "simcore/simulation.hpp"
 #include "virt/mechanisms.hpp"
 #include "workload/endpoint.hpp"
 
 namespace spothost::sched {
-
-/// When a planned migration begins after the price crosses p_on.
-enum class PlannedTiming {
-  kHourEnd,    ///< ride out the already-paid hour; leave just before it ends
-  kImmediate,  ///< begin as soon as the crossing is observed
-};
-
-struct SchedulerConfig {
-  BidPolicy bid{};
-  virt::MechanismCombo combo = virt::MechanismCombo::kCkptLazyLive;
-  virt::MechanismParams mech = virt::typical_mechanism_params();
-  MarketScope scope = MarketScope::kSingleMarket;
-  cloud::MarketId home_market{"us-east-1a", cloud::InstanceSize::kSmall};
-  /// Regions searchable under kMultiRegion (empty = every provider region).
-  std::vector<std::string> allowed_regions{};
-  /// false => pure-spot baseline: no on-demand fallback at all.
-  bool allow_on_demand = true;
-  /// Proactive spike cancellation: abandon a planned migration whose price
-  /// trigger evaporated before the transfer started.
-  bool cancel_planned_on_price_drop = true;
-  PlannedTiming planned_timing = PlannedTiming::kHourEnd;
-  /// A spot market must be below margin * p_on to justify a reverse (or
-  /// cross-market planned) move — hysteresis against flapping.
-  double reverse_price_margin = 0.92;
-  /// Lognormal CV applied to transfer/restore durations (measurement noise).
-  double timing_jitter_cv = 0.05;
-  /// VM being hosted. memory_gb == 0 => derive from the home market size.
-  virt::VmSpec vm_spec{.memory_gb = 0.0};
-  /// Stability-aware market selection (the paper's stated future work).
-  bool stability_aware = false;
-  double stability_penalty_weight = 1.0;
-  sim::SimTime stability_window = 3 * sim::kDay;
-  /// Capacity the endpoint needs, in small-units. 0 = derive from the home
-  /// market size (one whole server). Set to the group size when hosting a
-  /// packed workload::ServiceGroup.
-  int capacity_units_override = 0;
-};
-
-struct SchedulerStats {
-  int forced = 0;             ///< revocation-driven migrations executed
-  int planned = 0;            ///< voluntary spot->elsewhere moves completed
-  int reverse = 0;            ///< on-demand->spot moves completed
-  int cancelled_planned = 0;  ///< spike cancellations
-  int market_switches = 0;    ///< planned moves that landed on another spot market
-  int spot_request_failures = 0;
-  int od_hours_started = 0;   ///< bookkeeping cross-check (unused by metrics)
-};
 
 class CloudScheduler {
  public:
@@ -96,7 +56,11 @@ class CloudScheduler {
   void finalize(sim::SimTime horizon);
 
   [[nodiscard]] State state() const noexcept { return state_; }
-  [[nodiscard]] const SchedulerStats& stats() const noexcept { return stats_; }
+  /// Aggregate view derived on demand from the trace-event counters; by
+  /// construction it can never disagree with an attached trace sink.
+  [[nodiscard]] SchedulerStats stats() const { return scheduler_stats_from(counters_); }
+  /// The raw per-event-kind counters backing stats().
+  [[nodiscard]] const obs::CounterSink& counters() const noexcept { return counters_; }
   [[nodiscard]] const SchedulerConfig& config() const noexcept { return config_; }
   [[nodiscard]] const virt::VmSpec& vm_spec() const noexcept { return spec_; }
   [[nodiscard]] cloud::InstanceId current_instance() const noexcept {
@@ -146,6 +110,14 @@ class CloudScheduler {
   void adopt(cloud::InstanceId instance, const cloud::MarketId& market,
              bool on_demand);
 
+  /// Why an in-flight planned/reverse migration was torn down. Only
+  /// kPriceRecovered counts as a "spike cancellation" in the stats.
+  enum class AbandonReason : std::uint8_t {
+    kPriceRecovered,  ///< the price trigger evaporated before transfer
+    kDestRevoked,     ///< the destination instance got a revocation warning
+    kPreempted,       ///< superseded by a forced migration of the source
+  };
+
   // --- planned / reverse ----------------------------------------------
   void maybe_schedule_planned();
   void cancel_scheduled_planned();
@@ -153,7 +125,7 @@ class CloudScheduler {
   void begin_reverse(const cloud::MarketId& target);
   void start_transfer();
   void complete_switchover();
-  void abandon_migration(bool count_cancel);
+  void abandon_migration(AbandonReason reason);
   void schedule_hour_check();
 
   // --- forced ----------------------------------------------------------
@@ -173,6 +145,12 @@ class CloudScheduler {
   void end_outage_with_restore(sim::SimTime resume_at, double restore_s,
                                double degraded_s);
 
+  /// Feeds the event into counters_ (the stats backing store) and forwards
+  /// it to the simulation's tracer, if one is attached.
+  void trace(obs::TraceEvent event);
+  [[nodiscard]] obs::TraceEvent trace_event(obs::EventKind kind,
+                                            std::uint8_t code) const;
+
   sim::Simulation& simulation_;
   cloud::CloudProvider& provider_;
   workload::ServiceEndpoint& service_;
@@ -189,7 +167,10 @@ class CloudScheduler {
   sim::EventId planned_begin_event_ = sim::kInvalidEventId;
   sim::EventId hour_check_event_ = sim::kInvalidEventId;
   cloud::InstanceId pending_acquire_ = cloud::kInvalidInstance;
-  SchedulerStats stats_;
+  obs::CounterSink counters_;
+  /// Last observed home-market-above-threshold state, for edge-triggered
+  /// price-crossing events. Reset whenever a new instance is adopted.
+  std::optional<bool> price_above_;
 };
 
 }  // namespace spothost::sched

@@ -1,0 +1,175 @@
+#include "sched/scheduler_config.hpp"
+
+#include <stdexcept>
+
+#include "obs/counter_sink.hpp"
+
+namespace spothost::sched {
+
+std::string_view to_string(PlannedTiming timing) noexcept {
+  switch (timing) {
+    case PlannedTiming::kHourEnd: return "hour-end";
+    case PlannedTiming::kImmediate: return "immediate";
+  }
+  return "?";
+}
+
+std::string_view to_string(Fallback fallback) noexcept {
+  switch (fallback) {
+    case Fallback::kOnDemand: return "on-demand";
+    case Fallback::kPureSpot: return "pure-spot";
+  }
+  return "?";
+}
+
+void SchedulerConfig::validate() const {
+  if (home_market.region.empty()) {
+    throw std::invalid_argument("SchedulerConfig: home_market region is empty");
+  }
+  if (reverse_price_margin < 0.0) {
+    throw std::invalid_argument(
+        "SchedulerConfig: reverse_price_margin must be >= 0 (got " +
+        std::to_string(reverse_price_margin) + ")");
+  }
+  if (timing_jitter_cv < 0.0) {
+    throw std::invalid_argument(
+        "SchedulerConfig: timing_jitter_cv must be >= 0 (got " +
+        std::to_string(timing_jitter_cv) + ")");
+  }
+  if (capacity_units_override < 0) {
+    throw std::invalid_argument(
+        "SchedulerConfig: capacity_units_override must be >= 0 (got " +
+        std::to_string(capacity_units_override) + ")");
+  }
+  if (bid.proactive_multiple <= 0.0) {
+    throw std::invalid_argument(
+        "SchedulerConfig: bid.proactive_multiple must be > 0 (got " +
+        std::to_string(bid.proactive_multiple) + ")");
+  }
+  if (stability_penalty_weight < 0.0) {
+    throw std::invalid_argument(
+        "SchedulerConfig: stability_penalty_weight must be >= 0 (got " +
+        std::to_string(stability_penalty_weight) + ")");
+  }
+  if (stability_window <= 0) {
+    throw std::invalid_argument(
+        "SchedulerConfig: stability_window must be > 0");
+  }
+  if (vm_spec.memory_gb < 0.0) {
+    throw std::invalid_argument(
+        "SchedulerConfig: vm_spec.memory_gb must be >= 0 (got " +
+        std::to_string(vm_spec.memory_gb) + ")");
+  }
+}
+
+SchedulerConfig SchedulerConfig::validated() const {
+  validate();
+  return *this;
+}
+
+SchedulerConfigBuilder::SchedulerConfigBuilder(cloud::MarketId home_market) {
+  cfg_.home_market = std::move(home_market);
+}
+
+SchedulerConfigBuilder& SchedulerConfigBuilder::bid(BidPolicy policy) {
+  cfg_.bid = policy;
+  return *this;
+}
+
+SchedulerConfigBuilder& SchedulerConfigBuilder::combo(virt::MechanismCombo combo) {
+  cfg_.combo = combo;
+  return *this;
+}
+
+SchedulerConfigBuilder& SchedulerConfigBuilder::mechanism_params(
+    virt::MechanismParams params) {
+  cfg_.mech = params;
+  return *this;
+}
+
+SchedulerConfigBuilder& SchedulerConfigBuilder::scope(MarketScope scope) {
+  cfg_.scope = scope;
+  return *this;
+}
+
+SchedulerConfigBuilder& SchedulerConfigBuilder::allowed_regions(
+    std::vector<std::string> regions) {
+  cfg_.allowed_regions = std::move(regions);
+  return *this;
+}
+
+SchedulerConfigBuilder& SchedulerConfigBuilder::fallback(Fallback fallback) {
+  cfg_.fallback = fallback;
+  return *this;
+}
+
+SchedulerConfigBuilder& SchedulerConfigBuilder::cancel_planned_on_price_drop(
+    bool cancel) {
+  cfg_.cancel_planned_on_price_drop = cancel;
+  return *this;
+}
+
+SchedulerConfigBuilder& SchedulerConfigBuilder::planned_timing(
+    PlannedTiming timing) {
+  cfg_.planned_timing = timing;
+  return *this;
+}
+
+SchedulerConfigBuilder& SchedulerConfigBuilder::reverse_price_margin(
+    double margin) {
+  cfg_.reverse_price_margin = margin;
+  return *this;
+}
+
+SchedulerConfigBuilder& SchedulerConfigBuilder::timing_jitter_cv(double cv) {
+  cfg_.timing_jitter_cv = cv;
+  return *this;
+}
+
+SchedulerConfigBuilder& SchedulerConfigBuilder::vm_spec(virt::VmSpec spec) {
+  cfg_.vm_spec = spec;
+  return *this;
+}
+
+SchedulerConfigBuilder& SchedulerConfigBuilder::stability(StabilityPolicy policy) {
+  cfg_.stability = policy;
+  return *this;
+}
+
+SchedulerConfigBuilder& SchedulerConfigBuilder::stability_penalty_weight(
+    double weight) {
+  cfg_.stability_penalty_weight = weight;
+  return *this;
+}
+
+SchedulerConfigBuilder& SchedulerConfigBuilder::stability_window(
+    sim::SimTime window) {
+  cfg_.stability_window = window;
+  return *this;
+}
+
+SchedulerConfigBuilder& SchedulerConfigBuilder::capacity_units_override(int units) {
+  cfg_.capacity_units_override = units;
+  return *this;
+}
+
+SchedulerConfig SchedulerConfigBuilder::build() const { return cfg_.validated(); }
+
+SchedulerStats scheduler_stats_from(const obs::CounterSink& counters) {
+  using obs::EventKind;
+  const auto n = [](std::uint64_t v) { return static_cast<int>(v); };
+  SchedulerStats s;
+  s.forced = n(counters.count(EventKind::kMigrationBegin, obs::code::kForced));
+  s.planned =
+      n(counters.count(EventKind::kMigrationSwitchover, obs::code::kPlanned));
+  s.reverse =
+      n(counters.count(EventKind::kMigrationSwitchover, obs::code::kReverse));
+  s.cancelled_planned = n(counters.count(EventKind::kMigrationAbandon,
+                                         obs::code::kAbandonPriceRecovered));
+  s.market_switches = n(counters.count(EventKind::kMarketSwitch));
+  s.spot_request_failures = n(counters.count(EventKind::kSpotRequestFailed));
+  s.od_hours_started = n(counters.count(EventKind::kBillingHourTick));
+  return s;
+}
+
+}  // namespace spothost::sched

@@ -1,0 +1,143 @@
+// Scheduler configuration: the knobs of Sec. 3, a validating factory, and a
+// fluent builder. Split out of scheduler.hpp so configuration, validation,
+// and presets (baselines.hpp) evolve independently of the scheduler's state
+// machine.
+//
+// Construction paths, from loosest to strictest:
+//  * aggregate-initialize SchedulerConfig and rely on CloudScheduler to
+//    validate at attach time (it always does);
+//  * SchedulerConfig{...}.validated() — returns the config or throws
+//    std::invalid_argument with a message naming the offending field;
+//  * SchedulerConfigBuilder — fluent construction whose build() validates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/market.hpp"
+#include "sched/bidding.hpp"
+#include "sched/market_selection.hpp"
+#include "simcore/time.hpp"
+#include "virt/mechanisms.hpp"
+#include "virt/vm.hpp"
+
+namespace spothost::obs {
+class CounterSink;  // obs/counter_sink.hpp
+}
+
+namespace spothost::sched {
+
+/// When a planned migration begins after the price crosses p_on.
+enum class PlannedTiming {
+  kHourEnd,    ///< ride out the already-paid hour; leave just before it ends
+  kImmediate,  ///< begin as soon as the crossing is observed
+};
+
+/// What the scheduler does when no spot market qualifies. Replaces the old
+/// `bool allow_on_demand` flag.
+enum class Fallback {
+  kOnDemand,  ///< migrate to an on-demand server (the paper's scheduler)
+  kPureSpot,  ///< Fig. 11 baseline: ride out the outage, no fallback at all
+};
+
+std::string_view to_string(PlannedTiming timing) noexcept;
+std::string_view to_string(Fallback fallback) noexcept;
+
+struct SchedulerConfig {
+  BidPolicy bid{};
+  virt::MechanismCombo combo = virt::MechanismCombo::kCkptLazyLive;
+  virt::MechanismParams mech = virt::typical_mechanism_params();
+  MarketScope scope = MarketScope::kSingleMarket;
+  cloud::MarketId home_market{"us-east-1a", cloud::InstanceSize::kSmall};
+  /// Regions searchable under kMultiRegion (empty = every provider region).
+  std::vector<std::string> allowed_regions{};
+  /// kPureSpot => Fig. 11 baseline: no on-demand fallback at all.
+  Fallback fallback = Fallback::kOnDemand;
+  /// Proactive spike cancellation: abandon a planned migration whose price
+  /// trigger evaporated before the transfer started.
+  bool cancel_planned_on_price_drop = true;
+  PlannedTiming planned_timing = PlannedTiming::kHourEnd;
+  /// A spot market must be below margin * p_on to justify a reverse (or
+  /// cross-market planned) move — hysteresis against flapping.
+  double reverse_price_margin = 0.92;
+  /// Lognormal CV applied to transfer/restore durations (measurement noise).
+  double timing_jitter_cv = 0.05;
+  /// VM being hosted. memory_gb == 0 => derive from the home market size.
+  virt::VmSpec vm_spec{.memory_gb = 0.0};
+  /// Stability-aware market selection (the paper's stated future work).
+  StabilityPolicy stability = StabilityPolicy::kIgnore;
+  double stability_penalty_weight = 1.0;
+  sim::SimTime stability_window = 3 * sim::kDay;
+  /// Capacity the endpoint needs, in small-units. 0 = derive from the home
+  /// market size (one whole server). Set to the group size when hosting a
+  /// packed workload::ServiceGroup.
+  int capacity_units_override = 0;
+
+  [[nodiscard]] bool on_demand_allowed() const noexcept {
+    return fallback == Fallback::kOnDemand;
+  }
+
+  /// Throws std::invalid_argument (naming the field) on nonsense values:
+  /// negative reverse_price_margin, jitter CV < 0, empty home-market region,
+  /// capacity_units_override < 0, non-positive bid multiple, ...
+  void validate() const;
+
+  /// Validating factory: returns *this if valid, else throws as validate().
+  [[nodiscard]] SchedulerConfig validated() const;
+};
+
+/// Fluent construction; build() validates. Example:
+///   auto cfg = SchedulerConfigBuilder({"us-east-1a", InstanceSize::kSmall})
+///                  .bid(BidPolicy{.mode = BiddingMode::kProactive})
+///                  .scope(MarketScope::kMultiMarket)
+///                  .build();
+class SchedulerConfigBuilder {
+ public:
+  explicit SchedulerConfigBuilder(cloud::MarketId home_market);
+
+  SchedulerConfigBuilder& bid(BidPolicy policy);
+  SchedulerConfigBuilder& combo(virt::MechanismCombo combo);
+  SchedulerConfigBuilder& mechanism_params(virt::MechanismParams params);
+  SchedulerConfigBuilder& scope(MarketScope scope);
+  SchedulerConfigBuilder& allowed_regions(std::vector<std::string> regions);
+  SchedulerConfigBuilder& fallback(Fallback fallback);
+  SchedulerConfigBuilder& cancel_planned_on_price_drop(bool cancel);
+  SchedulerConfigBuilder& planned_timing(PlannedTiming timing);
+  SchedulerConfigBuilder& reverse_price_margin(double margin);
+  SchedulerConfigBuilder& timing_jitter_cv(double cv);
+  SchedulerConfigBuilder& vm_spec(virt::VmSpec spec);
+  SchedulerConfigBuilder& stability(StabilityPolicy policy);
+  SchedulerConfigBuilder& stability_penalty_weight(double weight);
+  SchedulerConfigBuilder& stability_window(sim::SimTime window);
+  SchedulerConfigBuilder& capacity_units_override(int units);
+
+  /// Validates and returns the finished config (throws on nonsense).
+  [[nodiscard]] SchedulerConfig build() const;
+
+ private:
+  SchedulerConfig cfg_;
+};
+
+/// End-of-run aggregates. Derived from the scheduler's trace-event counters
+/// (obs::CounterSink) — see scheduler_stats_from — so these numbers can
+/// never disagree with an attached trace sink's view of the same run.
+struct SchedulerStats {
+  int forced = 0;             ///< revocation-driven migrations executed
+  int planned = 0;            ///< voluntary spot->elsewhere moves completed
+  int reverse = 0;            ///< on-demand->spot moves completed
+  int cancelled_planned = 0;  ///< spike cancellations
+  int market_switches = 0;    ///< planned moves that landed on another spot market
+  int spot_request_failures = 0;
+  int od_hours_started = 0;   ///< on-demand billing hours with a reverse check
+};
+
+/// Maps trace-event counters onto the classic aggregate view:
+///   forced             = migration_begin[forced]
+///   planned / reverse  = migration_switchover[planned / reverse]
+///   cancelled_planned  = migration_abandon[price_recovered]
+///   market_switches    = market_switch
+///   spot_request_failures = spot_request_failed
+///   od_hours_started   = billing_hour_tick
+SchedulerStats scheduler_stats_from(const obs::CounterSink& counters);
+
+}  // namespace spothost::sched

@@ -23,6 +23,7 @@ void Simulation::run_until(SimTime horizon) {
     auto fired = queue_.pop();
     now_ = fired.time;
     ++dispatched_;
+    if (dispatch_hook_) dispatch_hook_(now_, dispatched_);
     fired.callback();
   }
   if (now_ < horizon && horizon != std::numeric_limits<SimTime>::max()) {
@@ -35,6 +36,7 @@ bool Simulation::step() {
   auto fired = queue_.pop();
   now_ = fired.time;
   ++dispatched_;
+  if (dispatch_hook_) dispatch_hook_(now_, dispatched_);
   fired.callback();
   return true;
 }

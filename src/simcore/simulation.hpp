@@ -9,10 +9,15 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 
 #include "simcore/event_queue.hpp"
 #include "simcore/time.hpp"
+
+namespace spothost::obs {
+class Tracer;  // obs/sink.hpp — simcore stays independent of obs
+}
 
 namespace spothost::sim {
 
@@ -51,10 +56,25 @@ class Simulation {
   /// Pending live events.
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
+  /// Attaches the run's trace dispatcher (not owned; nullptr disables).
+  /// Components that hold a Simulation& read the tracer from here, so one
+  /// attach point covers the provider, scheduler, and anything else wired to
+  /// this engine. Disabled tracing costs emitters a single null check.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+
+  /// Observation hook fired on every event dispatch, before the callback
+  /// runs, with (event time, total dispatched so far). Unset by default —
+  /// the hot path then pays one branch. Not part of the trace stream.
+  using DispatchHook = std::function<void(SimTime, std::uint64_t)>;
+  void set_dispatch_hook(DispatchHook hook) { dispatch_hook_ = std::move(hook); }
+
  private:
   SimTime now_ = 0;
   EventQueue queue_;
   std::uint64_t dispatched_ = 0;
+  obs::Tracer* tracer_ = nullptr;
+  DispatchHook dispatch_hook_;
 };
 
 }  // namespace spothost::sim

@@ -10,6 +10,7 @@
 //   sched::SchedulerConfig / presets    — configure the scheduler
 //   metrics::run_hosting_scenario       — one full hosting run
 //   metrics::ExperimentRunner           — multi-seed aggregation
+//   obs::Tracer + sinks                 — structured run tracing
 #pragma once
 
 #include "cloud/billing.hpp"
@@ -20,6 +21,12 @@
 #include "metrics/experiment.hpp"
 #include "metrics/run_metrics.hpp"
 #include "metrics/table.hpp"
+#include "obs/counter_sink.hpp"
+#include "obs/event.hpp"
+#include "obs/jsonl_sink.hpp"
+#include "obs/profile.hpp"
+#include "obs/ring_sink.hpp"
+#include "obs/sink.hpp"
 #include "sched/analysis.hpp"
 #include "sched/baselines.hpp"
 #include "sched/bid_advisor.hpp"
@@ -28,6 +35,7 @@
 #include "sched/fleet.hpp"
 #include "sched/market_selection.hpp"
 #include "sched/scheduler.hpp"
+#include "sched/scheduler_config.hpp"
 #include "simcore/event_queue.hpp"
 #include "simcore/logging.hpp"
 #include "simcore/rng.hpp"

@@ -2,7 +2,24 @@
 
 #include <stdexcept>
 
+#include "obs/sink.hpp"
+
 namespace spothost::workload {
+
+namespace {
+
+std::uint8_t cause_code(OutageCause cause) noexcept {
+  switch (cause) {
+    case OutageCause::kForcedMigration: return obs::code::kCauseForcedMigration;
+    case OutageCause::kPlannedMigration: return obs::code::kCausePlannedMigration;
+    case OutageCause::kReverseMigration: return obs::code::kCauseReverseMigration;
+    case OutageCause::kSpotLoss: return obs::code::kCauseSpotLoss;
+    case OutageCause::kOther: return obs::code::kCauseOther;
+  }
+  return obs::code::kCauseOther;
+}
+
+}  // namespace
 
 AlwaysOnService::AlwaysOnService(std::string name, virt::VmSpec spec)
     : name_(std::move(name)), vm_(spec) {}
@@ -18,6 +35,14 @@ void AlwaysOnService::begin_outage(sim::SimTime t, OutageCause cause) {
   tracker_.mark_down(t);
   vm_.transition(virt::VmState::kDown, t);
   ++cause_counts_[static_cast<std::size_t>(cause)];
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    obs::TraceEvent e;
+    e.t = t;
+    e.kind = obs::EventKind::kOutageBegin;
+    e.code = cause_code(cause);
+    e.note = name_;
+    tracer_->emit(e);
+  }
 }
 
 void AlwaysOnService::end_outage(sim::SimTime t, bool degraded) {
@@ -28,12 +53,29 @@ void AlwaysOnService::end_outage(sim::SimTime t, bool degraded) {
   } else {
     vm_.transition(virt::VmState::kRunning, t);
   }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    obs::TraceEvent e;
+    e.t = t;
+    e.kind = obs::EventKind::kOutageEnd;
+    e.code = obs::code::kNone;
+    e.value = degraded ? 1.0 : 0.0;
+    e.note = name_;
+    tracer_->emit(e);
+  }
 }
 
 void AlwaysOnService::end_degraded(sim::SimTime t) {
   if (vm_.state() == virt::VmState::kDegraded) {
     vm_.transition(virt::VmState::kRunning, t);
     tracker_.mark_normal(t);
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      obs::TraceEvent e;
+      e.t = t;
+      e.kind = obs::EventKind::kDegradedEnd;
+      e.code = obs::code::kNone;
+      e.note = name_;
+      tracer_->emit(e);
+    }
   }
 }
 

@@ -12,11 +12,19 @@
 #include "workload/availability.hpp"
 #include "workload/endpoint.hpp"
 
+namespace spothost::obs {
+class Tracer;  // obs/sink.hpp
+}
+
 namespace spothost::workload {
 
 class AlwaysOnService final : public ServiceEndpoint {
  public:
   AlwaysOnService(std::string name, virt::VmSpec spec);
+
+  /// Attach a tracer so availability transitions show up in the run's trace
+  /// (outage_begin/outage_end/degraded_end). Null detaches; not owned.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const virt::Vm& vm() const noexcept { return vm_; }
@@ -50,6 +58,7 @@ class AlwaysOnService final : public ServiceEndpoint {
   virt::Vm vm_;
   AvailabilityTracker tracker_;
   std::array<int, 5> cause_counts_{};
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace spothost::workload

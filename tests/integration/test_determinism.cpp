@@ -1,8 +1,14 @@
 // Reproducibility: identical (seed, config) pairs must give bit-identical
-// metrics — the foundation for every experiment in bench/.
+// metrics — the foundation for every experiment in bench/ — and, with a
+// tracer attached, byte-identical JSONL trace streams.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
 #include "metrics/experiment.hpp"
+#include "obs/jsonl_sink.hpp"
+#include "obs/sink.hpp"
 #include "sched/baselines.hpp"
 
 namespace spothost {
@@ -52,6 +58,30 @@ INSTANTIATE_TEST_SUITE_P(
     SeedsAndModes, DeterminismSweep,
     ::testing::Combine(::testing::Values(1u, 7u, 4242u),
                        ::testing::Values(0, 1, 2)));
+
+std::string traced_run_jsonl(std::uint64_t seed) {
+  std::ostringstream os;
+  obs::Tracer tracer;
+  obs::JsonlSink sink(os);
+  tracer.add_sink(&sink);
+  auto cfg = sched::proactive_config({"us-east-1a", InstanceSize::kSmall});
+  cfg.scope = sched::MarketScope::kMultiMarket;
+  (void)metrics::run_hosting_scenario(scenario(seed), cfg, &tracer, nullptr);
+  return os.str();
+}
+
+TEST(Determinism, SameSeedGivesByteIdenticalTraceStream) {
+  // Events carry simulation time only — never wall clock — so the full
+  // serialized stream must be reproducible to the byte.
+  const auto a = traced_run_jsonl(7);
+  const auto b = traced_run_jsonl(7);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, DifferentSeedsGiveDifferentTraceStreams) {
+  EXPECT_NE(traced_run_jsonl(1), traced_run_jsonl(2));
+}
 
 TEST(Determinism, DifferentSeedsGiveDifferentRuns) {
   const auto cfg = sched::proactive_config({"us-east-1a", InstanceSize::kSmall});

@@ -61,7 +61,7 @@ TEST_F(Scenarios, StabilityAwareSelectionDoesNotExplodeCost) {
   auto greedy = sched::proactive_config({"us-east-1a", InstanceSize::kSmall});
   greedy.scope = sched::MarketScope::kMultiRegion;
   auto stable = greedy;
-  stable.stability_aware = true;
+  stable.stability = sched::StabilityPolicy::kPenalizeVolatility;
   stable.stability_penalty_weight = 2.0;
   const auto g = runner_.run(two_region_scenario(), greedy);
   const auto st = runner_.run(two_region_scenario(), stable);

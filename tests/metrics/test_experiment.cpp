@@ -39,7 +39,7 @@ TEST(ExperimentRunner, RejectsZeroRuns) {
 }
 
 TEST(ExperimentRunner, RunsProduceAggregates) {
-  const ExperimentRunner runner(3, 500, /*parallel=*/true);
+  const ExperimentRunner runner(3, 500, Execution::kParallel);
   const auto cfg = sched::proactive_config(
       {"us-east-1a", InstanceSize::kSmall});
   const auto agg = runner.run(small_scenario(), cfg);
@@ -53,15 +53,17 @@ TEST(ExperimentRunner, RunsProduceAggregates) {
 TEST(ExperimentRunner, ParallelMatchesSerial) {
   const auto cfg = sched::proactive_config(
       {"us-east-1a", InstanceSize::kSmall});
-  const auto par = ExperimentRunner(3, 500, true).run(small_scenario(), cfg);
-  const auto ser = ExperimentRunner(3, 500, false).run(small_scenario(), cfg);
+  const auto par =
+      ExperimentRunner(3, 500, Execution::kParallel).run(small_scenario(), cfg);
+  const auto ser =
+      ExperimentRunner(3, 500, Execution::kSerial).run(small_scenario(), cfg);
   EXPECT_DOUBLE_EQ(par.normalized_cost_pct.mean, ser.normalized_cost_pct.mean);
   EXPECT_DOUBLE_EQ(par.unavailability_pct.mean, ser.unavailability_pct.mean);
   EXPECT_DOUBLE_EQ(par.forced_per_hour.mean, ser.forced_per_hour.mean);
 }
 
 TEST(ExperimentRunner, RunWithCustomBody) {
-  const ExperimentRunner runner(4, 1, false);
+  const ExperimentRunner runner(4, 1, Execution::kSerial);
   int calls = 0;
   const auto agg = runner.run_with([&](std::uint64_t seed) {
     ++calls;
@@ -71,6 +73,34 @@ TEST(ExperimentRunner, RunWithCustomBody) {
   });
   EXPECT_EQ(calls, 4);
   EXPECT_EQ(agg.per_run.size(), 4u);
+}
+
+TEST(ExperimentRunner, CaptureTracesReportsPerSeedInSeedOrder) {
+  const auto cfg = sched::proactive_config(
+      {"us-east-1a", InstanceSize::kSmall});
+  ExperimentRunner runner(3, 500, Execution::kParallel);
+  runner.capture_traces(1 << 14);
+  const auto agg = runner.run(small_scenario(), cfg);
+  ASSERT_EQ(agg.traces.size(), 3u);
+  for (std::size_t i = 0; i < agg.traces.size(); ++i) {
+    const auto& trace = agg.traces[i];
+    EXPECT_EQ(trace.seed, 500u + i * 7919u);
+    EXPECT_FALSE(trace.events.empty());
+    // Events arrive in non-decreasing simulation time.
+    for (std::size_t j = 1; j < trace.events.size(); ++j) {
+      EXPECT_LE(trace.events[j - 1].t, trace.events[j].t);
+    }
+    EXPECT_GT(trace.profile.events_dispatched, 0u);
+  }
+  // Without opting in, no traces are captured.
+  const auto plain =
+      ExperimentRunner(3, 500, Execution::kParallel).run(small_scenario(), cfg);
+  EXPECT_TRUE(plain.traces.empty());
+}
+
+TEST(ExperimentRunner, CaptureTracesRejectsZeroCapacity) {
+  ExperimentRunner runner(1, 1, Execution::kSerial);
+  EXPECT_THROW(runner.capture_traces(0), std::invalid_argument);
 }
 
 TEST(RunHostingScenario, PureSpotHasWorseAvailabilityThanProactive) {

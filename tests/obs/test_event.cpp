@@ -1,0 +1,77 @@
+#include "obs/event.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spothost::obs {
+namespace {
+
+TEST(EventKindNames, RoundTripEveryKind) {
+  for (std::size_t k = 0; k < kEventKindCount; ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    const auto name = to_string(kind);
+    EXPECT_FALSE(name.empty());
+    const auto back = event_kind_from_string(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_FALSE(event_kind_from_string("not_a_kind").has_value());
+  EXPECT_FALSE(event_kind_from_string("").has_value());
+}
+
+TEST(EventCodeLabels, KnownPairsHaveLabels) {
+  EXPECT_EQ(code_label(EventKind::kMigrationBegin, code::kForced), "forced");
+  EXPECT_EQ(code_label(EventKind::kMigrationBegin, code::kPlanned), "planned");
+  EXPECT_EQ(code_label(EventKind::kMigrationBegin, code::kReverse), "reverse");
+  EXPECT_EQ(code_label(EventKind::kBidPlaced, code::kSpot), "spot");
+  EXPECT_EQ(code_label(EventKind::kBidPlaced, code::kOnDemand), "on_demand");
+  EXPECT_EQ(code_label(EventKind::kPriceCrossing, code::kAbove), "above");
+  EXPECT_EQ(code_label(EventKind::kOutageBegin, code::kCauseSpotLoss),
+            "spot_loss");
+  // A kind without a code vocabulary has no label.
+  EXPECT_EQ(code_label(EventKind::kPriceChange, 0), "");
+}
+
+TEST(EventJsonl, RoundTripsAllFields) {
+  TraceEvent e;
+  e.t = 123456789;
+  e.kind = EventKind::kAcquisition;
+  e.code = code::kOnDemand;
+  e.instance = 42;
+  e.value = 0.0612;
+  e.aux = 3.25;
+  e.market = "us-east-1a/small";
+  e.note = "hello \"quoted\" \\ world";
+  const auto line = to_jsonl(e);
+  const auto back = from_jsonl(line);
+  ASSERT_TRUE(back.has_value()) << line;
+  EXPECT_EQ(*back, e);
+}
+
+TEST(EventJsonl, DefaultEventRoundTrips) {
+  const TraceEvent e;
+  const auto back = from_jsonl(to_jsonl(e));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, e);
+}
+
+TEST(EventJsonl, EqualEventsSerializeToIdenticalBytes) {
+  TraceEvent a;
+  a.t = 7;
+  a.kind = EventKind::kRevocationWarning;
+  a.value = 0.1 + 0.2;  // shortest-round-trip formatting must be stable
+  TraceEvent b = a;
+  EXPECT_EQ(to_jsonl(a), to_jsonl(b));
+}
+
+TEST(EventJsonl, RejectsMalformedInput) {
+  EXPECT_FALSE(from_jsonl("").has_value());
+  EXPECT_FALSE(from_jsonl("{}").has_value());
+  EXPECT_FALSE(from_jsonl("not json at all").has_value());
+  EXPECT_FALSE(from_jsonl("{\"t\":1,\"kind\":\"no_such_kind\",\"code\":0,"
+                          "\"instance\":0,\"value\":0,\"aux\":0,\"market\":\"\","
+                          "\"note\":\"\"}")
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace spothost::obs

@@ -1,0 +1,69 @@
+#include "obs/ring_sink.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spothost::obs {
+namespace {
+
+TraceEvent event_at(sim::SimTime t) {
+  TraceEvent e;
+  e.t = t;
+  e.kind = EventKind::kPriceChange;
+  e.value = static_cast<double>(t) * 0.001;
+  return e;
+}
+
+TEST(RingBufferSink, RejectsZeroCapacity) {
+  EXPECT_THROW(RingBufferSink(0), std::invalid_argument);
+}
+
+TEST(RingBufferSink, StoresUpToCapacityInOrder) {
+  RingBufferSink ring(4);
+  for (sim::SimTime t = 0; t < 3; ++t) ring.on_event(event_at(t));
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 3u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].t, static_cast<sim::SimTime>(i));
+  }
+}
+
+TEST(RingBufferSink, OverflowDropsOldestAndCounts) {
+  RingBufferSink ring(3);
+  for (sim::SimTime t = 0; t < 7; ++t) ring.on_event(event_at(t));
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.capacity(), 3u);
+  EXPECT_EQ(ring.dropped(), 4u);
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 3u);
+  // Survivors are the newest three, still oldest-first.
+  EXPECT_EQ(events[0].t, 4);
+  EXPECT_EQ(events[1].t, 5);
+  EXPECT_EQ(events[2].t, 6);
+}
+
+TEST(RingBufferSink, ExactlyFullDoesNotDrop) {
+  RingBufferSink ring(5);
+  for (sim::SimTime t = 0; t < 5; ++t) ring.on_event(event_at(t));
+  EXPECT_EQ(ring.size(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.events().front().t, 0);
+  EXPECT_EQ(ring.events().back().t, 4);
+}
+
+TEST(RingBufferSink, ClearResetsEverything) {
+  RingBufferSink ring(2);
+  for (sim::SimTime t = 0; t < 5; ++t) ring.on_event(event_at(t));
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_TRUE(ring.events().empty());
+  ring.on_event(event_at(9));
+  ASSERT_EQ(ring.events().size(), 1u);
+  EXPECT_EQ(ring.events()[0].t, 9);
+}
+
+}  // namespace
+}  // namespace spothost::obs

@@ -30,7 +30,7 @@ TEST(Baselines, ReactivePreset) {
   const auto cfg = reactive_config(kHome);
   EXPECT_EQ(cfg.bid.mode, BiddingMode::kReactive);
   EXPECT_EQ(cfg.scope, MarketScope::kSingleMarket);
-  EXPECT_TRUE(cfg.allow_on_demand);
+  EXPECT_EQ(cfg.fallback, Fallback::kOnDemand);
   EXPECT_EQ(cfg.home_market, kHome);
 }
 
@@ -38,12 +38,13 @@ TEST(Baselines, ProactivePreset) {
   const auto cfg = proactive_config(kHome);
   EXPECT_EQ(cfg.bid.mode, BiddingMode::kProactive);
   EXPECT_DOUBLE_EQ(cfg.bid.proactive_multiple, 4.0);
-  EXPECT_TRUE(cfg.allow_on_demand);
+  EXPECT_TRUE(cfg.on_demand_allowed());
 }
 
 TEST(Baselines, PureSpotPreset) {
   const auto cfg = pure_spot_config(kHome);
-  EXPECT_FALSE(cfg.allow_on_demand);
+  EXPECT_EQ(cfg.fallback, Fallback::kPureSpot);
+  EXPECT_FALSE(cfg.on_demand_allowed());
   EXPECT_EQ(cfg.bid.mode, BiddingMode::kReactive);  // bid = p_on
 }
 

@@ -173,7 +173,7 @@ TEST(SelectionStability, StabilityPenaltyRedirectsChoice) {
   EXPECT_EQ(g->region, "us-east-1a");  // greedy chases the cheap price
 
   SelectionOptions stable = greedy;
-  stable.stability_aware = true;
+  stable.stability = StabilityPolicy::kPenalizeVolatility;
   stable.stability_penalty_weight = 2.0;
   stable.stability_window = 2 * kDay;
   const auto s = best_spot_market(provider, candidates, stable);
