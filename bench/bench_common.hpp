@@ -3,6 +3,7 @@
 // reports, with the paper's value quoted alongside where applicable.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -13,6 +14,26 @@ namespace spothost::bench {
 
 inline constexpr int kDefaultRuns = 5;
 inline constexpr std::uint64_t kBaseSeed = 20150615;  // HPDC'15 opening day
+
+/// Seed fan-out count: SPOTHOST_RUNS env var, else `fallback`. Lets CI run
+/// the figure benches cheaply (SPOTHOST_RUNS=1) without editing sources.
+inline int env_runs(int fallback = kDefaultRuns) {
+  if (const char* v = std::getenv("SPOTHOST_RUNS")) {
+    const int n = std::atoi(v);
+    if (n > 0) return n;
+  }
+  return fallback;
+}
+
+/// Base seed: SPOTHOST_SEED env var, else `fallback`.
+inline std::uint64_t env_seed(std::uint64_t fallback = kBaseSeed) {
+  if (const char* v = std::getenv("SPOTHOST_SEED")) {
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(v, &end, 10);
+    if (end != v && *end == '\0') return n;
+  }
+  return fallback;
+}
 
 /// Scenario with the canonical four regions and four sizes, 30 days.
 inline sched::Scenario full_scenario() {
@@ -29,7 +50,7 @@ inline sched::Scenario region_scenario(const std::string& region) {
 }
 
 inline metrics::ExperimentRunner default_runner() {
-  return metrics::ExperimentRunner(kDefaultRuns, kBaseSeed);
+  return metrics::ExperimentRunner(env_runs(), env_seed());
 }
 
 inline cloud::MarketId market(const std::string& region, const char* size) {

@@ -52,6 +52,10 @@ class SpotMarket {
   /// Registers a price-change observer; fires on every change event.
   SubscriptionId subscribe(PriceObserver observer);
   void unsubscribe(SubscriptionId id);
+  /// Live observers (the provider's own revocation logic counts as one).
+  [[nodiscard]] std::size_t observer_count() const noexcept {
+    return observers_.size();
+  }
 
   /// Begins replaying price-change events into the simulation. Call once.
   void start();

@@ -88,10 +88,6 @@ ExperimentRunner::ExperimentRunner(int runs, std::uint64_t base_seed,
   if (runs_ <= 0) throw std::invalid_argument("ExperimentRunner: runs must be > 0");
 }
 
-ExperimentRunner::ExperimentRunner(int runs, std::uint64_t base_seed, bool parallel)
-    : ExperimentRunner(runs, base_seed,
-                       parallel ? Execution::kParallel : Execution::kSerial) {}
-
 ExperimentRunner& ExperimentRunner::capture_traces(std::size_t ring_capacity) {
   if (ring_capacity == 0) {
     throw std::invalid_argument("capture_traces: ring_capacity must be > 0");

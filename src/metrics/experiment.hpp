@@ -79,10 +79,6 @@ class ExperimentRunner {
   explicit ExperimentRunner(int runs = 5, std::uint64_t base_seed = 9001,
                             Execution execution = Execution::kParallel);
 
-  /// Transitional shim for the old bool-flag API.
-  [[deprecated("pass metrics::Execution instead of a bool")]] ExperimentRunner(
-      int runs, std::uint64_t base_seed, bool parallel);
-
   /// Opt into per-seed trace capture: each run() seed records its events
   /// into a ring buffer of `ring_capacity` and reports them (with the wall
   /// clock profile) in AggregatedMetrics::traces, in seed order.

@@ -11,7 +11,8 @@ namespace spothost::sched {
 FleetScheduler::FleetScheduler(sim::Simulation& simulation,
                                cloud::CloudProvider& provider, FleetConfig config,
                                const sim::RngFactory& rng_factory)
-    : provider_(provider) {
+    : provider_(provider),
+      watcher_(std::make_unique<MarketWatcher>(simulation, provider)) {
   if (config.num_services <= 0) {
     throw std::invalid_argument("FleetScheduler: num_services must be > 0");
   }
@@ -28,7 +29,7 @@ FleetScheduler::FleetScheduler(sim::Simulation& simulation,
         virt::default_spec_for_memory(cloud::type_info(cfg.home_market.size).memory_gb,
                                       cloud::type_info(cfg.home_market.size).disk_gb));
     unit.scheduler = std::make_unique<CloudScheduler>(
-        simulation, provider, *unit.service, cfg,
+        simulation, provider, *watcher_, *unit.service, cfg,
         rng_factory.stream("fleet-timing", static_cast<std::uint64_t>(i)));
     units_.push_back(std::move(unit));
   }

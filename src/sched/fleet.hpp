@@ -8,11 +8,15 @@
 // FleetScheduler runs N services — optionally spread across home markets —
 // and reports correlated-outage statistics: fraction of time any service is
 // down, peak number of simultaneously-down services, and the fleet bill.
+//
+// All schedulers share one MarketWatcher, so the provider sees one price
+// subscription per market regardless of fleet size (O(M), not O(N×M)).
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "sched/market_watcher.hpp"
 #include "sched/scheduler.hpp"
 #include "workload/service.hpp"
 
@@ -63,6 +67,8 @@ class FleetScheduler {
   [[nodiscard]] const workload::AlwaysOnService& service(int index) const;
   [[nodiscard]] const CloudScheduler& scheduler(int index) const;
   [[nodiscard]] int size() const noexcept { return static_cast<int>(units_.size()); }
+  /// The trigger layer shared by every scheduler in the fleet.
+  [[nodiscard]] const MarketWatcher& watcher() const noexcept { return *watcher_; }
 
  private:
   struct Unit {
@@ -71,6 +77,9 @@ class FleetScheduler {
   };
 
   cloud::CloudProvider& provider_;
+  // Declared before units_: schedulers deregister from the watcher on
+  // destruction, so it must be destroyed after them.
+  std::unique_ptr<MarketWatcher> watcher_;
   std::vector<Unit> units_;
 };
 

@@ -1,0 +1,79 @@
+#include "sched/market_watcher.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace spothost::sched {
+
+MarketWatcher::MarketWatcher(sim::Simulation& simulation, cloud::CloudProvider& provider)
+    : simulation_(simulation), provider_(provider) {}
+
+MarketWatcher::ListenerId MarketWatcher::add_listener(TriggerCallback callback) {
+  const ListenerId id = next_listener_++;
+  listeners_.emplace(id, std::move(callback));
+  return id;
+}
+
+void MarketWatcher::remove_listener(ListenerId id) {
+  listeners_.erase(id);
+  for (auto& [market, ids] : interest_) {
+    ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+  }
+}
+
+void MarketWatcher::watch(ListenerId id, const std::vector<cloud::MarketId>& markets) {
+  if (!listeners_.contains(id)) return;
+  for (const auto& market : markets) {
+    auto& ids = interest_[market];
+    if (std::find(ids.begin(), ids.end(), id) != ids.end()) continue;
+    ids.push_back(id);
+    if (!subscribed_.contains(market)) {
+      // First interest in this market: subscribe the one shared provider
+      // feed. Later listeners piggyback on the same subscription.
+      const auto sub = provider_.market(market).subscribe(
+          [this](const cloud::SpotMarket& m, double new_price) {
+            on_price_change(m.id(), new_price);
+          });
+      subscribed_.emplace(market, sub);
+    }
+  }
+}
+
+sim::EventId MarketWatcher::schedule_hour_tick(ListenerId id, sim::SimTime at) {
+  return simulation_.at(at, [this, id] {
+    Trigger trigger;
+    trigger.kind = TriggerKind::kHourBoundary;
+    deliver(id, trigger);
+  });
+}
+
+void MarketWatcher::arm_revocation(ListenerId id, cloud::InstanceId instance) {
+  provider_.set_revocation_handler(
+      instance, [this, id](cloud::InstanceId warned, sim::SimTime t_term) {
+        Trigger trigger;
+        trigger.kind = TriggerKind::kRevocation;
+        trigger.instance = warned;
+        trigger.t_term = t_term;
+        deliver(id, trigger);
+      });
+}
+
+void MarketWatcher::on_price_change(const cloud::MarketId& market, double new_price) {
+  const auto it = interest_.find(market);
+  if (it == interest_.end()) return;
+  // Snapshot: a trigger handler may watch/unwatch reentrantly.
+  const std::vector<ListenerId> recipients = it->second;
+  Trigger trigger;
+  trigger.kind = TriggerKind::kPriceChange;
+  trigger.market = market;
+  trigger.price = new_price;
+  for (const ListenerId id : recipients) deliver(id, trigger);
+}
+
+void MarketWatcher::deliver(ListenerId id, const Trigger& trigger) {
+  const auto it = listeners_.find(id);
+  if (it == listeners_.end()) return;
+  it->second(trigger);
+}
+
+}  // namespace spothost::sched

@@ -1,0 +1,126 @@
+// Shared fleet market watcher — layer 1 ("when to move") of the scheduler
+// decomposition.
+//
+// A CloudScheduler used to subscribe to every candidate market's price feed
+// itself, so a fleet of N schedulers over M markets held N×M provider-side
+// subscriptions and every price tick fanned out through N×M independent
+// std::function hops. The MarketWatcher subscribes to each provider feed at
+// most ONCE — fleet cost is O(M) subscriptions — and fans typed trigger
+// notifications out to any number of registered listeners:
+//
+//  * kPriceChange  — a watched market's spot price ticked;
+//  * kHourBoundary — a billing-hour check the listener asked to be woken
+//    for (per-instance hours are listener state, so the watcher only owns
+//    the delivery, not the schedule);
+//  * kRevocation   — the provider warned an instance the listener armed.
+//
+// Listeners within one market fire in registration order, and the watcher
+// snapshots the recipient list before dispatching, so listeners may
+// (un)register reentrantly — the same reentrancy contract SpotMarket gives
+// its observers. Everything is deterministic: identical registration order
+// yields identical dispatch order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cloud/provider.hpp"
+#include "simcore/simulation.hpp"
+
+namespace spothost::sched {
+
+/// Edge-triggered threshold-crossing detector: feed it the above/below
+/// observation at every price tick; it reports an edge exactly once per
+/// crossing. A first observation that is already below the threshold is
+/// steady state, not a crossing (a fresh adoption into a calm market must
+/// not fire). reset() forgets history — call it when the reference market
+/// changes.
+class CrossingDetector {
+ public:
+  enum class Edge { kNone, kUp, kDown };
+
+  Edge observe(bool above) noexcept {
+    const bool crossed = above_ ? *above_ != above : above;
+    above_ = above;
+    if (!crossed) return Edge::kNone;
+    return above ? Edge::kUp : Edge::kDown;
+  }
+
+  void reset() noexcept { above_.reset(); }
+
+ private:
+  std::optional<bool> above_;
+};
+
+class MarketWatcher {
+ public:
+  using ListenerId = std::uint64_t;
+  inline static constexpr ListenerId kInvalidListener = 0;
+
+  enum class TriggerKind : std::uint8_t { kPriceChange, kHourBoundary, kRevocation };
+
+  /// One typed notification. Only the fields of the firing kind are set.
+  struct Trigger {
+    TriggerKind kind = TriggerKind::kPriceChange;
+    cloud::MarketId market{};                            ///< kPriceChange
+    double price = 0.0;                                  ///< kPriceChange
+    cloud::InstanceId instance = cloud::kInvalidInstance;///< kRevocation
+    sim::SimTime t_term = 0;                             ///< kRevocation
+  };
+
+  using TriggerCallback = std::function<void(const Trigger&)>;
+
+  MarketWatcher(sim::Simulation& simulation, cloud::CloudProvider& provider);
+
+  /// Registers a listener; triggers are delivered through `callback`.
+  ListenerId add_listener(TriggerCallback callback);
+
+  /// Deregisters: no further triggers are delivered. Provider-side feed
+  /// subscriptions are kept (they are bounded by the market count and the
+  /// watcher typically outlives any one listener).
+  void remove_listener(ListenerId id);
+
+  /// Adds `markets` to the set the listener receives kPriceChange triggers
+  /// for. The underlying provider feed is subscribed on the first interest
+  /// in a market, once, no matter how many listeners watch it afterwards.
+  void watch(ListenerId id, const std::vector<cloud::MarketId>& markets);
+
+  /// Schedules a kHourBoundary trigger for `id` at absolute time `at`.
+  /// Returns the simulation event id — cancel through the simulation.
+  sim::EventId schedule_hour_tick(ListenerId id, sim::SimTime at);
+
+  /// Routes the provider's revocation warning for `instance` to `id` as a
+  /// kRevocation trigger (replaces any previously installed handler).
+  void arm_revocation(ListenerId id, cloud::InstanceId instance);
+
+  /// Provider-side price-feed subscriptions this watcher holds — bounded by
+  /// the market count, never by the listener count.
+  [[nodiscard]] std::size_t provider_subscriptions() const noexcept {
+    return subscribed_.size();
+  }
+  [[nodiscard]] std::size_t listener_count() const noexcept {
+    return listeners_.size();
+  }
+
+ private:
+  void on_price_change(const cloud::MarketId& market, double new_price);
+  void deliver(ListenerId id, const Trigger& trigger);
+
+  sim::Simulation& simulation_;
+  cloud::CloudProvider& provider_;
+  // Ordered by listener id so fan-out order is registration order.
+  std::map<ListenerId, TriggerCallback> listeners_;
+  /// Per-market listener ids, in registration order.
+  std::unordered_map<cloud::MarketId, std::vector<ListenerId>, cloud::MarketIdHash>
+      interest_;
+  std::unordered_map<cloud::MarketId, cloud::SpotMarket::SubscriptionId,
+                     cloud::MarketIdHash>
+      subscribed_;
+  ListenerId next_listener_ = 1;
+};
+
+}  // namespace spothost::sched

@@ -1,0 +1,173 @@
+// Migration engine — layer 3 ("how to move") of the scheduler decomposition.
+//
+// The engine owns the mechanics of the paper's three migration classes
+// (Sec. 3): the in-flight voluntary (planned/reverse) migration with its
+// destination request, transfer and switchover timing, spike abandonment,
+// and the forced revocation flow (bounded checkpoint flush in the grace
+// window, on-demand replacement, lazy restore). It drives the VM mechanism
+// models and the provider's instance lifecycle, but owns no *policy*: the
+// host decides when to migrate and where to (sched/placement.hpp), and the
+// engine reports back through the narrow MigrationHost interface.
+//
+// The host keeps sole ownership of the trace pipeline (MigrationHost::trace)
+// so engine-emitted events still feed the scheduler's CounterSink — stats
+// can never disagree with an attached sink — and of the timing RNG stream,
+// which the engine borrows so jitter draws stay in the monolith's order
+// (same-seed runs are byte-identical).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "cloud/provider.hpp"
+#include "obs/counter_sink.hpp"
+#include "sched/placement.hpp"
+#include "sched/scheduler_config.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/simulation.hpp"
+#include "virt/mechanisms.hpp"
+#include "workload/endpoint.hpp"
+
+namespace spothost::sched {
+
+/// Why an in-flight planned/reverse migration was torn down. Only
+/// kPriceRecovered counts as a "spike cancellation" in the stats.
+enum class AbandonReason : std::uint8_t {
+  kPriceRecovered,  ///< the price trigger evaporated before transfer
+  kDestRevoked,     ///< the destination instance got a revocation warning
+  kPreempted,       ///< superseded by a forced migration of the source
+};
+
+/// What the MigrationEngine needs from whoever hosts it (CloudScheduler).
+/// Deliberately narrow: current-source queries, lifecycle notifications,
+/// and the trace pipeline. No scheduler internals leak through.
+class MigrationHost {
+ public:
+  virtual ~MigrationHost() = default;
+
+  /// The instance currently hosting the service (kInvalidInstance if none).
+  [[nodiscard]] virtual cloud::InstanceId source_instance() const noexcept = 0;
+  /// Market of source_instance(); meaningful only while one is held.
+  [[nodiscard]] virtual cloud::MarketId source_market() const = 0;
+
+  /// A migration completed: the service now runs on `instance`.
+  virtual void adopt(cloud::InstanceId instance, const cloud::MarketId& market,
+                     bool on_demand) = 0;
+  /// A forced flow began: drop any scheduled voluntary-migration timers.
+  virtual void on_forced_begin() = 0;
+  /// The provider terminated the source (forced t_term): the service has no
+  /// home until the forced flow resumes it.
+  virtual void on_source_lost() = 0;
+  /// A voluntary switchover released the source; source-bound timers
+  /// (reverse hour checks) are now stale.
+  virtual void on_source_released() = 0;
+  /// A voluntary destination request failed or its instance was revoked
+  /// before adoption; the host may retry per its trigger policy.
+  virtual void on_voluntary_dest_failed(virt::MigrationClass cls) = 0;
+  /// A revocation warning for an instance the engine armed (a voluntary
+  /// spot destination) — route back through the host's trigger handling.
+  virtual void on_revocation_warning(cloud::InstanceId instance,
+                                     sim::SimTime t_term) = 0;
+
+  /// Trace pipeline (counters + attached tracer) — the engine never emits
+  /// events around the host.
+  virtual void trace(obs::TraceEvent event) = 0;
+  [[nodiscard]] virtual obs::TraceEvent trace_event(obs::EventKind kind,
+                                                    std::uint8_t code) const = 0;
+};
+
+class MigrationEngine {
+ public:
+  MigrationEngine(sim::Simulation& simulation, cloud::CloudProvider& provider,
+                  workload::ServiceEndpoint& service, MigrationHost& host,
+                  const SchedulerConfig& config, const virt::VmSpec& spec,
+                  sim::RngStream& timing_rng);
+
+  MigrationEngine(const MigrationEngine&) = delete;
+  MigrationEngine& operator=(const MigrationEngine&) = delete;
+
+  /// Starts a voluntary (planned/reverse) migration of `source` to `target`:
+  /// requests the destination, transfers once it is ready, switches over.
+  void begin_voluntary(virt::MigrationClass cls, const Placement& target,
+                       cloud::InstanceId source);
+
+  /// Starts the forced flow for a source under a revocation warning that
+  /// terminates at `t_term`. Cannibalises a same-region in-flight voluntary
+  /// destination; abandons any other.
+  void begin_forced(sim::SimTime t_term, cloud::InstanceId source,
+                    const cloud::MarketId& source_market);
+
+  /// Tears down the in-flight voluntary migration (cancels or releases the
+  /// destination, emits the abandon event).
+  void abandon(AbandonReason reason);
+
+  /// Consumes a revocation warning aimed at the in-flight voluntary
+  /// destination: abandons it and returns its class so the host can retry.
+  /// nullopt = the warning was not for our destination.
+  [[nodiscard]] std::optional<virt::MigrationClass> dest_warned(
+      cloud::InstanceId instance);
+
+  // --- state queries ----------------------------------------------------
+  [[nodiscard]] bool active() const noexcept {
+    return migration_.has_value() || forced_.has_value();
+  }
+  [[nodiscard]] bool forced_active() const noexcept { return forced_.has_value(); }
+  [[nodiscard]] bool voluntary_active() const noexcept {
+    return migration_.has_value();
+  }
+  [[nodiscard]] std::optional<virt::MigrationClass> voluntary_class() const;
+  [[nodiscard]] bool transfer_started() const noexcept;
+  /// When a voluntary transfer is in flight: the time the service will be
+  /// back up on the destination (switchover + downtime). nullopt otherwise.
+  [[nodiscard]] std::optional<sim::SimTime> voluntary_completion_time() const;
+
+  // --- shared mechanism services ---------------------------------------
+  [[nodiscard]] const virt::MigrationPlanner& planner() const noexcept {
+    return planner_;
+  }
+  /// `seconds` as SimTime with the configured lognormal measurement jitter,
+  /// drawn from the host's timing stream.
+  [[nodiscard]] sim::SimTime jittered(double seconds);
+
+ private:
+  struct Migration {
+    virt::MigrationClass cls{};
+    cloud::MarketId target;
+    bool target_on_demand = false;
+    cloud::InstanceId dest = cloud::kInvalidInstance;
+    bool dest_ready = false;
+    bool transfer_started = false;
+    sim::SimTime switchover_at = -1;
+    virt::MigrationTimings timings{};
+    sim::EventId switchover_event = sim::kInvalidEventId;
+  };
+
+  struct Forced {
+    sim::SimTime t_term = 0;
+    cloud::InstanceId dest = cloud::kInvalidInstance;
+    bool dest_ready = false;
+    sim::SimTime dest_ready_at = -1;
+    bool service_stopped = false;
+    bool resume_scheduled = false;
+    virt::MigrationTimings timings{};
+  };
+
+  void start_transfer();
+  void complete_switchover();
+  void forced_try_resume();
+  cloud::InstanceId request_forced_dest(const cloud::MarketId& od_market);
+
+  sim::Simulation& simulation_;
+  cloud::CloudProvider& provider_;
+  workload::ServiceEndpoint& service_;
+  MigrationHost& host_;
+  const SchedulerConfig& config_;
+  const virt::VmSpec& spec_;
+  sim::RngStream& rng_;
+  virt::MigrationPlanner planner_;
+
+  std::optional<Migration> migration_;
+  std::optional<Forced> forced_;
+};
+
+}  // namespace spothost::sched

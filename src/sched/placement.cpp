@@ -1,0 +1,54 @@
+#include "sched/placement.hpp"
+
+#include <algorithm>
+
+namespace spothost::sched {
+
+std::string_view ScopedPlacementPolicy::name() const noexcept { return "scoped"; }
+
+std::vector<cloud::MarketId> ScopedPlacementPolicy::watched_markets(
+    const cloud::CloudProvider& provider, const SchedulerConfig& config) const {
+  return candidate_markets(provider, config.scope, config.home_market,
+                           config.allowed_regions);
+}
+
+std::optional<Placement> ScopedPlacementPolicy::choose_spot(
+    const cloud::CloudProvider& provider, const SchedulerConfig& config,
+    const PlacementQuery& query) const {
+  SelectionOptions options;
+  options.units_needed = query.units_needed;
+  options.max_effective_price = query.max_effective_price;
+  options.exclude = query.exclude;
+  options.stability = config.stability;
+  options.stability_penalty_weight = config.stability_penalty_weight;
+  options.stability_window = config.stability_window;
+  options.now = query.now;
+  const auto candidates = candidate_markets(provider, config.scope,
+                                            config.home_market, config.allowed_regions);
+  const auto best = best_spot_market(provider, candidates, options);
+  if (!best) return std::nullopt;
+  return Placement{*best, /*on_demand=*/false, config.bid.bid_for(provider, *best)};
+}
+
+Placement ScopedPlacementPolicy::choose_on_demand(const cloud::CloudProvider& provider,
+                                                  const SchedulerConfig& config,
+                                                  const PlacementQuery& query) const {
+  std::string region =
+      query.fallback_region.empty() ? config.home_market.region : query.fallback_region;
+  if (config.scope == MarketScope::kMultiRegion) {
+    const auto& regions = config.allowed_regions.empty() ? provider.regions()
+                                                         : config.allowed_regions;
+    region = cheapest_on_demand_region(provider, regions, config.home_market.size);
+  }
+  return Placement{cloud::MarketId{region, config.home_market.size},
+                   /*on_demand=*/true, 0.0};
+}
+
+std::shared_ptr<const PlacementPolicy> placement_policy_for(
+    const SchedulerConfig& config) {
+  if (config.placement) return config.placement;
+  static const auto kScoped = std::make_shared<const ScopedPlacementPolicy>();
+  return kScoped;
+}
+
+}  // namespace spothost::sched

@@ -18,15 +18,6 @@ namespace {
 constexpr double kLeadSafetyFactor = 1.3;  // allocation-latency headroom
 constexpr SimTime kLeadSlack = 60 * sim::kSecond;
 
-std::uint8_t migration_code(virt::MigrationClass cls) noexcept {
-  switch (cls) {
-    case virt::MigrationClass::kForced: return obs::code::kForced;
-    case virt::MigrationClass::kPlanned: return obs::code::kPlanned;
-    case virt::MigrationClass::kReverse: return obs::code::kReverse;
-  }
-  return obs::code::kNone;
-}
-
 }  // namespace
 
 void CloudScheduler::trace(obs::TraceEvent event) {
@@ -49,13 +40,32 @@ CloudScheduler::CloudScheduler(sim::Simulation& simulation,
                                cloud::CloudProvider& provider,
                                workload::ServiceEndpoint& service,
                                SchedulerConfig config, sim::RngStream timing_rng)
+    : CloudScheduler(simulation, provider,
+                     std::make_unique<MarketWatcher>(simulation, provider),
+                     /*shared_watcher=*/nullptr, service, std::move(config),
+                     std::move(timing_rng)) {}
+
+CloudScheduler::CloudScheduler(sim::Simulation& simulation,
+                               cloud::CloudProvider& provider, MarketWatcher& watcher,
+                               workload::ServiceEndpoint& service,
+                               SchedulerConfig config, sim::RngStream timing_rng)
+    : CloudScheduler(simulation, provider, /*owned_watcher=*/nullptr, &watcher,
+                     service, std::move(config), std::move(timing_rng)) {}
+
+CloudScheduler::CloudScheduler(sim::Simulation& simulation,
+                               cloud::CloudProvider& provider,
+                               std::unique_ptr<MarketWatcher> owned_watcher,
+                               MarketWatcher* shared_watcher,
+                               workload::ServiceEndpoint& service,
+                               SchedulerConfig config, sim::RngStream timing_rng)
     : simulation_(simulation),
       provider_(provider),
       service_(service),
       config_(std::move(config)),
-      planner_(config_.combo, config_.mech, virt::NetworkModel{}),
       rng_(std::move(timing_rng)),
-      spec_(config_.vm_spec) {
+      spec_(config_.vm_spec),
+      owned_watcher_(std::move(owned_watcher)),
+      watcher_(owned_watcher_ ? *owned_watcher_ : *shared_watcher) {
   config_.validate();
   if (spec_.memory_gb <= 0) {
     const auto& info = cloud::type_info(config_.home_market.size);
@@ -67,6 +77,18 @@ CloudScheduler::CloudScheduler(sim::Simulation& simulation,
   }
   if (config_.scope == MarketScope::kMultiRegion && config_.allowed_regions.empty()) {
     config_.allowed_regions = provider_.regions();
+  }
+  placement_ = placement_policy_for(config_);
+  MigrationHost& host = *this;  // private base: convert in class scope
+  engine_ = std::make_unique<MigrationEngine>(simulation_, provider_, service_,
+                                              host, config_, spec_, rng_);
+  listener_ = watcher_.add_listener(
+      [this](const MarketWatcher::Trigger& trigger) { on_trigger(trigger); });
+}
+
+CloudScheduler::~CloudScheduler() {
+  if (listener_ != MarketWatcher::kInvalidListener) {
+    watcher_.remove_listener(listener_);
   }
 }
 
@@ -81,29 +103,23 @@ double CloudScheduler::od_threshold() const {
   return effective_on_demand_price(provider_, region, config_.home_market.size);
 }
 
-SelectionOptions CloudScheduler::selection_options(double threshold) const {
-  SelectionOptions opts;
-  opts.units_needed = units_needed();
-  opts.max_effective_price = threshold;
-  if (holding_ && !holding_->on_demand) opts.exclude = holding_->market;
-  opts.stability = config_.stability;
-  opts.stability_penalty_weight = config_.stability_penalty_weight;
-  opts.stability_window = config_.stability_window;
-  opts.now = simulation_.now();
-  return opts;
-}
-
-SimTime CloudScheduler::jittered(double seconds) {
-  if (seconds <= 0) return 0;
-  if (config_.timing_jitter_cv <= 0) return sim::from_seconds(seconds);
-  return sim::from_seconds(rng_.lognormal_mean_cv(seconds, config_.timing_jitter_cv));
+PlacementQuery CloudScheduler::placement_query(double threshold) const {
+  PlacementQuery query;
+  query.units_needed = units_needed();
+  query.max_effective_price = threshold;
+  if (holding_ && !holding_->on_demand) query.exclude = holding_->market;
+  query.fallback_region =
+      holding_ ? holding_->market.region : config_.home_market.region;
+  query.now = simulation_.now();
+  return query;
 }
 
 SimTime CloudScheduler::planned_lead() const {
   const std::string& region =
       holding_ ? holding_->market.region : config_.home_market.region;
   const auto lat = provider_.allocation_latency(region);
-  const auto t = planner_.plan(virt::MigrationClass::kPlanned, spec_, region, region);
+  const auto t =
+      engine_->planner().plan(virt::MigrationClass::kPlanned, spec_, region, region);
   return sim::from_seconds(lat.on_demand_mean_s * kLeadSafetyFactor + t.prepare_s +
                            t.downtime_s) +
          kLeadSlack;
@@ -113,7 +129,8 @@ SimTime CloudScheduler::reverse_lead() const {
   const std::string& region =
       holding_ ? holding_->market.region : config_.home_market.region;
   const auto lat = provider_.allocation_latency(region);
-  const auto t = planner_.plan(virt::MigrationClass::kReverse, spec_, region, region);
+  const auto t =
+      engine_->planner().plan(virt::MigrationClass::kReverse, spec_, region, region);
   return sim::from_seconds(lat.spot_mean_s * kLeadSafetyFactor + t.prepare_s +
                            t.downtime_s) +
          kLeadSlack;
@@ -128,26 +145,31 @@ SimTime CloudScheduler::next_instance_hour_boundary() const {
 }
 
 void CloudScheduler::start() {
-  // One price subscription per candidate market; the handler routes by
-  // current state, so subscriptions are static for the whole run.
-  const auto candidates = candidate_markets(provider_, config_.scope,
-                                            config_.home_market,
-                                            config_.allowed_regions);
-  for (const auto& market : candidates) {
-    provider_.market(market).subscribe(
-        [this, market](const cloud::SpotMarket&, double new_price) {
-          on_price_change(market, new_price);
-        });
+  // Watch every market the placement policy may choose from, plus the home
+  // market (pure-spot reacquisition). Whatever the fleet size, the watcher
+  // holds one provider subscription per market.
+  auto markets = placement_->watched_markets(provider_, config_);
+  if (std::find(markets.begin(), markets.end(), config_.home_market) ==
+      markets.end()) {
+    markets.push_back(config_.home_market);
   }
-  // The home market is always watched (pure-spot reacquisition).
-  if (std::find(candidates.begin(), candidates.end(), config_.home_market) ==
-      candidates.end()) {
-    provider_.market(config_.home_market)
-        .subscribe([this](const cloud::SpotMarket& m, double new_price) {
-          on_price_change(m.id(), new_price);
-        });
-  }
+  watcher_.watch(listener_, markets);
   acquire_initial();
+}
+
+void CloudScheduler::on_trigger(const MarketWatcher::Trigger& trigger) {
+  switch (trigger.kind) {
+    case MarketWatcher::TriggerKind::kPriceChange:
+      on_price_change(trigger.market, trigger.price);
+      break;
+    case MarketWatcher::TriggerKind::kHourBoundary:
+      hour_check_event_ = sim::kInvalidEventId;
+      on_hour_check();
+      break;
+    case MarketWatcher::TriggerKind::kRevocation:
+      on_revocation_warning(trigger.instance, trigger.t_term);
+      break;
+  }
 }
 
 void CloudScheduler::acquire_initial() {
@@ -155,18 +177,14 @@ void CloudScheduler::acquire_initial() {
     pure_spot_reacquire();
     return;
   }
-  const auto candidates = candidate_markets(provider_, config_.scope,
-                                            config_.home_market,
-                                            config_.allowed_regions);
   const double threshold = effective_on_demand_price(
       provider_, config_.home_market.region, config_.home_market.size);
-  const auto best = best_spot_market(provider_, candidates,
-                                     selection_options(threshold));
+  const auto query = placement_query(threshold);
+  const auto best = placement_->choose_spot(provider_, config_, query);
   if (best) {
-    const MarketId target = *best;
-    const double bid = config_.bid.bid_for(provider_, target);
+    const MarketId target = best->market;
     pending_acquire_ = provider_.request_spot(
-        target, bid,
+        target, best->bid,
         [this, target](InstanceId iid) {
           pending_acquire_ = cloud::kInvalidInstance;
           adopt(iid, target, /*on_demand=*/false);
@@ -180,14 +198,9 @@ void CloudScheduler::acquire_initial() {
         });
     return;
   }
-  std::string od_region = config_.home_market.region;
-  if (config_.scope == MarketScope::kMultiRegion) {
-    od_region = cheapest_on_demand_region(provider_, config_.allowed_regions,
-                                          config_.home_market.size);
-  }
-  const MarketId od_market{od_region, config_.home_market.size};
+  const Placement od = placement_->choose_on_demand(provider_, config_, query);
   pending_acquire_ = provider_.request_on_demand(
-      od_market, [this, od_market](InstanceId iid) {
+      od.market, [this, od_market = od.market](InstanceId iid) {
         pending_acquire_ = cloud::kInvalidInstance;
         adopt(iid, od_market, /*on_demand=*/true);
       });
@@ -197,16 +210,13 @@ void CloudScheduler::adopt(InstanceId instance, const MarketId& market,
                            bool on_demand) {
   holding_ = Holding{instance, market, on_demand};
   state_ = on_demand ? State::kOnDemand : State::kOnSpot;
-  price_above_.reset();  // crossings are relative to the adopted market
+  crossing_.reset();  // crossings are relative to the adopted market
   if (!service_live_) {
     service_.go_live(simulation_.now());
     service_live_ = true;
   }
   if (!on_demand) {
-    provider_.set_revocation_handler(instance,
-                                     [this](InstanceId iid, SimTime t_term) {
-                                       on_revocation_warning(iid, t_term);
-                                     });
+    watcher_.arm_revocation(listener_, instance);
     // Guard against adopting into an already-hot market.
     if (config_.bid.plans_migrations() && config_.on_demand_allowed() &&
         effective_spot_price(provider_, market, units_needed()) > od_threshold()) {
@@ -226,7 +236,7 @@ void CloudScheduler::adopt(InstanceId instance, const MarketId& market,
 
 void CloudScheduler::on_price_change(const MarketId& market, double new_price) {
   (void)new_price;
-  if (forced_) return;  // the forced flow owns the next transitions
+  if (engine_->forced_active()) return;  // the forced flow owns the next transitions
 
   // Pure-spot reacquisition: the market dipped back below the bid (also
   // covers an initial acquisition that has been waiting for the price).
@@ -243,11 +253,8 @@ void CloudScheduler::on_price_change(const MarketId& market, double new_price) {
   const double threshold = od_threshold();
   const bool above = eff > threshold;
   // Edge-triggered: one event per crossing of the on-demand threshold, not
-  // one per price tick. A freshly adopted market that is already below the
-  // threshold is steady state, not a crossing.
-  const bool crossed = price_above_ ? *price_above_ != above : above;
-  price_above_ = above;
-  if (crossed) {
+  // one per price tick.
+  if (crossing_.observe(above) != CrossingDetector::Edge::kNone) {
     auto e = trace_event(obs::EventKind::kPriceCrossing,
                          above ? obs::code::kAbove : obs::code::kBelow);
     e.instance = holding_->id;
@@ -260,9 +267,9 @@ void CloudScheduler::on_price_change(const MarketId& market, double new_price) {
     maybe_schedule_planned();
   } else {
     cancel_scheduled_planned();
-    if (migration_ && migration_->cls == virt::MigrationClass::kPlanned &&
-        !migration_->transfer_started && config_.cancel_planned_on_price_drop) {
-      abandon_migration(AbandonReason::kPriceRecovered);
+    if (engine_->voluntary_class() == virt::MigrationClass::kPlanned &&
+        !engine_->transfer_started() && config_.cancel_planned_on_price_drop) {
+      engine_->abandon(AbandonReason::kPriceRecovered);
     }
   }
 }
@@ -272,7 +279,7 @@ void CloudScheduler::on_price_change(const MarketId& market, double new_price) {
 // ---------------------------------------------------------------------------
 
 void CloudScheduler::maybe_schedule_planned() {
-  if (migration_ || forced_ || planned_begin_event_ != sim::kInvalidEventId) return;
+  if (engine_->active() || planned_begin_event_ != sim::kInvalidEventId) return;
   if (config_.planned_timing == PlannedTiming::kImmediate) {
     begin_planned();
     return;
@@ -284,7 +291,7 @@ void CloudScheduler::maybe_schedule_planned() {
   }
   planned_begin_event_ = simulation_.at(begin_at, [this] {
     planned_begin_event_ = sim::kInvalidEventId;
-    if (state_ != State::kOnSpot || migration_ || forced_ || !holding_) return;
+    if (state_ != State::kOnSpot || engine_->active() || !holding_) return;
     const double eff =
         effective_spot_price(provider_, holding_->market, units_needed());
     if (eff > od_threshold()) begin_planned();
@@ -299,206 +306,32 @@ void CloudScheduler::cancel_scheduled_planned() {
 }
 
 void CloudScheduler::begin_planned() {
-  if (state_ != State::kOnSpot || migration_ || forced_ || !holding_) return;
-  const auto candidates = candidate_markets(provider_, config_.scope,
-                                            config_.home_market,
-                                            config_.allowed_regions);
+  if (state_ != State::kOnSpot || engine_->active() || !holding_) return;
   const double threshold = od_threshold() * config_.reverse_price_margin;
-  const auto best = best_spot_market(provider_, candidates,
-                                     selection_options(threshold));
-
-  Migration m;
-  m.cls = virt::MigrationClass::kPlanned;
-  if (best) {
-    m.target = *best;
-    m.target_on_demand = false;
-  } else {
-    std::string od_region = holding_->market.region;
-    if (config_.scope == MarketScope::kMultiRegion) {
-      od_region = cheapest_on_demand_region(provider_, config_.allowed_regions,
-                                            config_.home_market.size);
-    }
-    m.target = MarketId{od_region, config_.home_market.size};
-    m.target_on_demand = true;
-  }
-  migration_ = m;
-
-  if (m.target_on_demand) {
-    migration_->dest = provider_.request_on_demand(
-        m.target, [this](InstanceId iid) {
-          if (!migration_ || migration_->dest != iid) return;
-          migration_->dest_ready = true;
-          start_transfer();
-        });
-  } else {
-    const double bid = config_.bid.bid_for(provider_, m.target);
-    migration_->dest = provider_.request_spot(
-        m.target, bid,
-        [this](InstanceId iid) {
-          if (!migration_ || migration_->dest != iid) return;
-          migration_->dest_ready = true;
-          provider_.set_revocation_handler(
-              iid, [this](InstanceId warned, SimTime t_term) {
-                on_revocation_warning(warned, t_term);
-              });
-          start_transfer();
-        },
-        [this, target = m.target] {
-          auto e = trace_event(obs::EventKind::kSpotRequestFailed, obs::code::kNone);
-          e.market = target.str();
-          trace(std::move(e));
-          if (!migration_) return;
-          // The cheaper market evaporated; fall back to on-demand if the
-          // trigger still holds.
-          migration_.reset();
-          if (state_ == State::kOnSpot && holding_ && !forced_ &&
-              effective_spot_price(provider_, holding_->market, units_needed()) >
-                  od_threshold()) {
-            begin_planned();
-          }
-        });
-  }
-  auto e = trace_event(obs::EventKind::kMigrationBegin, obs::code::kPlanned);
-  e.instance = holding_->id;
-  e.aux = m.target_on_demand ? 1.0 : 0.0;
-  e.market = m.target.str();
-  trace(std::move(e));
-  SPOTHOST_LOG(sim::LogLevel::kInfo, simulation_.now(),
-               "planned migration -> " << m.target.str()
-                                       << (m.target_on_demand ? " (on-demand)"
-                                                              : " (spot)"));
+  const auto query = placement_query(threshold);
+  const auto best = placement_->choose_spot(provider_, config_, query);
+  const Placement target =
+      best ? *best : placement_->choose_on_demand(provider_, config_, query);
+  engine_->begin_voluntary(virt::MigrationClass::kPlanned, target, holding_->id);
 }
 
-void CloudScheduler::begin_reverse(const MarketId& target) {
-  if (state_ != State::kOnDemand || migration_ || forced_ || !holding_) return;
-  Migration m;
-  m.cls = virt::MigrationClass::kReverse;
-  m.target = target;
-  m.target_on_demand = false;
-  migration_ = m;
-  const double bid = config_.bid.bid_for(provider_, target);
-  migration_->dest = provider_.request_spot(
-      target, bid,
-      [this](InstanceId iid) {
-        if (!migration_ || migration_->dest != iid) return;
-        migration_->dest_ready = true;
-        provider_.set_revocation_handler(
-            iid, [this](InstanceId warned, SimTime t_term) {
-              on_revocation_warning(warned, t_term);
-            });
-        start_transfer();
-      },
-      [this, target] {
-        auto e = trace_event(obs::EventKind::kSpotRequestFailed, obs::code::kNone);
-        e.market = target.str();
-        trace(std::move(e));
-        if (!migration_) return;
-        migration_.reset();
-        schedule_hour_check();  // try again next billing hour
-      });
-  auto e = trace_event(obs::EventKind::kMigrationBegin, obs::code::kReverse);
-  e.instance = holding_->id;
-  e.market = target.str();
-  trace(std::move(e));
-  SPOTHOST_LOG(sim::LogLevel::kInfo, simulation_.now(),
-               "reverse migration -> " << target.str());
+void CloudScheduler::begin_reverse(const Placement& target) {
+  if (state_ != State::kOnDemand || engine_->active() || !holding_) return;
+  engine_->begin_voluntary(virt::MigrationClass::kReverse, target, holding_->id);
 }
 
-void CloudScheduler::start_transfer() {
-  if (!migration_ || !migration_->dest_ready || migration_->transfer_started) return;
-  if (!holding_) return;
-  migration_->timings = planner_.plan(migration_->cls, spec_,
-                                      holding_->market.region,
-                                      migration_->target.region);
-  migration_->transfer_started = true;
-  migration_->switchover_at =
-      simulation_.now() + jittered(migration_->timings.prepare_s);
-  migration_->switchover_event =
-      simulation_.at(migration_->switchover_at, [this] { complete_switchover(); });
-  auto e = trace_event(obs::EventKind::kMigrationTransfer,
-                       migration_code(migration_->cls));
-  e.instance = migration_->dest;
-  e.value = migration_->timings.prepare_s;
-  e.market = migration_->target.str();
-  trace(std::move(e));
-}
-
-void CloudScheduler::complete_switchover() {
-  if (!migration_ || !holding_) return;
-  const Migration m = *migration_;
-  migration_.reset();
-
-  const SimTime downtime = jittered(m.timings.downtime_s);
-  const SimTime degraded = jittered(m.timings.degraded_s);
-  const auto cause = (m.cls == virt::MigrationClass::kReverse)
-                         ? workload::OutageCause::kReverseMigration
-                         : workload::OutageCause::kPlannedMigration;
-
-  // Stop billing the source now; the destination has been running (and
-  // billing) since it came up. A source that is already under a revocation
-  // warning is left for the provider to revoke — the partial hour is then
-  // free instead of billed.
-  if (provider_.instance(holding_->id).state != cloud::InstanceState::kWarned) {
-    provider_.terminate(holding_->id);
+void CloudScheduler::on_voluntary_dest_failed(virt::MigrationClass cls) {
+  if (cls == virt::MigrationClass::kReverse) {
+    schedule_hour_check();  // try again next billing hour
+    return;
   }
-  if (hour_check_event_ != sim::kInvalidEventId) {
-    simulation_.cancel(hour_check_event_);
-    hour_check_event_ = sim::kInvalidEventId;
+  // Planned: the cheaper market evaporated (or the destination was revoked
+  // before adoption); fall back through placement if the trigger still holds.
+  if (state_ == State::kOnSpot && holding_ && !engine_->forced_active() &&
+      effective_spot_price(provider_, holding_->market, units_needed()) >
+          od_threshold()) {
+    begin_planned();
   }
-
-  {
-    auto e = trace_event(obs::EventKind::kMigrationSwitchover, migration_code(m.cls));
-    e.instance = m.dest;
-    e.value = sim::to_seconds(downtime);
-    e.aux = sim::to_seconds(degraded);
-    e.market = m.target.str();
-    trace(std::move(e));
-  }
-  if (m.cls != virt::MigrationClass::kReverse && !m.target_on_demand) {
-    auto e = trace_event(obs::EventKind::kMarketSwitch, obs::code::kNone);
-    e.instance = m.dest;
-    e.market = m.target.str();
-    trace(std::move(e));
-  }
-
-  if (downtime > 0 && service_.is_up()) {
-    service_.begin_outage(simulation_.now(), cause);
-    const SimTime up_at = simulation_.now() + downtime;
-    simulation_.at(up_at, [this, degraded] {
-      if (forced_) return;  // a forced flow took over mid-switchover
-      if (!service_.is_up()) {
-        service_.end_outage(simulation_.now(), degraded > 0);
-        if (degraded > 0) {
-          simulation_.after(degraded,
-                            [this] { service_.end_degraded(simulation_.now()); });
-        }
-      }
-    });
-  }
-  adopt(m.dest, m.target, m.target_on_demand);
-}
-
-void CloudScheduler::abandon_migration(AbandonReason reason) {
-  if (!migration_) return;
-  if (migration_->switchover_event != sim::kInvalidEventId) {
-    simulation_.cancel(migration_->switchover_event);
-  }
-  if (migration_->dest != cloud::kInvalidInstance) {
-    // Pending requests are cancelled; a ready destination is released (its
-    // partial hour is billed — the price of a cancelled migration).
-    provider_.terminate(migration_->dest);
-  }
-  std::uint8_t code = obs::code::kAbandonPreempted;
-  switch (reason) {
-    case AbandonReason::kPriceRecovered: code = obs::code::kAbandonPriceRecovered; break;
-    case AbandonReason::kDestRevoked: code = obs::code::kAbandonDestRevoked; break;
-    case AbandonReason::kPreempted: code = obs::code::kAbandonPreempted; break;
-  }
-  auto e = trace_event(obs::EventKind::kMigrationAbandon, code);
-  e.instance = migration_->dest;
-  e.market = migration_->target.str();
-  migration_.reset();
-  trace(std::move(e));
 }
 
 // ---------------------------------------------------------------------------
@@ -513,26 +346,20 @@ void CloudScheduler::schedule_hour_check() {
   }
   SimTime check_at = next_instance_hour_boundary() - reverse_lead();
   while (check_at <= simulation_.now()) check_at += sim::kHour;
-  hour_check_event_ = simulation_.at(check_at, [this] {
-    hour_check_event_ = sim::kInvalidEventId;
-    on_hour_check();
-  });
+  hour_check_event_ = watcher_.schedule_hour_tick(listener_, check_at);
 }
 
 void CloudScheduler::on_hour_check() {
-  if (state_ != State::kOnDemand || migration_ || forced_ || !holding_) return;
+  if (state_ != State::kOnDemand || engine_->active() || !holding_) return;
   {
     auto e = trace_event(obs::EventKind::kBillingHourTick, obs::code::kOnDemand);
     e.instance = holding_->id;
     e.market = holding_->market.str();
     trace(std::move(e));
   }
-  const auto candidates = candidate_markets(provider_, config_.scope,
-                                            config_.home_market,
-                                            config_.allowed_regions);
   const double threshold = od_threshold() * config_.reverse_price_margin;
-  const auto best = best_spot_market(provider_, candidates,
-                                     selection_options(threshold));
+  const auto best = placement_->choose_spot(provider_, config_,
+                                            placement_query(threshold));
   if (best) {
     begin_reverse(*best);
   } else {
@@ -541,30 +368,23 @@ void CloudScheduler::on_hour_check() {
 }
 
 // ---------------------------------------------------------------------------
-// Forced migrations
+// Revocation warnings
 // ---------------------------------------------------------------------------
 
 void CloudScheduler::on_revocation_warning(InstanceId instance, SimTime t_term) {
-  // A migration *destination* got warned before adoption: walk away from it.
-  if (migration_ && instance == migration_->dest) {
-    const bool was_reverse = migration_->cls == virt::MigrationClass::kReverse;
-    abandon_migration(AbandonReason::kDestRevoked);
-    if (was_reverse) {
-      schedule_hour_check();
-    } else if (state_ == State::kOnSpot && holding_ && !forced_ &&
-               effective_spot_price(provider_, holding_->market, units_needed()) >
-                   od_threshold()) {
-      begin_planned();
-    }
+  // A migration *destination* got warned before adoption: walk away from it
+  // and retry through the normal trigger policy.
+  if (const auto cls = engine_->dest_warned(instance)) {
+    on_voluntary_dest_failed(*cls);
     return;
   }
   if (!holding_ || instance != holding_->id) return;  // stale warning
 
   if (!config_.on_demand_allowed()) {
     // Pure-spot baseline: checkpoint, go down, wait for the market.
-    const auto timings = planner_.plan(virt::MigrationClass::kForced, spec_,
-                                       holding_->market.region,
-                                       holding_->market.region);
+    const auto timings =
+        engine_->planner().plan(virt::MigrationClass::kForced, spec_,
+                                holding_->market.region, holding_->market.region);
     const SimTime t_stop = std::max(simulation_.now(),
                                     t_term - sim::from_seconds(timings.flush_s));
     simulation_.at(t_stop, [this] {
@@ -582,123 +402,30 @@ void CloudScheduler::on_revocation_warning(InstanceId instance, SimTime t_term) 
 
   // If a voluntary transfer is already in flight and will finish before the
   // axe falls, just let it finish.
-  if (migration_ && migration_->transfer_started) {
-    const SimTime completion =
-        migration_->switchover_at + sim::from_seconds(migration_->timings.downtime_s);
-    if (completion <= t_term) return;
+  if (const auto completion = engine_->voluntary_completion_time();
+      completion && *completion <= t_term) {
+    return;
   }
 
-  begin_forced(t_term);
+  engine_->begin_forced(t_term, holding_->id, holding_->market);
 }
 
-void CloudScheduler::begin_forced(SimTime t_term) {
-  {
-    auto e = trace_event(obs::EventKind::kMigrationBegin, obs::code::kForced);
-    e.instance = holding_->id;
-    e.value = sim::to_seconds(t_term);
-    e.market = holding_->market.str();
-    trace(std::move(e));
-  }
-  cancel_scheduled_planned();
+// ---------------------------------------------------------------------------
+// MigrationHost notifications
+// ---------------------------------------------------------------------------
 
-  Forced f;
-  f.t_term = t_term;
-  f.timings = planner_.plan(virt::MigrationClass::kForced, spec_,
-                            holding_->market.region, holding_->market.region);
+void CloudScheduler::on_forced_begin() { cancel_scheduled_planned(); }
 
-  // Reuse an in-flight destination in the same region; otherwise release it
-  // and request a fresh on-demand server here.
-  if (migration_ && migration_->dest != cloud::kInvalidInstance &&
-      migration_->target.region == holding_->market.region) {
-    if (migration_->switchover_event != sim::kInvalidEventId) {
-      simulation_.cancel(migration_->switchover_event);
-    }
-    f.dest = migration_->dest;
-    f.dest_ready = migration_->dest_ready;
-    if (f.dest_ready) f.dest_ready_at = simulation_.now();
-    migration_.reset();
-  } else {
-    if (migration_) abandon_migration(AbandonReason::kPreempted);
-  }
-  forced_ = f;
-
-  if (forced_->dest == cloud::kInvalidInstance) {
-    const MarketId od_market{holding_->market.region, config_.home_market.size};
-    forced_->dest = provider_.request_on_demand(od_market, [this](InstanceId iid) {
-      if (!forced_ || forced_->dest != iid) return;
-      forced_->dest_ready = true;
-      forced_->dest_ready_at = simulation_.now();
-      forced_try_resume();
-    });
-  } else if (!forced_->dest_ready) {
-    // Re-arm the ready callback path: the original migration callbacks check
-    // migration_, which is now reset. Poll for readiness at grant time via a
-    // fresh on-demand request if the reused request fails is complex; instead
-    // we conservatively released only same-region destinations, whose ready
-    // callback re-routes through migration_ (now null). To keep the flow
-    // simple, drop the pending reuse and request on-demand directly.
-    provider_.cancel_request(forced_->dest);
-    const MarketId od_market{holding_->market.region, config_.home_market.size};
-    forced_->dest = provider_.request_on_demand(od_market, [this](InstanceId iid) {
-      if (!forced_ || forced_->dest != iid) return;
-      forced_->dest_ready = true;
-      forced_->dest_ready_at = simulation_.now();
-      forced_try_resume();
-    });
-  }
-
-  // Keep serving until the last moment the bounded flush allows.
-  const SimTime t_stop = std::max(simulation_.now(),
-                                  t_term - sim::from_seconds(forced_->timings.flush_s));
-  simulation_.at(t_stop, [this] {
-    if (!forced_) return;
-    if (service_.is_up()) {
-      service_.begin_outage(simulation_.now(),
-                            workload::OutageCause::kForcedMigration);
-    }
-    forced_->service_stopped = true;
-    auto e = trace_event(obs::EventKind::kMigrationTransfer, obs::code::kForced);
-    e.value = forced_->timings.flush_s;  // the bounded checkpoint flush
-    trace(std::move(e));
-    forced_try_resume();
-  });
-  simulation_.at(t_term, [this] {
-    if (!forced_) return;
-    holding_.reset();
-    state_ = State::kDown;
-    forced_try_resume();
-  });
-  SPOTHOST_LOG(sim::LogLevel::kInfo, simulation_.now(),
-               "forced migration, termination at " << sim::format_time(t_term));
+void CloudScheduler::on_source_lost() {
+  holding_.reset();
+  state_ = State::kDown;
 }
 
-void CloudScheduler::forced_try_resume() {
-  if (!forced_ || forced_->resume_scheduled) return;
-  if (!forced_->service_stopped || !forced_->dest_ready) return;
-  if (simulation_.now() < forced_->t_term) return;  // source not gone yet
-  forced_->resume_scheduled = true;
-  const SimTime restore = jittered(forced_->timings.restore_s);
-  const SimTime degraded = jittered(forced_->timings.degraded_s);
-  simulation_.after(restore, [this, restore, degraded] {
-    if (!forced_) return;
-    const Forced f = *forced_;
-    forced_.reset();
-    if (!service_.is_up()) {
-      service_.end_outage(simulation_.now(), degraded > 0);
-      if (degraded > 0) {
-        simulation_.after(degraded,
-                          [this] { service_.end_degraded(simulation_.now()); });
-      }
-    }
-    const auto& inst = provider_.instance(f.dest);
-    auto e = trace_event(obs::EventKind::kMigrationSwitchover, obs::code::kForced);
-    e.instance = f.dest;
-    e.value = sim::to_seconds(restore);
-    e.aux = sim::to_seconds(degraded);
-    e.market = inst.market.str();
-    trace(std::move(e));
-    adopt(f.dest, inst.market, inst.mode == cloud::BillingMode::kOnDemand);
-  });
+void CloudScheduler::on_source_released() {
+  if (hour_check_event_ != sim::kInvalidEventId) {
+    simulation_.cancel(hour_check_event_);
+    hour_check_event_ = sim::kInvalidEventId;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -719,10 +446,11 @@ void CloudScheduler::pure_spot_reacquire() {
           return;
         }
         // Restoring after an outage: resume from the checkpoint volume.
-        const auto timings = planner_.plan(virt::MigrationClass::kForced, spec_,
-                                           home.region, home.region);
-        const SimTime restore = jittered(timings.restore_s);
-        const SimTime degraded = jittered(timings.degraded_s);
+        const auto timings =
+            engine_->planner().plan(virt::MigrationClass::kForced, spec_,
+                                    home.region, home.region);
+        const SimTime restore = engine_->jittered(timings.restore_s);
+        const SimTime degraded = engine_->jittered(timings.degraded_s);
         simulation_.after(restore, [this, iid, home, degraded] {
           if (!service_.is_up()) {
             service_.end_outage(simulation_.now(), degraded > 0);

@@ -1,23 +1,26 @@
 // The cloud scheduler (Sec. 3): hosts an always-on service on spot servers,
 // migrating between spot and on-demand servers with the paper's three
-// migration classes:
+// migration classes (forced / planned / reverse).
 //
-//  * forced  — the provider issued a revocation warning; the bounded
-//    checkpoint is flushed in the grace window, an on-demand replacement is
-//    requested immediately, and the service resumes from the checkpoint on
-//    the replacement (full or lazy restore);
-//  * planned — the spot price crossed the on-demand price; the scheduler
-//    voluntarily moves to the best destination (a cheaper spot market when
-//    multi-market/multi-region bidding allows, else on-demand), by default
-//    timed near the end of the current billing hour (the running hour is
-//    already paid at its cheap hour-start price);
-//  * reverse — while on on-demand, a spot market drops below the on-demand
-//    price again; near the end of each on-demand billing hour the scheduler
-//    re-procures spot capacity and migrates back.
+// The scheduler is a thin state machine composing three layers:
 //
-// With `fallback = Fallback::kPureSpot` the same machinery degenerates to
-// the pure-spot baseline of Fig. 11: a revocation simply leaves the service
-// down until the market price returns below the bid.
+//  * MarketWatcher  (sched/market_watcher.hpp) — *when* to move: price
+//    ticks, billing-hour boundaries, and revocation warnings arrive as
+//    typed triggers. A watcher can be shared by a whole fleet, holding one
+//    provider subscription per market however many schedulers listen.
+//  * PlacementPolicy (sched/placement.hpp) — *where* to move: destination
+//    market, billing mode, and bid. The scope-driven default reproduces the
+//    paper's single/multi-market/multi-region selection; custom policies
+//    plug in via SchedulerConfig::placement.
+//  * MigrationEngine (sched/migration_engine.hpp) — *how* to move: the
+//    forced / planned / reverse mechanics, driving the VM mechanism models
+//    and instance lifecycle, reporting back through MigrationHost.
+//
+// What remains here is the paper's *decision logic*: the state machine
+// (acquiring / on-spot / on-demand / down), edge-triggered price-crossing
+// detection, hour-end planned timing, reverse hour checks, spike
+// cancellation, and the pure-spot baseline (Fig. 11) where a revocation
+// simply leaves the service down until the market price returns.
 //
 // Observability: every trigger and migration phase is emitted as an
 // obs::TraceEvent. The events always feed the scheduler's own CounterSink —
@@ -25,13 +28,16 @@
 // any tracer attached to the Simulation (Simulation::set_tracer).
 #pragma once
 
+#include <memory>
 #include <optional>
-#include <vector>
 
 #include "cloud/provider.hpp"
 #include "obs/counter_sink.hpp"
 #include "sched/bidding.hpp"
 #include "sched/market_selection.hpp"
+#include "sched/market_watcher.hpp"
+#include "sched/migration_engine.hpp"
+#include "sched/placement.hpp"
 #include "sched/scheduler_config.hpp"
 #include "simcore/rng.hpp"
 #include "simcore/simulation.hpp"
@@ -40,13 +46,23 @@
 
 namespace spothost::sched {
 
-class CloudScheduler {
+class CloudScheduler : private MigrationHost {
  public:
   enum class State { kAcquiring, kOnSpot, kOnDemand, kDown };
 
+  /// Standalone scheduler: owns a private MarketWatcher.
   CloudScheduler(sim::Simulation& simulation, cloud::CloudProvider& provider,
                  workload::ServiceEndpoint& service, SchedulerConfig config,
                  sim::RngStream timing_rng);
+
+  /// Fleet composition: listens on a shared MarketWatcher, so N schedulers
+  /// over M markets cost O(M) provider subscriptions instead of O(N×M).
+  /// The watcher must outlive the scheduler.
+  CloudScheduler(sim::Simulation& simulation, cloud::CloudProvider& provider,
+                 MarketWatcher& watcher, workload::ServiceEndpoint& service,
+                 SchedulerConfig config, sim::RngStream timing_rng);
+
+  ~CloudScheduler() override;
 
   /// Kicks off initial acquisition. Call once before running the simulation.
   void start();
@@ -66,111 +82,95 @@ class CloudScheduler {
   [[nodiscard]] cloud::InstanceId current_instance() const noexcept {
     return holding_ ? holding_->id : cloud::kInvalidInstance;
   }
+  /// The trigger layer this scheduler listens on (owned or shared).
+  [[nodiscard]] const MarketWatcher& watcher() const noexcept { return watcher_; }
+  /// The destination-selection strategy in effect.
+  [[nodiscard]] const PlacementPolicy& placement() const noexcept { return *placement_; }
 
   /// Capacity the hosted endpoint needs, in small-units (after any
   /// override) — the basis for effective-price packing and attribution.
   [[nodiscard]] int units_needed() const;
 
  private:
+  CloudScheduler(sim::Simulation& simulation, cloud::CloudProvider& provider,
+                 std::unique_ptr<MarketWatcher> owned_watcher,
+                 MarketWatcher* shared_watcher, workload::ServiceEndpoint& service,
+                 SchedulerConfig config, sim::RngStream timing_rng);
+
   struct Holding {
     cloud::InstanceId id = cloud::kInvalidInstance;
     cloud::MarketId market;
     bool on_demand = false;
   };
 
-  struct Migration {
-    virt::MigrationClass cls{};
-    cloud::MarketId target;
-    bool target_on_demand = false;
-    cloud::InstanceId dest = cloud::kInvalidInstance;
-    bool dest_ready = false;
-    bool transfer_started = false;
-    sim::SimTime switchover_at = -1;
-    virt::MigrationTimings timings{};
-    sim::EventId switchover_event = sim::kInvalidEventId;
-  };
-
-  struct Forced {
-    sim::SimTime t_term = 0;
-    cloud::InstanceId dest = cloud::kInvalidInstance;
-    bool dest_ready = false;
-    sim::SimTime dest_ready_at = -1;
-    bool service_stopped = false;
-    bool resume_scheduled = false;
-    virt::MigrationTimings timings{};
-  };
-
-  // --- triggers -------------------------------------------------------
+  // --- triggers (MarketWatcher listener) ------------------------------
+  void on_trigger(const MarketWatcher::Trigger& trigger);
   void on_price_change(const cloud::MarketId& market, double new_price);
-  void on_revocation_warning(cloud::InstanceId instance, sim::SimTime t_term);
   void on_hour_check();
 
   // --- acquisition ----------------------------------------------------
   void acquire_initial();
-  void adopt(cloud::InstanceId instance, const cloud::MarketId& market,
-             bool on_demand);
 
-  /// Why an in-flight planned/reverse migration was torn down. Only
-  /// kPriceRecovered counts as a "spike cancellation" in the stats.
-  enum class AbandonReason : std::uint8_t {
-    kPriceRecovered,  ///< the price trigger evaporated before transfer
-    kDestRevoked,     ///< the destination instance got a revocation warning
-    kPreempted,       ///< superseded by a forced migration of the source
-  };
-
-  // --- planned / reverse ----------------------------------------------
+  // --- planned / reverse decision logic --------------------------------
   void maybe_schedule_planned();
   void cancel_scheduled_planned();
   void begin_planned();
-  void begin_reverse(const cloud::MarketId& target);
-  void start_transfer();
-  void complete_switchover();
-  void abandon_migration(AbandonReason reason);
+  void begin_reverse(const Placement& target);
   void schedule_hour_check();
-
-  // --- forced ----------------------------------------------------------
-  void begin_forced(sim::SimTime t_term);
-  void forced_try_resume();
 
   // --- pure spot --------------------------------------------------------
   void pure_spot_reacquire();
 
   // --- helpers ----------------------------------------------------------
   [[nodiscard]] double od_threshold() const;  ///< p_on comparator in current region
-  [[nodiscard]] SelectionOptions selection_options(double threshold) const;
-  [[nodiscard]] sim::SimTime jittered(double seconds);
+  [[nodiscard]] PlacementQuery placement_query(double threshold) const;
   [[nodiscard]] sim::SimTime planned_lead() const;
   [[nodiscard]] sim::SimTime reverse_lead() const;
   [[nodiscard]] sim::SimTime next_instance_hour_boundary() const;
-  void end_outage_with_restore(sim::SimTime resume_at, double restore_s,
-                               double degraded_s);
+
+  // --- MigrationHost (the engine's view of this scheduler) --------------
+  [[nodiscard]] cloud::InstanceId source_instance() const noexcept override {
+    return holding_ ? holding_->id : cloud::kInvalidInstance;
+  }
+  [[nodiscard]] cloud::MarketId source_market() const override {
+    return holding_ ? holding_->market : config_.home_market;
+  }
+  void adopt(cloud::InstanceId instance, const cloud::MarketId& market,
+             bool on_demand) override;
+  void on_forced_begin() override;
+  void on_source_lost() override;
+  void on_source_released() override;
+  void on_voluntary_dest_failed(virt::MigrationClass cls) override;
+  void on_revocation_warning(cloud::InstanceId instance, sim::SimTime t_term) override;
 
   /// Feeds the event into counters_ (the stats backing store) and forwards
   /// it to the simulation's tracer, if one is attached.
-  void trace(obs::TraceEvent event);
+  void trace(obs::TraceEvent event) override;
   [[nodiscard]] obs::TraceEvent trace_event(obs::EventKind kind,
-                                            std::uint8_t code) const;
+                                            std::uint8_t code) const override;
 
   sim::Simulation& simulation_;
   cloud::CloudProvider& provider_;
   workload::ServiceEndpoint& service_;
   SchedulerConfig config_;
-  virt::MigrationPlanner planner_;
   sim::RngStream rng_;
   virt::VmSpec spec_;
+  std::unique_ptr<MarketWatcher> owned_watcher_;  ///< standalone mode only
+  MarketWatcher& watcher_;
+  std::shared_ptr<const PlacementPolicy> placement_;
+  std::unique_ptr<MigrationEngine> engine_;
+  MarketWatcher::ListenerId listener_ = MarketWatcher::kInvalidListener;
 
   State state_ = State::kAcquiring;
   bool service_live_ = false;
   std::optional<Holding> holding_;
-  std::optional<Migration> migration_;
-  std::optional<Forced> forced_;
   sim::EventId planned_begin_event_ = sim::kInvalidEventId;
   sim::EventId hour_check_event_ = sim::kInvalidEventId;
   cloud::InstanceId pending_acquire_ = cloud::kInvalidInstance;
   obs::CounterSink counters_;
-  /// Last observed home-market-above-threshold state, for edge-triggered
-  /// price-crossing events. Reset whenever a new instance is adopted.
-  std::optional<bool> price_above_;
+  /// Edge-triggered crossings of the on-demand threshold, relative to the
+  /// adopted market. Reset whenever a new instance is adopted.
+  CrossingDetector crossing_;
 };
 
 }  // namespace spothost::sched

@@ -1,6 +1,7 @@
 #include "sched/scheduler_config.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "obs/counter_sink.hpp"
 
@@ -150,6 +151,12 @@ SchedulerConfigBuilder& SchedulerConfigBuilder::stability_window(
 
 SchedulerConfigBuilder& SchedulerConfigBuilder::capacity_units_override(int units) {
   cfg_.capacity_units_override = units;
+  return *this;
+}
+
+SchedulerConfigBuilder& SchedulerConfigBuilder::placement(
+    std::shared_ptr<const PlacementPolicy> policy) {
+  cfg_.placement = std::move(policy);
   return *this;
 }
 

@@ -11,6 +11,7 @@
 //  * SchedulerConfigBuilder — fluent construction whose build() validates.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,8 @@ class CounterSink;  // obs/counter_sink.hpp
 }
 
 namespace spothost::sched {
+
+class PlacementPolicy;  // sched/placement.hpp
 
 /// When a planned migration begins after the price crosses p_on.
 enum class PlannedTiming {
@@ -72,6 +75,10 @@ struct SchedulerConfig {
   /// market size (one whole server). Set to the group size when hosting a
   /// packed workload::ServiceGroup.
   int capacity_units_override = 0;
+  /// Destination-selection strategy. Null = the scope-driven default
+  /// (ScopedPlacementPolicy); supply a custom PlacementPolicy to change
+  /// where the scheduler migrates without touching its internals.
+  std::shared_ptr<const PlacementPolicy> placement{};
 
   [[nodiscard]] bool on_demand_allowed() const noexcept {
     return fallback == Fallback::kOnDemand;
@@ -110,6 +117,7 @@ class SchedulerConfigBuilder {
   SchedulerConfigBuilder& stability_penalty_weight(double weight);
   SchedulerConfigBuilder& stability_window(sim::SimTime window);
   SchedulerConfigBuilder& capacity_units_override(int units);
+  SchedulerConfigBuilder& placement(std::shared_ptr<const PlacementPolicy> policy);
 
   /// Validates and returns the finished config (throws on nonsense).
   [[nodiscard]] SchedulerConfig build() const;

@@ -1,13 +1,20 @@
 #include "simcore/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace spothost::sim {
 
+namespace {
+// Below this heap size a rebuild costs more than the stale entries do.
+constexpr std::size_t kCompactFloor = 64;
+}  // namespace
+
 EventId EventQueue::schedule(SimTime when, Callback cb) {
   const EventId id = next_id_++;
-  heap_.push(Entry{when, next_seq_++, id});
+  heap_.push_back(Entry{when, next_seq_++, id});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   callbacks_.emplace(id, std::move(cb));
   ++live_count_;
   return id;
@@ -19,26 +26,40 @@ bool EventQueue::cancel(EventId id) {
   callbacks_.erase(it);
   assert(live_count_ > 0);
   --live_count_;
+  compact_if_stale();
   return true;
 }
 
+void EventQueue::compact_if_stale() {
+  if (heap_.size() < kCompactFloor || heap_.size() <= 2 * live_count_) return;
+  std::erase_if(heap_, [this](const Entry& e) {
+    return callbacks_.find(e.id) == callbacks_.end();
+  });
+  // Same comparator as the incremental pushes, so pop order — and therefore
+  // simulation determinism — is unchanged.
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+}
+
 void EventQueue::skim() const {
-  while (!heap_.empty() && callbacks_.find(heap_.top().id) == callbacks_.end()) {
-    heap_.pop();
+  while (!heap_.empty() &&
+         callbacks_.find(heap_.front().id) == callbacks_.end()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
 }
 
 SimTime EventQueue::next_time() const {
   skim();
   assert(!heap_.empty());
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
   skim();
   assert(!heap_.empty());
-  const Entry top = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const Entry top = heap_.back();
+  heap_.pop_back();
   auto it = callbacks_.find(top.id);
   assert(it != callbacks_.end());
   Fired fired{top.time, top.id, std::move(it->second)};
@@ -48,7 +69,7 @@ EventQueue::Fired EventQueue::pop() {
 }
 
 void EventQueue::clear() {
-  heap_ = {};
+  heap_.clear();
   callbacks_.clear();
   live_count_ = 0;
 }

@@ -3,12 +3,14 @@
 // Events at equal timestamps fire in scheduling order (FIFO), which keeps
 // simulations deterministic regardless of heap internals. Cancellation is
 // lazy: cancelled entries stay in the heap and are skipped on pop, so both
-// schedule and cancel are O(log n) amortised.
+// schedule and cancel are O(log n) amortised. When cancelled entries come to
+// outnumber live ones (long fleet runs with proactive bidding accumulate
+// cancelled switchover/hour-tick events faster than they pop), the heap is
+// compacted in one O(n) rebuild, bounding memory at ~2x the live count.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -53,6 +55,10 @@ class EventQueue {
   /// Drops all pending events.
   void clear();
 
+  /// Total heap entries, live + cancelled-but-not-yet-dropped. Exposed so
+  /// tests can assert compaction keeps this bounded relative to size().
+  [[nodiscard]] std::size_t heap_entries() const noexcept { return heap_.size(); }
+
  private:
   struct Entry {
     SimTime time;
@@ -68,8 +74,14 @@ class EventQueue {
 
   // Pops cancelled entries off the heap top.
   void skim() const;
+  // Rebuilds the heap without cancelled entries once they exceed the live
+  // count (above a small floor, so tiny queues never pay for a rebuild).
+  void compact_if_stale();
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Max-heap under Later (= earliest event at front), maintained with
+  // std::push_heap/pop_heap; a plain vector so compaction can erase stale
+  // entries in place. Mutable: skim() drops dead entries from const reads.
+  mutable std::vector<Entry> heap_;
   std::unordered_map<EventId, Callback> callbacks_;
   std::size_t live_count_ = 0;
   std::uint64_t next_seq_ = 0;

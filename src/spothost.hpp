@@ -34,6 +34,9 @@
 #include "sched/config.hpp"
 #include "sched/fleet.hpp"
 #include "sched/market_selection.hpp"
+#include "sched/market_watcher.hpp"
+#include "sched/migration_engine.hpp"
+#include "sched/placement.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/scheduler_config.hpp"
 #include "simcore/event_queue.hpp"

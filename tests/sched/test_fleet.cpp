@@ -47,6 +47,51 @@ TEST(OutageOverlap, ClampsToHorizon) {
   EXPECT_EQ(overlap.any_down, kHour);
 }
 
+TEST(OutageOverlap, ZeroLengthOutagesContributeNothing) {
+  std::vector<std::vector<OutageRecord>> per_service{
+      {{kHour, kHour}, {2 * kHour, 2 * kHour}},
+      {{3 * kHour, 3 * kHour}},
+  };
+  const auto overlap = compute_outage_overlap(per_service, kDay);
+  EXPECT_EQ(overlap.any_down, 0);
+  EXPECT_EQ(overlap.max_concurrent, 0);
+}
+
+TEST(OutageOverlap, OutageEntirelyPastHorizonIsDropped) {
+  // An outage that starts at (or after) the horizon is clipped to nothing;
+  // one straddling it contributes only the in-horizon part.
+  std::vector<std::vector<OutageRecord>> per_service{
+      {{3 * kHour, 5 * kHour}},
+      {{kHour, 4 * kHour}},
+  };
+  const auto overlap = compute_outage_overlap(per_service, 3 * kHour);
+  EXPECT_EQ(overlap.any_down, 2 * kHour);  // [1h, 3h) survives
+  EXPECT_EQ(overlap.max_concurrent, 1);    // the two never overlap in-horizon
+}
+
+TEST(OutageOverlap, TouchingIntervalsDoNotDoubleCountDepth) {
+  // Service 0 ends exactly where service 1 begins: the union is contiguous
+  // but at no instant are both down, so depth must stay 1.
+  std::vector<std::vector<OutageRecord>> per_service{
+      {{kHour, 2 * kHour}},
+      {{2 * kHour, 3 * kHour}},
+  };
+  const auto overlap = compute_outage_overlap(per_service, kDay);
+  EXPECT_EQ(overlap.any_down, 2 * kHour);
+  EXPECT_EQ(overlap.max_concurrent, 1);
+}
+
+TEST(OutageOverlap, AllServicesDownPeakReachesFleetSize) {
+  std::vector<std::vector<OutageRecord>> per_service{
+      {{kHour, 4 * kHour}},
+      {{2 * kHour, 3 * kHour}},
+      {{2 * kHour, 5 * kHour}},
+  };
+  const auto overlap = compute_outage_overlap(per_service, kDay);
+  EXPECT_EQ(overlap.max_concurrent, 3);  // all down over [2h, 3h)
+  EXPECT_EQ(overlap.any_down, 4 * kHour);
+}
+
 class FleetTest : public ::testing::Test {
  protected:
   static Scenario scenario() {
@@ -136,6 +181,41 @@ TEST_F(FleetTest, SpreadingHomesReducesCorrelatedOutages) {
   const auto spread = run_fleet({MarketId{"us-east-1a", InstanceSize::kSmall},
                                  MarketId{"us-east-1b", InstanceSize::kSmall}});
   EXPECT_LE(spread.max_concurrent_down, concentrated.max_concurrent_down);
+}
+
+TEST_F(FleetTest, LargeFleetHoldsOneSubscriptionPerMarket) {
+  // The shared MarketWatcher makes fleet price-feed cost O(markets), not
+  // O(services x markets): 128 schedulers watching all 16 markets of the
+  // full scenario must leave exactly one watcher subscription per market —
+  // each market's feed has two observers (the provider's own revocation
+  // logic plus the watcher), never 129.
+  Scenario s;  // default regions x sizes: the full 4x4 = 16-market scenario
+  s.seed = 5;
+  s.horizon = 30 * kDay;
+  World world(s);
+  FleetConfig cfg;
+  cfg.num_services = 128;
+  cfg.service_template = proactive_config({"us-east-1a", InstanceSize::kSmall});
+  cfg.service_template.scope = MarketScope::kMultiRegion;
+  FleetScheduler fleet(world.simulation(), world.provider(), cfg, world.rng());
+  fleet.start();
+
+  const auto markets = world.provider().all_markets();
+  ASSERT_EQ(markets.size(), 16u);
+  EXPECT_EQ(fleet.watcher().provider_subscriptions(), markets.size());
+  for (const auto& m : markets) {
+    EXPECT_EQ(world.provider().market(m).observer_count(), 2u)
+        << m.region << "/" << cloud::to_string(m.size);
+  }
+
+  world.simulation().run_until(world.horizon());
+  world.provider().finalize(world.horizon());
+  fleet.finalize(world.horizon());
+  const auto metrics = fleet.metrics(world.horizon());
+  EXPECT_EQ(metrics.services, 128);
+  EXPECT_GT(metrics.total_cost, 0.0);
+  // Subscriptions stay bounded by market count for the whole month.
+  EXPECT_EQ(fleet.watcher().provider_subscriptions(), markets.size());
 }
 
 TEST_F(FleetTest, AccessorsExposeUnits) {

@@ -1,0 +1,196 @@
+// MarketWatcher: one provider subscription per market no matter how many
+// listeners, deterministic fan-out order, typed hour-tick and revocation
+// triggers. Plus the CrossingDetector edge semantics the scheduler's
+// price-crossing events rely on.
+#include "sched/market_watcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cloud/billing.hpp"
+
+namespace spothost::sched {
+namespace {
+
+using cloud::InstanceSize;
+using cloud::MarketId;
+using sim::kHour;
+using sim::kMinute;
+
+const MarketId kA{"us-east-1a", InstanceSize::kSmall};
+const MarketId kB{"us-east-1b", InstanceSize::kSmall};
+constexpr sim::SimTime kHorizon = 6 * kHour;
+
+class MarketWatcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<sim::RngFactory>(7);
+    sim_ = std::make_unique<sim::Simulation>();
+    provider_ = std::make_unique<cloud::CloudProvider>(*sim_, *rng_);
+    add_market(kA, {{0, 0.02}, {kHour, 0.04}, {2 * kHour, 0.03}});
+    add_market(kB, {{0, 0.05}, {3 * kHour, 0.01}});
+    cloud::AllocationLatency lat;
+    lat.on_demand_cv = 0.0;
+    lat.spot_mean_s = 60.0;
+    lat.spot_cv = 0.0;
+    provider_->set_allocation_latency("us-east-1a", lat);
+    provider_->start();
+    watcher_ = std::make_unique<MarketWatcher>(*sim_, *provider_);
+  }
+
+  void add_market(const MarketId& market,
+                  std::vector<std::pair<sim::SimTime, double>> steps) {
+    trace::PriceTrace t;
+    for (const auto& [at, price] : steps) t.append(at, price);
+    t.set_end(kHorizon);
+    provider_->add_market(market, std::move(t), 0.06);
+  }
+
+  std::unique_ptr<sim::RngFactory> rng_;
+  std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<cloud::CloudProvider> provider_;
+  std::unique_ptr<MarketWatcher> watcher_;
+};
+
+TEST_F(MarketWatcherTest, SubscribesToEachProviderFeedOnce) {
+  const auto l1 = watcher_->add_listener([](const MarketWatcher::Trigger&) {});
+  const auto l2 = watcher_->add_listener([](const MarketWatcher::Trigger&) {});
+  watcher_->watch(l1, {kA, kB});
+  watcher_->watch(l2, {kA});
+  watcher_->watch(l2, {kA});  // duplicate interest is a no-op
+
+  EXPECT_EQ(watcher_->provider_subscriptions(), 2u);
+  EXPECT_EQ(watcher_->listener_count(), 2u);
+  // Each market feed: the provider's own revocation logic + the watcher.
+  EXPECT_EQ(provider_->market(kA).observer_count(), 2u);
+  EXPECT_EQ(provider_->market(kB).observer_count(), 2u);
+}
+
+TEST_F(MarketWatcherTest, DeliversPriceTriggersToInterestedListenersOnly) {
+  std::vector<std::pair<MarketId, double>> seen_a;
+  std::vector<std::pair<MarketId, double>> seen_b;
+  const auto la = watcher_->add_listener([&](const MarketWatcher::Trigger& t) {
+    ASSERT_EQ(t.kind, MarketWatcher::TriggerKind::kPriceChange);
+    seen_a.emplace_back(t.market, t.price);
+  });
+  const auto lb = watcher_->add_listener([&](const MarketWatcher::Trigger& t) {
+    seen_b.emplace_back(t.market, t.price);
+  });
+  watcher_->watch(la, {kA});
+  watcher_->watch(lb, {kB});
+  sim_->run_until(kHorizon);
+
+  ASSERT_EQ(seen_a.size(), 2u);  // steps at 1 h and 2 h (t=0 is initial state)
+  EXPECT_EQ(seen_a[0], (std::pair{kA, 0.04}));
+  EXPECT_EQ(seen_a[1], (std::pair{kA, 0.03}));
+  ASSERT_EQ(seen_b.size(), 1u);
+  EXPECT_EQ(seen_b[0], (std::pair{kB, 0.01}));
+}
+
+TEST_F(MarketWatcherTest, FanOutFollowsRegistrationOrder) {
+  std::vector<int> order;
+  const auto first = watcher_->add_listener(
+      [&](const MarketWatcher::Trigger&) { order.push_back(1); });
+  const auto second = watcher_->add_listener(
+      [&](const MarketWatcher::Trigger&) { order.push_back(2); });
+  // Watch in reverse order: delivery must still follow listener
+  // registration, which is what fleet determinism keys on.
+  watcher_->watch(second, {kA});
+  watcher_->watch(first, {kA});
+  sim_->run_until(90 * kMinute);  // one step at 1 h
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST_F(MarketWatcherTest, RemovedListenerReceivesNothing) {
+  int fired = 0;
+  const auto id = watcher_->add_listener(
+      [&](const MarketWatcher::Trigger&) { ++fired; });
+  watcher_->watch(id, {kA});
+  watcher_->remove_listener(id);
+  sim_->run_until(kHorizon);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(watcher_->listener_count(), 0u);
+  // The provider-side subscription is retained (bounded by market count).
+  EXPECT_EQ(watcher_->provider_subscriptions(), 1u);
+}
+
+TEST_F(MarketWatcherTest, HourTickArrivesAsTypedTrigger) {
+  std::vector<sim::SimTime> ticks;
+  const auto id = watcher_->add_listener([&](const MarketWatcher::Trigger& t) {
+    ASSERT_EQ(t.kind, MarketWatcher::TriggerKind::kHourBoundary);
+    ticks.push_back(sim_->now());
+  });
+  const auto ev = watcher_->schedule_hour_tick(id, 2 * kHour);
+  (void)ev;
+  watcher_->schedule_hour_tick(id, 4 * kHour);
+  sim_->run_until(kHorizon);
+  EXPECT_EQ(ticks, (std::vector<sim::SimTime>{2 * kHour, 4 * kHour}));
+}
+
+TEST_F(MarketWatcherTest, CancelledHourTickNeverFires) {
+  int fired = 0;
+  const auto id = watcher_->add_listener(
+      [&](const MarketWatcher::Trigger&) { ++fired; });
+  const auto ev = watcher_->schedule_hour_tick(id, 2 * kHour);
+  sim_->cancel(ev);
+  sim_->run_until(kHorizon);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST_F(MarketWatcherTest, ArmedRevocationRoutesWarningToListener) {
+  // Bid low enough that kA's step to 0.04 at t=1h outbids the instance.
+  std::vector<MarketWatcher::Trigger> warnings;
+  const auto id = watcher_->add_listener([&](const MarketWatcher::Trigger& t) {
+    if (t.kind == MarketWatcher::TriggerKind::kRevocation) warnings.push_back(t);
+  });
+  cloud::InstanceId granted = cloud::kInvalidInstance;
+  provider_->request_spot(
+      kA, 0.03,
+      [&](cloud::InstanceId iid) {
+        granted = iid;
+        watcher_->arm_revocation(id, iid);
+      },
+      [] { FAIL() << "spot request should be granted at 0.02"; });
+  sim_->run_until(kHorizon);
+
+  ASSERT_NE(granted, cloud::kInvalidInstance);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_EQ(warnings[0].instance, granted);
+  EXPECT_EQ(warnings[0].t_term, kHour + provider_->grace_period());
+}
+
+TEST(CrossingDetector, FirstObservationBelowIsSteadyState) {
+  CrossingDetector d;
+  EXPECT_EQ(d.observe(false), CrossingDetector::Edge::kNone);
+  EXPECT_EQ(d.observe(false), CrossingDetector::Edge::kNone);
+}
+
+TEST(CrossingDetector, FirstObservationAboveIsAnUpEdge) {
+  CrossingDetector d;
+  EXPECT_EQ(d.observe(true), CrossingDetector::Edge::kUp);
+  EXPECT_EQ(d.observe(true), CrossingDetector::Edge::kNone);
+}
+
+TEST(CrossingDetector, ReportsEachTransitionOnce) {
+  CrossingDetector d;
+  EXPECT_EQ(d.observe(false), CrossingDetector::Edge::kNone);
+  EXPECT_EQ(d.observe(true), CrossingDetector::Edge::kUp);
+  EXPECT_EQ(d.observe(true), CrossingDetector::Edge::kNone);
+  EXPECT_EQ(d.observe(false), CrossingDetector::Edge::kDown);
+  EXPECT_EQ(d.observe(false), CrossingDetector::Edge::kNone);
+}
+
+TEST(CrossingDetector, ResetForgetsHistory) {
+  CrossingDetector d;
+  EXPECT_EQ(d.observe(true), CrossingDetector::Edge::kUp);
+  d.reset();
+  // After reset, a below-threshold observation is steady state again...
+  EXPECT_EQ(d.observe(false), CrossingDetector::Edge::kNone);
+  d.reset();
+  // ...and an above-threshold one is a fresh up edge.
+  EXPECT_EQ(d.observe(true), CrossingDetector::Edge::kUp);
+}
+
+}  // namespace
+}  // namespace spothost::sched

@@ -100,6 +100,83 @@ TEST(EventQueue, IdsAreUniqueAndNonZero) {
   EXPECT_NE(a, b);
 }
 
+TEST(EventQueue, CompactionBoundsHeapWhenCancellationsDominate) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  ids.reserve(10000);
+  for (int i = 0; i < 10000; ++i) {
+    ids.push_back(q.schedule(static_cast<SimTime>(i), [] {}));
+  }
+  // Cancel all but the last 100: without compaction the heap would keep all
+  // 10000 entries until they surfaced at the top.
+  for (std::size_t i = 0; i + 100 < ids.size(); ++i) q.cancel(ids[i]);
+  EXPECT_EQ(q.size(), 100u);
+  EXPECT_LE(q.heap_entries(), 2 * q.size());
+}
+
+TEST(EventQueue, TinyQueuesNeverPayForCompaction) {
+  // Below the compaction floor, cancelled entries may linger: cancelling 9
+  // of 10 events must not shrink the heap (no O(n) rebuild for small n).
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(q.schedule(static_cast<SimTime>(i), [] {}));
+  }
+  for (int i = 0; i < 9; ++i) q.cancel(ids[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.heap_entries(), 10u);
+}
+
+TEST(EventQueue, PopOrderSurvivesCompaction) {
+  // Interleave keepers and victims at equal timestamps so FIFO tie-breaking
+  // is observable, cancel enough to trigger a rebuild, then verify pops
+  // arrive in exactly the original schedule order.
+  EventQueue q;
+  std::vector<EventId> victims;
+  std::vector<EventId> keepers;
+  for (int i = 0; i < 200; ++i) {
+    const SimTime at = static_cast<SimTime>(i / 4);  // four events per tick
+    const EventId id = q.schedule(at, [] {});
+    if (i % 8 == 0) {
+      keepers.push_back(id);
+    } else {
+      victims.push_back(id);
+    }
+  }
+  for (const EventId id : victims) q.cancel(id);
+  EXPECT_EQ(q.size(), keepers.size());
+  EXPECT_LE(q.heap_entries(), 2 * keepers.size());
+
+  SimTime last_time = -1;
+  std::size_t next_keeper = 0;
+  while (!q.empty()) {
+    const auto fired = q.pop();
+    EXPECT_GE(fired.time, last_time);
+    last_time = fired.time;
+    ASSERT_LT(next_keeper, keepers.size());
+    EXPECT_EQ(fired.id, keepers[next_keeper]);  // FIFO among equal times
+    ++next_keeper;
+  }
+  EXPECT_EQ(next_keeper, keepers.size());
+}
+
+TEST(EventQueue, SchedulingStaysLiveAfterCompaction) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(q.schedule(static_cast<SimTime>(i), [] {}));
+  }
+  for (std::size_t i = 0; i < 900; ++i) q.cancel(ids[i]);
+  EXPECT_LE(q.heap_entries(), 2 * q.size());
+  // The queue keeps working normally after the rebuild.
+  bool fired = false;
+  q.schedule(0, [&] { fired = true; });
+  const auto front = q.pop();
+  front.callback();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(front.time, 0);
+}
+
 TEST(EventQueue, ManyEventsStressOrdering) {
   EventQueue q;
   // Deterministic pseudo-random times; verify global ordering on pop.
