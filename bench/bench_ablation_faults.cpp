@@ -1,0 +1,84 @@
+// Ablation: fault-injection rates vs the retry/backoff ladder. Arms every
+// fault kind (src/faults) at the same per-opportunity rate and compares the
+// scheduler with its recovery ladder enabled (bounded retry + exponential
+// backoff + graceful degradation, the default RetryPolicy) against a
+// retries-off arm that drops the failed operation on the floor. The claim
+// under test: injected infrastructure faults are survivable noise with the
+// ladder, and catastrophic without it.
+#include "bench_common.hpp"
+
+using namespace spothost;
+
+namespace {
+
+double mean_over_runs(const metrics::AggregatedMetrics& agg,
+                      double (*get)(const metrics::RunMetrics&)) {
+  double sum = 0.0;
+  for (const auto& r : agg.per_run) sum += get(r);
+  return sum / static_cast<double>(agg.per_run.size());
+}
+
+}  // namespace
+
+int main() {
+  const auto home = bench::market("us-east-1a", "small");
+  const auto runner = bench::default_runner();
+
+  metrics::print_banner(std::cout,
+                        "Ablation: fault rate x retry/backoff ladder");
+  metrics::TextTable table({"fault rate", "retries", "cost %",
+                            "unavailability %", "faults/run", "retries/run",
+                            "degraded/run"});
+
+  double baseline_unavail = 0.0;  // fault-free, ladder on
+  for (const double rate : {0.0, 0.02, 0.05, 0.10}) {
+    for (const bool ladder : {true, false}) {
+      if (rate == 0.0 && !ladder) continue;  // identical to the row above
+      sched::Scenario scenario = bench::region_scenario("us-east-1a");
+      for (const faults::FaultKind kind : faults::kAllFaultKinds) {
+        scenario.fault_plan.with_rate(kind, rate);
+      }
+      sched::SchedulerConfig cfg = sched::proactive_config(home);
+      cfg.scope = sched::MarketScope::kMultiMarket;
+      if (!ladder) {
+        cfg.retry = sched::RetryPolicy{.max_attempts = 0,
+                                       .graceful_degradation = false};
+      }
+      const auto agg = runner.run_with([&](std::uint64_t seed) {
+        sched::Scenario s = scenario;
+        s.seed = seed;
+        return metrics::run_hosting_scenario(s, cfg);
+      });
+      if (rate == 0.0) baseline_unavail = agg.unavailability_pct.mean;
+      table.add_row(
+          {metrics::fmt(rate, 2), ladder ? "on" : "off",
+           metrics::fmt(agg.normalized_cost_pct.mean, 1),
+           metrics::fmt(agg.unavailability_pct.mean, 4),
+           metrics::fmt(mean_over_runs(agg,
+                                       [](const metrics::RunMetrics& r) {
+                                         return static_cast<double>(
+                                             r.faults_injected);
+                                       }),
+                        1),
+           metrics::fmt(mean_over_runs(agg,
+                                       [](const metrics::RunMetrics& r) {
+                                         return static_cast<double>(r.retries);
+                                       }),
+                        1),
+           metrics::fmt(mean_over_runs(agg,
+                                       [](const metrics::RunMetrics& r) {
+                                         return static_cast<double>(
+                                             r.degraded_entries);
+                                       }),
+                        1)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "fault-free unavailability (ladder on): "
+            << metrics::fmt(baseline_unavail, 4)
+            << " %\nexpected: with the ladder on, unavailability stays within "
+               "~10x of the\nfault-free baseline at moderate rates; with it "
+               "off, a single unlucky\ncapacity fault strands the service and "
+               "unavailability explodes\n";
+  return 0;
+}

@@ -17,10 +17,17 @@ inline constexpr std::uint64_t kBaseSeed = 20150615;  // HPDC'15 opening day
 
 /// Seed fan-out count: SPOTHOST_RUNS env var, else `fallback`. Lets CI run
 /// the figure benches cheaply (SPOTHOST_RUNS=1) without editing sources.
+/// Anything that is not a whole positive decimal number (atoi would accept
+/// "3abc" and silently map "abc" to 0) warns on stderr and falls back.
 inline int env_runs(int fallback = kDefaultRuns) {
   if (const char* v = std::getenv("SPOTHOST_RUNS")) {
-    const int n = std::atoi(v);
-    if (n > 0) return n;
+    char* end = nullptr;
+    const long n = std::strtol(v, &end, 10);
+    if (end != v && *end == '\0' && n > 0 && n <= 1000000) {
+      return static_cast<int>(n);
+    }
+    std::cerr << "warning: SPOTHOST_RUNS=\"" << v
+              << "\" is not a positive integer; using " << fallback << " runs\n";
   }
   return fallback;
 }

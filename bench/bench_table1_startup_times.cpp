@@ -41,7 +41,7 @@ int main() {
             ++spot_done;
             provider.terminate(iid);
           },
-          [] {});
+          [](cloud::AllocFailure) {});
       simulation.run_until(simulation.now() + sim::kHour);
     }
     table.add_row({row.region, metrics::fmt(od_sum / od_done, 2),

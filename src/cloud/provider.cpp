@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "faults/injector.hpp"
 #include "obs/sink.hpp"
 #include "simcore/logging.hpp"
 
@@ -103,7 +104,8 @@ std::vector<std::string> CloudProvider::regions() const {
   return out;
 }
 
-InstanceId CloudProvider::request_on_demand(const MarketId& id, ReadyCallback on_ready) {
+InstanceId CloudProvider::request_on_demand(const MarketId& id, ReadyCallback on_ready,
+                                            FailCallback on_fail) {
   (void)market(id);  // validate
   const InstanceId iid = next_instance_++;
   if (auto* tracer = simulation_.tracer(); tracer && tracer->enabled()) {
@@ -130,24 +132,9 @@ InstanceId CloudProvider::request_on_demand(const MarketId& id, ReadyCallback on
 
   Pending pending;
   pending.on_ready = std::move(on_ready);
-  pending.event = simulation_.after(sim::from_seconds(delay_s), [this, iid] {
-    auto pit = pending_.find(iid);
-    if (pit == pending_.end()) return;  // cancelled
-    Pending p = std::move(pit->second);
-    pending_.erase(pit);
-    Instance& inst2 = instance_mut(iid);
-    inst2.state = InstanceState::kRunning;
-    inst2.launch = simulation_.now();
-    if (auto* tracer = simulation_.tracer(); tracer && tracer->enabled()) {
-      auto e = provider_event(obs::EventKind::kAcquisition, simulation_.now(),
-                              inst2.market);
-      e.code = obs::code::kOnDemand;
-      e.instance = iid;
-      e.value = od_price(inst2.market);
-      tracer->emit(e);
-    }
-    if (p.on_ready) p.on_ready(iid);
-  });
+  pending.on_fail = std::move(on_fail);
+  pending.event = simulation_.after(sim::from_seconds(delay_s),
+                                    [this, iid] { complete_grant(iid); });
   pending_.emplace(iid, std::move(pending));
   return iid;
 }
@@ -184,36 +171,75 @@ InstanceId CloudProvider::request_spot(const MarketId& id, double bid,
   Pending pending;
   pending.on_ready = std::move(on_ready);
   pending.on_fail = std::move(on_fail);
-  pending.event = simulation_.after(sim::from_seconds(delay_s), [this, iid] {
-    auto pit = pending_.find(iid);
-    if (pit == pending_.end()) return;  // cancelled
-    Pending p = std::move(pit->second);
-    pending_.erase(pit);
-    Instance& inst2 = instance_mut(iid);
-    const double current = price(inst2.market);
-    if (current > inst2.bid) {
-      inst2.state = InstanceState::kTerminated;
-      SPOTHOST_LOG(sim::LogLevel::kDebug, simulation_.now(),
-                   "spot request " << iid << " rejected: price " << current
-                                   << " > bid " << inst2.bid);
-      if (p.on_fail) p.on_fail();
-      return;
-    }
-    inst2.state = InstanceState::kRunning;
-    inst2.launch = simulation_.now();
-    if (auto* tracer = simulation_.tracer(); tracer && tracer->enabled()) {
-      auto e = provider_event(obs::EventKind::kAcquisition, simulation_.now(),
-                              inst2.market);
-      e.code = obs::code::kSpot;
-      e.instance = iid;
-      e.value = current;
-      e.aux = inst2.bid;
-      tracer->emit(e);
-    }
-    if (p.on_ready) p.on_ready(iid);
-  });
+  pending.event = simulation_.after(sim::from_seconds(delay_s),
+                                    [this, iid] { complete_grant(iid); });
   pending_.emplace(iid, std::move(pending));
   return iid;
+}
+
+void CloudProvider::complete_grant(InstanceId iid) {
+  auto pit = pending_.find(iid);
+  if (pit == pending_.end()) return;  // cancelled
+  Instance& inst = instance_mut(iid);
+  auto* injector = simulation_.fault_injector();
+
+  // Injected allocation timeout: the grant takes alloc_timeout_extra_s
+  // longer (once per request); price and capacity are re-checked at the new
+  // completion time, so a delayed spot grant can still be price-rejected.
+  if (injector != nullptr && !pit->second.delayed &&
+      injector->should_inject(faults::FaultKind::kAllocTimeout,
+                              inst.market.str(), iid)) {
+    pit->second.delayed = true;
+    pit->second.event =
+        simulation_.after(sim::from_seconds(injector->plan().alloc_timeout_extra_s),
+                          [this, iid] { complete_grant(iid); });
+    return;
+  }
+
+  Pending p = std::move(pit->second);
+  pending_.erase(pit);
+
+  // Injected capacity error: the provider has no server to hand out. Only
+  // requests that supplied a failure path are eligible — an unobservable
+  // failure would silently strand the requester.
+  if (p.on_fail && injector != nullptr &&
+      injector->should_inject(faults::FaultKind::kAllocInsufficientCapacity,
+                              inst.market.str(), iid)) {
+    inst.state = InstanceState::kTerminated;
+    SPOTHOST_LOG(sim::LogLevel::kDebug, simulation_.now(),
+                 "request " << iid << " failed: insufficient capacity (injected)");
+    p.on_fail(AllocFailure::kInsufficientCapacity);
+    return;
+  }
+
+  if (inst.mode == BillingMode::kSpot) {
+    const double current = price(inst.market);
+    if (current > inst.bid) {
+      inst.state = InstanceState::kTerminated;
+      SPOTHOST_LOG(sim::LogLevel::kDebug, simulation_.now(),
+                   "spot request " << iid << " rejected: price " << current
+                                   << " > bid " << inst.bid);
+      if (p.on_fail) p.on_fail(AllocFailure::kPriceAboveBid);
+      return;
+    }
+  }
+  inst.state = InstanceState::kRunning;
+  inst.launch = simulation_.now();
+  if (auto* tracer = simulation_.tracer(); tracer && tracer->enabled()) {
+    auto e = provider_event(obs::EventKind::kAcquisition, simulation_.now(),
+                            inst.market);
+    e.instance = iid;
+    if (inst.mode == BillingMode::kSpot) {
+      e.code = obs::code::kSpot;
+      e.value = price(inst.market);
+      e.aux = inst.bid;
+    } else {
+      e.code = obs::code::kOnDemand;
+      e.value = od_price(inst.market);
+    }
+    tracer->emit(e);
+  }
+  if (p.on_ready) p.on_ready(iid);
 }
 
 void CloudProvider::cancel_request(InstanceId id) {
@@ -282,6 +308,39 @@ void CloudProvider::on_price_change(const MarketId& id, double new_price) {
                  "revocation warning for " << iid << " in " << id.str()
                                            << ", termination at "
                                            << sim::format_time(inst.termination_time));
+
+    // Injected warning-delivery faults. A dropped warning reaches the
+    // customer only at termination time (zero effective grace); a delayed
+    // one arrives warning_delay_s late, capped at t_term. The delivery
+    // event is scheduled BEFORE the termination event so that, at equal
+    // timestamps, FIFO dispatch hands the customer the warning before the
+    // provider pulls the server. Instances without a registered handler are
+    // never faulted — nobody would observe the difference.
+    const auto hit = revocation_handlers_.find(iid);
+    RevocationHandler handler =
+        (hit != revocation_handlers_.end()) ? hit->second : nullptr;
+    sim::SimTime deliver_at = simulation_.now();
+    if (handler) {
+      if (auto* injector = simulation_.fault_injector()) {
+        if (injector->should_inject(faults::FaultKind::kWarningDropped,
+                                    id.str(), iid)) {
+          deliver_at = inst.termination_time;
+        } else if (injector->should_inject(faults::FaultKind::kWarningDelayed,
+                                           id.str(), iid)) {
+          deliver_at = std::min(
+              simulation_.now() +
+                  sim::from_seconds(injector->plan().warning_delay_s),
+              inst.termination_time);
+        }
+      }
+      if (deliver_at > simulation_.now()) {
+        simulation_.at(deliver_at,
+                       [handler, iid, t_term = inst.termination_time] {
+                         handler(iid, t_term);
+                       });
+      }
+    }
+
     simulation_.at(inst.termination_time, [this, iid] {
       Instance& victim = instance_mut(iid);
       if (victim.state != InstanceState::kWarned) return;  // customer beat us
@@ -295,9 +354,8 @@ void CloudProvider::on_price_change(const MarketId& id, double new_price) {
       e.aux = sim::to_seconds(inst.termination_time);
       tracer->emit(e);
     }
-    const auto hit = revocation_handlers_.find(iid);
-    if (hit != revocation_handlers_.end() && hit->second) {
-      hit->second(iid, inst.termination_time);
+    if (handler && deliver_at == simulation_.now()) {
+      handler(iid, inst.termination_time);
     }
   }
 }

@@ -29,6 +29,12 @@ inline constexpr InstanceId kInvalidInstance = 0;
 
 enum class InstanceState { kPending, kRunning, kWarned, kTerminated };
 
+/// Why a server request failed at grant time.
+enum class AllocFailure : std::uint8_t {
+  kPriceAboveBid,        ///< spot price exceeded the bid when allocation completed
+  kInsufficientCapacity, ///< injected capacity error (faults::FaultInjector)
+};
+
 /// Mean/CV of allocation latency per region, calibrated to Table 1.
 struct AllocationLatency {
   double on_demand_mean_s = 94.85;
@@ -51,7 +57,7 @@ struct Instance {
 class CloudProvider {
  public:
   using ReadyCallback = std::function<void(InstanceId)>;
-  using FailCallback = std::function<void()>;
+  using FailCallback = std::function<void(AllocFailure)>;
   /// Revocation warning: fired when the price crosses the bid; the instance
   /// is forcibly terminated at `termination_time` (= warning time + grace).
   using RevocationHandler = std::function<void(InstanceId, sim::SimTime termination_time)>;
@@ -82,10 +88,14 @@ class CloudProvider {
   }
 
   /// Requests an on-demand server; `on_ready` fires after allocation latency.
-  InstanceId request_on_demand(const MarketId& id, ReadyCallback on_ready);
+  /// `on_fail` (optional) receives injected capacity errors; requests without
+  /// one are never capacity-faulted (the failure would be unobservable).
+  InstanceId request_on_demand(const MarketId& id, ReadyCallback on_ready,
+                               FailCallback on_fail = {});
 
-  /// Requests a spot server at `bid`; `on_fail` fires if the price exceeds
-  /// the bid when allocation completes (request rejected).
+  /// Requests a spot server at `bid`; `on_fail` fires with the reason if the
+  /// price exceeds the bid when allocation completes, or when the fault
+  /// injector raises an insufficient-capacity error at grant time.
   InstanceId request_spot(const MarketId& id, double bid, ReadyCallback on_ready,
                           FailCallback on_fail);
 
@@ -112,9 +122,11 @@ class CloudProvider {
     ReadyCallback on_ready;
     FailCallback on_fail;
     sim::EventId event = sim::kInvalidEventId;
+    bool delayed = false;  ///< an injected allocation timeout already fired
   };
 
   void on_price_change(const MarketId& id, double new_price);
+  void complete_grant(InstanceId id);
   void complete_lease(Instance& inst, TerminationCause cause, sim::SimTime end);
   Instance& instance_mut(InstanceId id);
 

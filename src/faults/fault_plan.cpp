@@ -1,0 +1,78 @@
+#include "faults/fault_plan.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace spothost::faults {
+
+std::string_view to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kAllocInsufficientCapacity: return "alloc_insufficient_capacity";
+    case FaultKind::kAllocTimeout: return "alloc_timeout";
+    case FaultKind::kWarningDelayed: return "warning_delayed";
+    case FaultKind::kWarningDropped: return "warning_dropped";
+    case FaultKind::kLiveCopyAbort: return "live_copy_abort";
+    case FaultKind::kCheckpointStall: return "checkpoint_stall";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::with_rate(FaultKind kind, double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("FaultPlan: rate for " +
+                                std::string(to_string(kind)) +
+                                " must be in [0, 1] (got " + std::to_string(p) +
+                                ")");
+  }
+  rate[static_cast<std::size_t>(kind)] = p;
+  return *this;
+}
+
+FaultPlan& FaultPlan::at_opportunity(FaultKind kind, std::uint64_t n) {
+  if (n == 0) {
+    throw std::invalid_argument(
+        "FaultPlan: opportunity indices are 1-based (got 0 for " +
+        std::string(to_string(kind)) + ")");
+  }
+  scheduled.emplace_back(kind, n);
+  return *this;
+}
+
+bool FaultPlan::empty() const noexcept {
+  for (const double r : rate) {
+    if (r > 0.0) return false;
+  }
+  return scheduled.empty();
+}
+
+void FaultPlan::validate() const {
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    if (rate[k] < 0.0 || rate[k] > 1.0) {
+      throw std::invalid_argument(
+          "FaultPlan: rate for " +
+          std::string(to_string(static_cast<FaultKind>(k))) +
+          " must be in [0, 1] (got " + std::to_string(rate[k]) + ")");
+    }
+  }
+  for (const auto& [kind, n] : scheduled) {
+    (void)kind;
+    if (n == 0) {
+      throw std::invalid_argument("FaultPlan: opportunity indices are 1-based");
+    }
+  }
+  if (alloc_timeout_extra_s < 0.0) {
+    throw std::invalid_argument("FaultPlan: alloc_timeout_extra_s must be >= 0 (got " +
+                                std::to_string(alloc_timeout_extra_s) + ")");
+  }
+  if (warning_delay_s < 0.0) {
+    throw std::invalid_argument("FaultPlan: warning_delay_s must be >= 0 (got " +
+                                std::to_string(warning_delay_s) + ")");
+  }
+  if (checkpoint_stall_factor < 1.0) {
+    throw std::invalid_argument(
+        "FaultPlan: checkpoint_stall_factor must be >= 1 (got " +
+        std::to_string(checkpoint_stall_factor) + ")");
+  }
+}
+
+}  // namespace spothost::faults

@@ -1,0 +1,88 @@
+// Deterministic fault-injection plans (spothost::faults).
+//
+// The market model only produces *price-driven* failures: revocations when
+// the spot price crosses the bid. Real clouds also fail in ways no price
+// trace captures — capacity errors at allocation time, slow grants, warnings
+// that arrive late (or never), migrations that abort mid-flight. A FaultPlan
+// describes WHICH of those faults a run should suffer and HOW OFTEN; the
+// FaultInjector (injector.hpp) turns the plan into seeded, reproducible
+// decisions at each injection point.
+//
+// Two ways to arm a fault kind, freely combined:
+//  * with_rate(kind, p)      — Bernoulli(p) at every opportunity, drawn from
+//                              a per-kind named RNG stream (kind independence:
+//                              arming one kind never perturbs another);
+//  * at_opportunity(kind, n) — the n-th opportunity (1-based) fails
+//                              deterministically, for exact replay in tests.
+//
+// A default-constructed plan is empty: the injector then makes zero RNG
+// draws and emits zero events, so fault-free runs stay byte-identical to a
+// build without the subsystem (pinned by tests/integration/test_trace_golden).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace spothost::faults {
+
+/// The fault taxonomy. Each kind names one injection point in the stack;
+/// DESIGN.md's failure-model section documents where each one fires and how
+/// the scheduler recovers.
+enum class FaultKind : std::uint8_t {
+  kAllocInsufficientCapacity = 0,  ///< request fails at grant time
+  kAllocTimeout,                   ///< grant delayed by alloc_timeout_extra_s
+  kWarningDelayed,                 ///< revocation warning warning_delay_s late
+  kWarningDropped,                 ///< warning only delivered at termination
+  kLiveCopyAbort,                  ///< live pre-copy aborts before switchover
+  kCheckpointStall,                ///< forced-restore transfer stalls
+};
+
+inline constexpr std::size_t kFaultKindCount = 6;
+
+inline constexpr std::array<FaultKind, kFaultKindCount> kAllFaultKinds{
+    FaultKind::kAllocInsufficientCapacity, FaultKind::kAllocTimeout,
+    FaultKind::kWarningDelayed,            FaultKind::kWarningDropped,
+    FaultKind::kLiveCopyAbort,             FaultKind::kCheckpointStall,
+};
+
+/// Stable snake_case name (RNG stream suffixes, bench labels, logs).
+std::string_view to_string(FaultKind kind) noexcept;
+
+struct FaultPlan {
+  /// Per-opportunity injection probability per kind, indexed by FaultKind.
+  std::array<double, kFaultKindCount> rate{};
+
+  // --- fault-shape parameters (used only by the matching kind) ----------
+  /// kAllocTimeout: extra allocation delay before the grant is re-attempted.
+  double alloc_timeout_extra_s = 180.0;
+  /// kWarningDelayed: how late the warning handler fires (capped so it never
+  /// lands after the forced termination itself).
+  double warning_delay_s = 60.0;
+  /// kCheckpointStall: multiplier on the restore transfer time (>= 1).
+  double checkpoint_stall_factor = 4.0;
+
+  /// Deterministic schedule: (kind, 1-based opportunity index) pairs. The
+  /// n-th opportunity of that kind fails regardless of rate — exact replay
+  /// for tests and reproducible bug reports.
+  std::vector<std::pair<FaultKind, std::uint64_t>> scheduled;
+
+  FaultPlan& with_rate(FaultKind kind, double p);
+  FaultPlan& at_opportunity(FaultKind kind, std::uint64_t n);
+
+  [[nodiscard]] double rate_of(FaultKind kind) const noexcept {
+    return rate[static_cast<std::size_t>(kind)];
+  }
+
+  /// True when no kind is armed: all rates zero and nothing scheduled.
+  [[nodiscard]] bool empty() const noexcept;
+
+  /// Throws std::invalid_argument (naming the field) on nonsense values:
+  /// rates outside [0, 1], zero opportunity indices, stall factor < 1,
+  /// negative delays.
+  void validate() const;
+};
+
+}  // namespace spothost::faults

@@ -1,0 +1,60 @@
+#include "faults/injector.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "obs/event.hpp"
+#include "obs/sink.hpp"
+
+namespace spothost::faults {
+
+FaultInjector::FaultInjector(sim::Simulation& simulation,
+                             const sim::RngFactory& rng, FaultPlan plan)
+    : simulation_(simulation), plan_(std::move(plan)) {
+  plan_.validate();
+  streams_.reserve(kFaultKindCount);
+  for (const FaultKind kind : kAllFaultKinds) {
+    streams_.push_back(rng.stream("faults/" + std::string(to_string(kind))));
+  }
+  for (const auto& [kind, n] : plan_.scheduled) {
+    scheduled_[static_cast<std::size_t>(kind)].push_back(n);
+  }
+  for (auto& list : scheduled_) std::sort(list.begin(), list.end());
+}
+
+std::uint64_t FaultInjector::injected_total() const noexcept {
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : injected_) total += n;
+  return total;
+}
+
+bool FaultInjector::should_inject(FaultKind kind, std::string_view market,
+                                  std::uint64_t instance) {
+  const auto k = static_cast<std::size_t>(kind);
+  const std::uint64_t n = ++opportunities_[k];
+
+  // Draw whenever the rate is armed — even if a scheduled hit would decide
+  // anyway — so the kind's stream position depends only on its opportunity
+  // count, never on the scheduled set.
+  bool hit = false;
+  if (plan_.rate[k] > 0.0) hit = streams_[k].chance(plan_.rate[k]);
+  if (!hit && std::binary_search(scheduled_[k].begin(), scheduled_[k].end(), n)) {
+    hit = true;
+  }
+  if (!hit) return false;
+
+  ++injected_[k];
+  if (auto* tracer = simulation_.tracer(); tracer != nullptr && tracer->enabled()) {
+    obs::TraceEvent e;
+    e.t = simulation_.now();
+    e.kind = obs::EventKind::kFaultInjected;
+    e.code = static_cast<std::uint8_t>(kind);
+    e.instance = instance;
+    e.value = static_cast<double>(n);  // which opportunity hit
+    e.market = std::string(market);
+    tracer->emit(e);
+  }
+  return true;
+}
+
+}  // namespace spothost::faults

@@ -1,0 +1,69 @@
+// FaultInjector: turns a FaultPlan into seeded, trace-visible injection
+// decisions.
+//
+// The injector is owned by the World and attached to the Simulation
+// (Simulation::set_fault_injector) the same way the Tracer is, so every
+// component holding a Simulation& — the provider, the migration engine —
+// reads it from one place without new constructor plumbing. Each injection
+// point calls should_inject(kind, ...) at the moment the fault could occur
+// (an "opportunity"); the injector counts the opportunity, consults the
+// plan, and on a hit emits a kFaultInjected trace event through the
+// simulation's tracer so injections are ordinary, inspectable run events.
+//
+// Determinism contract:
+//  * each kind draws from its own named stream ("faults/<kind>"), so arming
+//    one kind never perturbs another kind's decisions;
+//  * a kind with rate 0 makes NO draws (scheduled hits are index lookups),
+//    so an empty plan leaves every other component's RNG sequence — and the
+//    golden JSONL trace — byte-identical to a run without the injector.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/simulation.hpp"
+
+namespace spothost::faults {
+
+class FaultInjector {
+ public:
+  /// Validates and captures the plan; derives one RNG stream per armed kind
+  /// from `rng` (stream names "faults/<kind>").
+  FaultInjector(sim::Simulation& simulation, const sim::RngFactory& rng,
+                FaultPlan plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Counts one opportunity for `kind` and decides whether it faults.
+  /// `market`/`instance` only annotate the kFaultInjected trace event.
+  bool should_inject(FaultKind kind) { return should_inject(kind, {}, 0); }
+  bool should_inject(FaultKind kind, std::string_view market,
+                     std::uint64_t instance);
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+  // --- counters (per kind and total) ------------------------------------
+  [[nodiscard]] std::uint64_t opportunities(FaultKind kind) const noexcept {
+    return opportunities_[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] std::uint64_t injected(FaultKind kind) const noexcept {
+    return injected_[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] std::uint64_t injected_total() const noexcept;
+
+ private:
+  sim::Simulation& simulation_;
+  FaultPlan plan_;
+  std::vector<sim::RngStream> streams_;  ///< one per kind, in enum order
+  /// 1-based opportunity indices scheduled to fail, per kind, sorted.
+  std::array<std::vector<std::uint64_t>, kFaultKindCount> scheduled_;
+  std::array<std::uint64_t, kFaultKindCount> opportunities_{};
+  std::array<std::uint64_t, kFaultKindCount> injected_{};
+};
+
+}  // namespace spothost::faults

@@ -60,8 +60,10 @@ RunMetrics run_hosting_scenario(const sched::Scenario& scenario,
     baseline_price = sched::effective_on_demand_price(world.provider(), cheapest,
                                                       config.home_market.size);
   }
-  return compute_run_metrics(world.provider(), scheduler, service, world.horizon(),
-                             baseline_price);
+  RunMetrics m = compute_run_metrics(world.provider(), scheduler, service,
+                                     world.horizon(), baseline_price);
+  m.faults_injected = static_cast<int>(world.faults().injected_total());
+  return m;
 }
 
 Aggregate Aggregate::of(std::span<const double> xs) {

@@ -41,6 +41,8 @@ RunMetrics compute_run_metrics(const cloud::CloudProvider& provider,
   m.reverse = stats.reverse;
   m.cancelled_planned = stats.cancelled_planned;
   m.market_switches = stats.market_switches;
+  m.retries = stats.retries;
+  m.degraded_entries = stats.degraded_entries;
   if (m.horizon_hours > 0) {
     m.forced_per_hour = stats.forced / m.horizon_hours;
     m.planned_reverse_per_hour = (stats.planned + stats.reverse) / m.horizon_hours;

@@ -30,6 +30,11 @@ struct RunMetrics {
   double forced_per_hour = 0.0;           ///< Fig. 6c
   double planned_reverse_per_hour = 0.0;  ///< Fig. 6d
 
+  // --- fault recovery (src/faults) ---------------------------------------
+  int faults_injected = 0;   ///< injector hits (filled by run_hosting_scenario)
+  int retries = 0;           ///< fault-recovery retries scheduled
+  int degraded_entries = 0;  ///< graceful-degradation fallbacks taken
+
   double horizon_hours = 0.0;
 };
 

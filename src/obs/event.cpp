@@ -14,6 +14,7 @@ constexpr std::array<std::string_view, kEventKindCount> kKindNames{
     "migration_begin",      "migration_transfer",  "migration_switchover",
     "migration_abandon",    "market_switch",       "outage_begin",
     "outage_end",           "degraded_end",        "billing_hour_tick",
+    "fault_injected",       "retry_scheduled",     "degraded_mode",
 };
 
 void append_escaped(std::string& out, std::string_view s) {
@@ -155,6 +156,7 @@ std::string_view code_label(EventKind kind, std::uint8_t c) noexcept {
         case code::kAbandonPriceRecovered: return "price_recovered";
         case code::kAbandonDestRevoked: return "dest_revoked";
         case code::kAbandonPreempted: return "preempted";
+        case code::kAbandonFault: return "fault";
         default: return "unknown";
       }
     case EventKind::kOutageBegin:
@@ -164,6 +166,26 @@ std::string_view code_label(EventKind kind, std::uint8_t c) noexcept {
         case code::kCauseReverseMigration: return "reverse_migration";
         case code::kCauseSpotLoss: return "spot_loss";
         default: return "other";
+      }
+    case EventKind::kFaultInjected:
+      switch (c) {
+        case code::kFaultAllocCapacity: return "alloc_insufficient_capacity";
+        case code::kFaultAllocTimeout: return "alloc_timeout";
+        case code::kFaultWarningDelayed: return "warning_delayed";
+        case code::kFaultWarningDropped: return "warning_dropped";
+        case code::kFaultLiveCopyAbort: return "live_copy_abort";
+        case code::kFaultCheckpointStall: return "checkpoint_stall";
+        default: return "unknown";
+      }
+    case EventKind::kRetryScheduled:
+      return c == code::kRetryForcedDest ? "forced_dest" : "acquire";
+    case EventKind::kDegradedMode:
+      switch (c) {
+        case code::kDegradeOnDemandFallback: return "on_demand_fallback";
+        case code::kDegradeLiveToCkpt: return "live_to_ckpt";
+        case code::kDegradeStallAbsorbed: return "stall_absorbed";
+        case code::kDegradeSlowRetry: return "slow_retry";
+        default: return "unknown";
       }
     default:
       return {};

@@ -50,10 +50,16 @@ enum class EventKind : std::uint8_t {
   kDegradedEnd,          ///< lazy-restore degraded window ended
   kBillingHourTick,      ///< on-demand billing-hour reverse check fired.
                          ///< value = on-demand threshold price
+  kFaultInjected,        ///< the fault-injection layer fired. code = the
+                         ///< faults::FaultKind; value = opportunity index
+  kRetryScheduled,       ///< fault-recovery retry scheduled. code = retry
+                         ///< context; value = attempt #, aux = backoff seconds
+  kDegradedMode,         ///< graceful-degradation fallback taken.
+                         ///< code = degradation kind
 };
 
 inline constexpr std::size_t kEventKindCount =
-    static_cast<std::size_t>(EventKind::kBillingHourTick) + 1;
+    static_cast<std::size_t>(EventKind::kDegradedMode) + 1;
 
 /// Kind-specific `code` values. Kept as plain constants (not per-kind enums)
 /// so sinks can aggregate over (kind, code) pairs uniformly.
@@ -73,12 +79,28 @@ inline constexpr std::uint8_t kReverse = 2;
 inline constexpr std::uint8_t kAbandonPriceRecovered = 0;  ///< spike cancel
 inline constexpr std::uint8_t kAbandonDestRevoked = 1;
 inline constexpr std::uint8_t kAbandonPreempted = 2;  ///< forced flow took over
+inline constexpr std::uint8_t kAbandonFault = 3;  ///< injected migration fault
 // kOutageBegin: cause (mirrors workload::OutageCause).
 inline constexpr std::uint8_t kCauseForcedMigration = 0;
 inline constexpr std::uint8_t kCausePlannedMigration = 1;
 inline constexpr std::uint8_t kCauseReverseMigration = 2;
 inline constexpr std::uint8_t kCauseSpotLoss = 3;
 inline constexpr std::uint8_t kCauseOther = 4;
+// kFaultInjected: which fault fired (mirrors faults::FaultKind).
+inline constexpr std::uint8_t kFaultAllocCapacity = 0;
+inline constexpr std::uint8_t kFaultAllocTimeout = 1;
+inline constexpr std::uint8_t kFaultWarningDelayed = 2;
+inline constexpr std::uint8_t kFaultWarningDropped = 3;
+inline constexpr std::uint8_t kFaultLiveCopyAbort = 4;
+inline constexpr std::uint8_t kFaultCheckpointStall = 5;
+// kRetryScheduled: which recovery loop scheduled the retry.
+inline constexpr std::uint8_t kRetryAcquire = 0;   ///< CloudScheduler acquisition
+inline constexpr std::uint8_t kRetryForcedDest = 1;  ///< forced-flow destination
+// kDegradedMode: which graceful-degradation fallback was taken.
+inline constexpr std::uint8_t kDegradeOnDemandFallback = 0;  ///< spot -> on-demand
+inline constexpr std::uint8_t kDegradeLiveToCkpt = 1;  ///< live abort -> CKPT
+inline constexpr std::uint8_t kDegradeStallAbsorbed = 2;  ///< stall -> degraded
+inline constexpr std::uint8_t kDegradeSlowRetry = 3;  ///< retries exhausted
 }  // namespace code
 
 /// Highest `code` value any kind uses, plus one (sizes counter tables).

@@ -38,6 +38,11 @@ World::World(Scenario scenario)
   }
 
   simulation_ = std::make_unique<sim::Simulation>();
+  // Always build and attach the injector — an empty plan makes zero draws,
+  // so fault-free worlds behave identically with or without it.
+  faults_ = std::make_unique<faults::FaultInjector>(*simulation_, rng_factory_,
+                                                    scenario_.fault_plan);
+  simulation_->set_fault_injector(faults_.get());
   provider_ = std::make_unique<cloud::CloudProvider>(*simulation_, rng_factory_,
                                                      scenario_.grace_period);
 

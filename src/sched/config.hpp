@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "cloud/provider.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/injector.hpp"
 #include "simcore/rng.hpp"
 #include "simcore/simulation.hpp"
 #include "trace/profiles.hpp"
@@ -29,6 +31,10 @@ struct Scenario {
   /// model; markets without a file stay synthetic. Traces shorter than the
   /// horizon are rejected. Empty = fully synthetic.
   std::string trace_dir{};
+  /// Faults to inject (src/faults). The default (empty) plan makes zero RNG
+  /// draws and emits zero events, so runs stay byte-identical to a build
+  /// without the subsystem.
+  faults::FaultPlan fault_plan{};
 };
 
 /// Allocation latencies per region family, from Table 1.
@@ -49,6 +55,12 @@ class World {
   [[nodiscard]] const sim::RngFactory& rng() const noexcept { return rng_factory_; }
   [[nodiscard]] sim::SimTime horizon() const noexcept { return scenario_.horizon; }
   [[nodiscard]] const Scenario& scenario() const noexcept { return scenario_; }
+  /// The fault injector built from scenario.fault_plan — always present and
+  /// attached to the simulation (an empty plan injects nothing).
+  [[nodiscard]] faults::FaultInjector& faults() noexcept { return *faults_; }
+  [[nodiscard]] const faults::FaultInjector& faults() const noexcept {
+    return *faults_;
+  }
 
   /// A fresh named random stream tied to the scenario seed.
   [[nodiscard]] sim::RngStream stream(std::string_view name) const {
@@ -59,6 +71,7 @@ class World {
   Scenario scenario_;
   sim::RngFactory rng_factory_;
   std::unique_ptr<sim::Simulation> simulation_;
+  std::unique_ptr<faults::FaultInjector> faults_;
   std::unique_ptr<cloud::CloudProvider> provider_;
 };
 

@@ -79,6 +79,10 @@ std::optional<cloud::MarketId> best_spot_market(
   double best_score = std::numeric_limits<double>::infinity();
   for (const auto& market : candidates) {
     if (options.exclude && *options.exclude == market) continue;
+    if (std::find(options.avoid.begin(), options.avoid.end(), market) !=
+        options.avoid.end()) {
+      continue;
+    }
     const double eff = effective_spot_price(provider, market, options.units_needed);
     if (eff >= options.max_effective_price) continue;
     double score = eff;

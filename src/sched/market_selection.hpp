@@ -57,6 +57,9 @@ struct SelectionOptions {
   double max_effective_price = 0.0;
   /// Exclude this market (typically the one currently held).
   std::optional<cloud::MarketId> exclude;
+  /// Additional markets to skip — those that recently failed allocation
+  /// (the fault-recovery retry chain walks to the next-cheapest market).
+  std::vector<cloud::MarketId> avoid{};
   /// Stability-aware scoring: score = eff_price + weight * trailing stddev.
   StabilityPolicy stability = StabilityPolicy::kIgnore;
   double stability_penalty_weight = 1.0;

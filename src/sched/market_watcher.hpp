@@ -77,6 +77,17 @@ class MarketWatcher {
   MarketWatcher(sim::Simulation& simulation, cloud::CloudProvider& provider);
 
   /// Registers a listener; triggers are delivered through `callback`.
+  ///
+  /// Listener contract:
+  ///  * Delivery is synchronous, inside the provider/simulation event that
+  ///    caused it — a callback observes the world exactly as the trigger
+  ///    left it, and may issue provider requests or (un)register listeners
+  ///    reentrantly (the recipient list is snapshotted per dispatch).
+  ///  * Listeners sharing a market fire in registration (ListenerId) order;
+  ///    same registrations, same dispatch order, every run.
+  ///  * The callback must stay valid until remove_listener returns; after
+  ///    that no further triggers are delivered, including ones already
+  ///    snapshotted for the in-flight dispatch.
   ListenerId add_listener(TriggerCallback callback);
 
   /// Deregisters: no further triggers are delivered. Provider-side feed
@@ -95,6 +106,13 @@ class MarketWatcher {
 
   /// Routes the provider's revocation warning for `instance` to `id` as a
   /// kRevocation trigger (replaces any previously installed handler).
+  ///
+  /// The watcher only owns routing; *when* the warning arrives is the
+  /// provider's business. Under fault injection (src/faults) the warning may
+  /// be delivered late (kWarningDelayed) or collapse onto the termination
+  /// instant itself (kWarningDropped) — still strictly before the instance
+  /// is torn down, but possibly with `t_term == now`. Listeners must not
+  /// assume the full grace window is left when the trigger fires.
   void arm_revocation(ListenerId id, cloud::InstanceId instance);
 
   /// Provider-side price-feed subscriptions this watcher holds — bounded by

@@ -1,8 +1,10 @@
 #include "sched/migration_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
+#include "faults/injector.hpp"
 #include "obs/sink.hpp"
 #include "simcore/logging.hpp"
 
@@ -23,6 +25,16 @@ std::uint8_t migration_code(virt::MigrationClass cls) noexcept {
   return obs::code::kNone;
 }
 
+/// The combo with live pre-copy removed — what a live migration degrades to
+/// when an injected kLiveCopyAbort fires and graceful degradation is on.
+virt::MechanismCombo live_stripped(virt::MechanismCombo combo) noexcept {
+  switch (combo) {
+    case virt::MechanismCombo::kCkptLive: return virt::MechanismCombo::kCkpt;
+    case virt::MechanismCombo::kCkptLazyLive: return virt::MechanismCombo::kCkptLazy;
+    default: return combo;
+  }
+}
+
 }  // namespace
 
 MigrationEngine::MigrationEngine(sim::Simulation& simulation,
@@ -37,7 +49,8 @@ MigrationEngine::MigrationEngine(sim::Simulation& simulation,
       config_(config),
       spec_(spec),
       rng_(timing_rng),
-      planner_(config.combo, config.mech, virt::NetworkModel{}) {}
+      planner_(config.combo, config.mech, virt::NetworkModel{}),
+      ckpt_planner_(live_stripped(config.combo), config.mech, virt::NetworkModel{}) {}
 
 SimTime MigrationEngine::jittered(double seconds) {
   if (seconds <= 0) return 0;
@@ -73,10 +86,19 @@ void MigrationEngine::begin_voluntary(virt::MigrationClass cls, const Placement&
 
   if (target.on_demand) {
     migration_->dest = provider_.request_on_demand(
-        target.market, [this](InstanceId iid) {
+        target.market,
+        [this](InstanceId iid) {
           if (!migration_ || migration_->dest != iid) return;
           migration_->dest_ready = true;
           start_transfer();
+        },
+        [this, cls](cloud::AllocFailure) {
+          // Only an injected capacity fault can land here (on-demand never
+          // fails on price). The injector already traced it; drop the move
+          // unless the host's retry policy is allowed to re-trigger.
+          if (!migration_) return;
+          migration_.reset();
+          if (config_.retry.retries_enabled()) host_.on_voluntary_dest_failed(cls);
         });
   } else {
     migration_->dest = provider_.request_spot(
@@ -90,16 +112,20 @@ void MigrationEngine::begin_voluntary(virt::MigrationClass cls, const Placement&
               });
           start_transfer();
         },
-        [this, cls, target = target.market] {
+        [this, cls, target = target.market](cloud::AllocFailure reason) {
           auto e = host_.trace_event(obs::EventKind::kSpotRequestFailed,
                                      obs::code::kNone);
           e.market = target.str();
           host_.trace(std::move(e));
           if (!migration_) return;
+          migration_.reset();
+          if (reason == cloud::AllocFailure::kInsufficientCapacity &&
+              !config_.retry.retries_enabled()) {
+            return;  // retries-off ablation: the faulted move is just dropped
+          }
           // The chosen market evaporated; the host decides whether to retry
           // (planned: fall back to on-demand if the trigger still holds;
           // reverse: try again next billing hour).
-          migration_.reset();
           host_.on_voluntary_dest_failed(cls);
         });
   }
@@ -119,9 +145,31 @@ void MigrationEngine::begin_voluntary(virt::MigrationClass cls, const Placement&
 void MigrationEngine::start_transfer() {
   if (!migration_ || !migration_->dest_ready || migration_->transfer_started) return;
   if (host_.source_instance() == cloud::kInvalidInstance) return;
-  migration_->timings = planner_.plan(migration_->cls, spec_,
-                                      host_.source_market().region,
-                                      migration_->target.region);
+  bool degrade_to_ckpt = false;
+  if (auto* inj = simulation_.fault_injector();
+      inj && virt::uses_live_migration(config_.combo) &&
+      inj->should_inject(faults::FaultKind::kLiveCopyAbort,
+                         migration_->target.str(), migration_->dest)) {
+    if (config_.retry.graceful_degradation) {
+      // Live pre-copy aborted: degrade to plain stop-and-copy on the same
+      // destination (longer downtime) instead of losing the migration.
+      degrade_to_ckpt = true;
+      auto e = host_.trace_event(obs::EventKind::kDegradedMode,
+                                 obs::code::kDegradeLiveToCkpt);
+      e.instance = migration_->dest;
+      e.market = migration_->target.str();
+      host_.trace(std::move(e));
+    } else {
+      const auto cls = migration_->cls;
+      abandon(AbandonReason::kFault);
+      if (config_.retry.retries_enabled()) host_.on_voluntary_dest_failed(cls);
+      return;
+    }
+  }
+  migration_->timings = (degrade_to_ckpt ? ckpt_planner_ : planner_)
+                            .plan(migration_->cls, spec_,
+                                  host_.source_market().region,
+                                  migration_->target.region);
   migration_->transfer_started = true;
   migration_->switchover_at =
       simulation_.now() + jittered(migration_->timings.prepare_s);
@@ -205,6 +253,7 @@ void MigrationEngine::abandon(AbandonReason reason) {
     case AbandonReason::kPriceRecovered: code = obs::code::kAbandonPriceRecovered; break;
     case AbandonReason::kDestRevoked: code = obs::code::kAbandonDestRevoked; break;
     case AbandonReason::kPreempted: code = obs::code::kAbandonPreempted; break;
+    case AbandonReason::kFault: code = obs::code::kAbandonFault; break;
   }
   auto e = host_.trace_event(obs::EventKind::kMigrationAbandon, code);
   e.instance = migration_->dest;
@@ -225,11 +274,55 @@ std::optional<virt::MigrationClass> MigrationEngine::dest_warned(InstanceId inst
 // ---------------------------------------------------------------------------
 
 InstanceId MigrationEngine::request_forced_dest(const MarketId& od_market) {
-  return provider_.request_on_demand(od_market, [this](InstanceId iid) {
-    if (!forced_ || forced_->dest != iid) return;
-    forced_->dest_ready = true;
-    forced_->dest_ready_at = simulation_.now();
-    forced_try_resume();
+  return provider_.request_on_demand(
+      od_market,
+      [this](InstanceId iid) {
+        if (!forced_ || forced_->dest != iid) return;
+        forced_->dest_ready = true;
+        forced_->dest_ready_at = simulation_.now();
+        forced_try_resume();
+      },
+      [this](cloud::AllocFailure) { on_forced_dest_failed(); });
+}
+
+void MigrationEngine::on_forced_dest_failed() {
+  if (!forced_) return;
+  forced_->dest = cloud::kInvalidInstance;
+  const int attempt = ++forced_->dest_attempts;
+  const RetryPolicy& retry = config_.retry;
+  double delay_s = 0.0;
+  if (retry.retries_enabled() && attempt <= retry.max_attempts) {
+    delay_s = retry.backoff_s(attempt);
+  } else if (retry.graceful_degradation) {
+    // Retry budget spent: announce degraded mode once, then keep polling at
+    // the backoff cap — the service eventually comes back, just slowly.
+    if (!forced_->degraded) {
+      forced_->degraded = true;
+      auto e = host_.trace_event(obs::EventKind::kDegradedMode,
+                                 obs::code::kDegradeSlowRetry);
+      e.market = forced_->od_market.str();
+      host_.trace(std::move(e));
+    }
+    delay_s = retry.backoff_max_s;
+  } else {
+    // Retries off, no degradation: the forced flow stays stuck with the
+    // service down — the retries-off ablation arm measures exactly this.
+    SPOTHOST_LOG(sim::LogLevel::kWarn, simulation_.now(),
+                 "forced replacement in " << forced_->od_market.str()
+                     << " failed; retries disabled, giving up");
+    return;
+  }
+  {
+    auto e = host_.trace_event(obs::EventKind::kRetryScheduled,
+                               obs::code::kRetryForcedDest);
+    e.value = static_cast<double>(attempt);
+    e.aux = delay_s;
+    e.market = forced_->od_market.str();
+    host_.trace(std::move(e));
+  }
+  simulation_.after(sim::from_seconds(delay_s), [this] {
+    if (!forced_ || forced_->dest != cloud::kInvalidInstance) return;
+    forced_->dest = request_forced_dest(forced_->od_market);
   });
 }
 
@@ -266,6 +359,7 @@ void MigrationEngine::begin_forced(SimTime t_term, InstanceId source,
   forced_ = f;
 
   const MarketId od_market{source_market.region, config_.home_market.size};
+  forced_->od_market = od_market;
   if (forced_->dest == cloud::kInvalidInstance) {
     forced_->dest = request_forced_dest(od_market);
   } else if (!forced_->dest_ready) {
@@ -305,8 +399,30 @@ void MigrationEngine::forced_try_resume() {
   if (!forced_->service_stopped || !forced_->dest_ready) return;
   if (simulation_.now() < forced_->t_term) return;  // source not gone yet
   forced_->resume_scheduled = true;
-  const SimTime restore = jittered(forced_->timings.restore_s);
-  const SimTime degraded = jittered(forced_->timings.degraded_s);
+  SimTime restore = jittered(forced_->timings.restore_s);
+  SimTime degraded = jittered(forced_->timings.degraded_s);
+  if (auto* inj = simulation_.fault_injector(); inj) {
+    const std::string dest_market = provider_.instance(forced_->dest).market.str();
+    if (inj->should_inject(faults::FaultKind::kCheckpointStall, dest_market,
+                           forced_->dest)) {
+      const auto stall = static_cast<SimTime>(std::llround(
+          static_cast<double>(restore) *
+          (inj->plan().checkpoint_stall_factor - 1.0)));
+      if (config_.retry.graceful_degradation) {
+        // Absorb the stalled tail as degraded time (lazy-restore style): the
+        // service comes up on schedule and back-fills slowly.
+        degraded += stall;
+        auto e = host_.trace_event(obs::EventKind::kDegradedMode,
+                                   obs::code::kDegradeStallAbsorbed);
+        e.instance = forced_->dest;
+        e.value = sim::to_seconds(stall);
+        e.market = dest_market;
+        host_.trace(std::move(e));
+      } else {
+        restore += stall;  // the outage holds until the full transfer lands
+      }
+    }
+  }
   simulation_.after(restore, [this, restore, degraded] {
     if (!forced_) return;
     const Forced f = *forced_;

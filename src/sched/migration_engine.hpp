@@ -36,11 +36,29 @@ enum class AbandonReason : std::uint8_t {
   kPriceRecovered,  ///< the price trigger evaporated before transfer
   kDestRevoked,     ///< the destination instance got a revocation warning
   kPreempted,       ///< superseded by a forced migration of the source
+  kFault,           ///< an injected mid-flight fault (e.g. live-copy abort)
 };
 
 /// What the MigrationEngine needs from whoever hosts it (CloudScheduler).
 /// Deliberately narrow: current-source queries, lifecycle notifications,
 /// and the trace pipeline. No scheduler internals leak through.
+///
+/// Contract for implementers:
+///  * Every method may be called from inside a simulation event, including
+///    reentrantly from a host call into the engine (begin_forced abandons an
+///    in-flight voluntary move, which calls back on_voluntary_dest_failed
+///    only through the failure path — but adopt/on_source_released do fire
+///    synchronously from complete_switchover). Implementations must tolerate
+///    being invoked while their own call into the engine is on the stack.
+///  * adopt() transfers ownership of `instance` to the host, which becomes
+///    responsible for its revocation handler and eventual termination.
+///  * on_voluntary_dest_failed is advisory: the engine has already torn the
+///    migration down; the host may re-trigger or drop the move. It is NOT
+///    called when fault-recovery retries are disabled (the retries-off
+///    ablation deliberately strands failed moves).
+///  * trace()/trace_event() are the only trace path: the engine never emits
+///    events around the host, so the host's CounterSink (and therefore
+///    SchedulerStats) can never disagree with an attached tracer.
 class MigrationHost {
  public:
   virtual ~MigrationHost() = default;
@@ -150,12 +168,18 @@ class MigrationEngine {
     bool service_stopped = false;
     bool resume_scheduled = false;
     virt::MigrationTimings timings{};
+    /// Market the replacement server is requested in — kept so the
+    /// fault-recovery chain can re-request after an injected capacity error.
+    cloud::MarketId od_market{};
+    int dest_attempts = 0;  ///< failed replacement requests so far
+    bool degraded = false;  ///< degraded-mode (slow-poll) announcement made
   };
 
   void start_transfer();
   void complete_switchover();
   void forced_try_resume();
   cloud::InstanceId request_forced_dest(const cloud::MarketId& od_market);
+  void on_forced_dest_failed();
 
   sim::Simulation& simulation_;
   cloud::CloudProvider& provider_;
@@ -165,6 +189,9 @@ class MigrationEngine {
   const virt::VmSpec& spec_;
   sim::RngStream& rng_;
   virt::MigrationPlanner planner_;
+  /// Fallback planner with live pre-copy stripped from the combo — used when
+  /// an injected kLiveCopyAbort degrades a live migration to stop-and-copy.
+  virt::MigrationPlanner ckpt_planner_;
 
   std::optional<Migration> migration_;
   std::optional<Forced> forced_;

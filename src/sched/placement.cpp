@@ -19,6 +19,7 @@ std::optional<Placement> ScopedPlacementPolicy::choose_spot(
   options.units_needed = query.units_needed;
   options.max_effective_price = query.max_effective_price;
   options.exclude = query.exclude;
+  options.avoid = query.avoid;
   options.stability = config.stability;
   options.stability_penalty_weight = config.stability_penalty_weight;
   options.stability_window = config.stability_window;

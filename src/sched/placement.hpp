@@ -43,15 +43,35 @@ struct PlacementQuery {
   double max_effective_price = 0.0;
   /// Market to exclude (the one currently held, when on spot).
   std::optional<cloud::MarketId> exclude;
+  /// Markets that recently failed allocation (injected capacity faults):
+  /// the fault-recovery retry chain grows this list so each retry falls
+  /// back to the next-cheapest market, then on-demand when none remain.
+  std::vector<cloud::MarketId> avoid{};
   /// Region of the on-demand fallback (the current region, else home).
   std::string fallback_region;
   sim::SimTime now = 0;
 };
 
+/// Strategy interface for destination selection (layer 2 of the scheduler).
+///
+/// Contract for implementers:
+///  * Policies are immutable and shared (held by shared_ptr<const ...>): a
+///    single instance may serve many schedulers across threads, so all three
+///    methods must be const-pure — derive everything from the arguments.
+///  * choose_spot must honour every field of the query (`exclude`, `avoid`,
+///    the price ceiling); the scheduler relies on that for hysteresis and
+///    fault fallback. Returning nullopt means "no spot market qualifies" and
+///    routes the decision to choose_on_demand.
+///  * choose_on_demand must always return a valid placement — it is the end
+///    of every fallback chain.
+///  * watched_markets bounds the trigger surface: the scheduler only reacts
+///    to price feeds listed here (plus the home market), so a policy that
+///    selects from markets it does not watch will miss its own triggers.
 class PlacementPolicy {
  public:
   virtual ~PlacementPolicy() = default;
 
+  /// Stable policy name, for logs and bench labels.
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 
   /// Markets whose price feed the scheduler should watch for triggers.

@@ -108,6 +108,7 @@ PlacementQuery CloudScheduler::placement_query(double threshold) const {
   query.units_needed = units_needed();
   query.max_effective_price = threshold;
   if (holding_ && !holding_->on_demand) query.exclude = holding_->market;
+  query.avoid = avoid_markets_;
   query.fallback_region =
       holding_ ? holding_->market.region : config_.home_market.region;
   query.now = simulation_.now();
@@ -189,21 +190,78 @@ void CloudScheduler::acquire_initial() {
           pending_acquire_ = cloud::kInvalidInstance;
           adopt(iid, target, /*on_demand=*/false);
         },
-        [this, target] {
+        [this, target](cloud::AllocFailure reason) {
           pending_acquire_ = cloud::kInvalidInstance;
           auto e = trace_event(obs::EventKind::kSpotRequestFailed, obs::code::kNone);
           e.market = target.str();
           trace(std::move(e));
+          if (reason == cloud::AllocFailure::kInsufficientCapacity) {
+            on_acquire_capacity_failed(target, /*was_spot=*/true);
+            return;
+          }
           acquire_initial();  // price moved; re-evaluate (likely on-demand now)
         });
     return;
   }
   const Placement od = placement_->choose_on_demand(provider_, config_, query);
   pending_acquire_ = provider_.request_on_demand(
-      od.market, [this, od_market = od.market](InstanceId iid) {
+      od.market,
+      [this, od_market = od.market](InstanceId iid) {
         pending_acquire_ = cloud::kInvalidInstance;
         adopt(iid, od_market, /*on_demand=*/true);
+      },
+      [this, od_market = od.market](cloud::AllocFailure) {
+        pending_acquire_ = cloud::kInvalidInstance;
+        on_acquire_capacity_failed(od_market, /*was_spot=*/false);
       });
+}
+
+void CloudScheduler::on_acquire_capacity_failed(const MarketId& market,
+                                                bool was_spot) {
+  // Only skip the failed market when a fallback exists; the pure-spot
+  // baseline (and an on-demand failure) must keep retrying the same market.
+  if (was_spot && config_.on_demand_allowed() &&
+      std::find(avoid_markets_.begin(), avoid_markets_.end(), market) ==
+          avoid_markets_.end()) {
+    avoid_markets_.push_back(market);
+  }
+  const int attempt = ++acquire_attempts_;
+  const RetryPolicy& retry = config_.retry;
+  double delay_s = 0.0;
+  if (retry.retries_enabled() && attempt <= retry.max_attempts) {
+    delay_s = retry.backoff_s(attempt);
+  } else if (retry.graceful_degradation) {
+    // Retry budget spent: announce degraded mode once, then slow-poll at the
+    // backoff cap until something is granted.
+    if (!degraded_acquire_) {
+      degraded_acquire_ = true;
+      auto e = trace_event(obs::EventKind::kDegradedMode,
+                           obs::code::kDegradeSlowRetry);
+      e.market = market.str();
+      trace(std::move(e));
+    }
+    delay_s = retry.backoff_max_s;
+  } else {
+    // Retries off, no degradation: acquisition is abandoned and the service
+    // stays down — the retries-off ablation arm measures exactly this.
+    SPOTHOST_LOG(sim::LogLevel::kWarn, simulation_.now(),
+                 "acquisition in " << market.str()
+                     << " failed (capacity); retries disabled, giving up");
+    return;
+  }
+  {
+    auto e = trace_event(obs::EventKind::kRetryScheduled, obs::code::kRetryAcquire);
+    e.value = static_cast<double>(attempt);
+    e.aux = delay_s;
+    e.market = market.str();
+    trace(std::move(e));
+  }
+  simulation_.after(sim::from_seconds(delay_s), [this] {
+    if (pending_acquire_ != cloud::kInvalidInstance) return;
+    if (state_ != State::kAcquiring && state_ != State::kDown) return;
+    if (engine_->active()) return;
+    acquire_initial();
+  });
 }
 
 void CloudScheduler::adopt(InstanceId instance, const MarketId& market,
@@ -211,6 +269,9 @@ void CloudScheduler::adopt(InstanceId instance, const MarketId& market,
   holding_ = Holding{instance, market, on_demand};
   state_ = on_demand ? State::kOnDemand : State::kOnSpot;
   crossing_.reset();  // crossings are relative to the adopted market
+  acquire_attempts_ = 0;  // the fault-recovery episode ended in a grant
+  avoid_markets_.clear();
+  degraded_acquire_ = false;
   if (!service_live_) {
     service_.go_live(simulation_.now());
     service_live_ = true;
@@ -462,12 +523,18 @@ void CloudScheduler::pure_spot_reacquire() {
           adopt(iid, home, /*on_demand=*/false);
         });
       },
-      [this] {
+      [this, home](cloud::AllocFailure reason) {
         pending_acquire_ = cloud::kInvalidInstance;
         auto e = trace_event(obs::EventKind::kSpotRequestFailed, obs::code::kNone);
         e.market = config_.home_market.str();
         trace(std::move(e));
-        // Wait for the next price change; on_price_change retries.
+        if (reason == cloud::AllocFailure::kInsufficientCapacity) {
+          // Injected capacity fault: the price is fine, so no price-change
+          // trigger will come — back off and retry the same market.
+          on_acquire_capacity_failed(home, /*was_spot=*/false);
+        }
+        // Price failure: wait for the next price change; on_price_change
+        // retries.
       });
 }
 

@@ -110,6 +110,11 @@ class CloudScheduler : private MigrationHost {
 
   // --- acquisition ----------------------------------------------------
   void acquire_initial();
+  /// Fault-recovery ladder for injected capacity failures while acquiring:
+  /// bounded backoff retries walking the avoid-list fallback chain
+  /// (next-cheapest spot market, then on-demand), then graceful degradation
+  /// (slow polling at the backoff cap) or give-up per config_.retry.
+  void on_acquire_capacity_failed(const cloud::MarketId& market, bool was_spot);
 
   // --- planned / reverse decision logic --------------------------------
   void maybe_schedule_planned();
@@ -168,6 +173,12 @@ class CloudScheduler : private MigrationHost {
   sim::EventId hour_check_event_ = sim::kInvalidEventId;
   cloud::InstanceId pending_acquire_ = cloud::kInvalidInstance;
   obs::CounterSink counters_;
+  // --- fault-recovery state (reset on every adopt) ----------------------
+  int acquire_attempts_ = 0;  ///< capacity-failed acquisitions this episode
+  /// Markets that capacity-failed this episode; placement skips them so each
+  /// retry walks to the next-cheapest market and finally on-demand.
+  std::vector<cloud::MarketId> avoid_markets_;
+  bool degraded_acquire_ = false;  ///< slow-poll degraded mode announced
   /// Edge-triggered crossings of the on-demand threshold, relative to the
   /// adopted market. Reset whenever a new instance is adopted.
   CrossingDetector crossing_;

@@ -1,11 +1,22 @@
 #include "sched/scheduler_config.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 #include "obs/counter_sink.hpp"
 
 namespace spothost::sched {
+
+double RetryPolicy::backoff_s(int attempt) const noexcept {
+  if (attempt <= 0) return 0.0;
+  double delay = backoff_base_s;
+  for (int i = 1; i < attempt; ++i) {
+    delay *= backoff_factor;
+    if (delay >= backoff_max_s) break;
+  }
+  return std::min(delay, backoff_max_s);
+}
 
 std::string_view to_string(PlannedTiming timing) noexcept {
   switch (timing) {
@@ -60,6 +71,27 @@ void SchedulerConfig::validate() const {
     throw std::invalid_argument(
         "SchedulerConfig: vm_spec.memory_gb must be >= 0 (got " +
         std::to_string(vm_spec.memory_gb) + ")");
+  }
+  if (retry.max_attempts < 0) {
+    throw std::invalid_argument(
+        "SchedulerConfig: retry.max_attempts must be >= 0 (got " +
+        std::to_string(retry.max_attempts) + ")");
+  }
+  if (retry.backoff_base_s < 0.0) {
+    throw std::invalid_argument(
+        "SchedulerConfig: retry.backoff_base_s must be >= 0 (got " +
+        std::to_string(retry.backoff_base_s) + ")");
+  }
+  if (retry.backoff_factor < 1.0) {
+    throw std::invalid_argument(
+        "SchedulerConfig: retry.backoff_factor must be >= 1 (got " +
+        std::to_string(retry.backoff_factor) + ")");
+  }
+  if (retry.backoff_max_s < retry.backoff_base_s) {
+    throw std::invalid_argument(
+        "SchedulerConfig: retry.backoff_max_s must be >= backoff_base_s (got " +
+        std::to_string(retry.backoff_max_s) + " < " +
+        std::to_string(retry.backoff_base_s) + ")");
   }
 }
 
@@ -160,6 +192,11 @@ SchedulerConfigBuilder& SchedulerConfigBuilder::placement(
   return *this;
 }
 
+SchedulerConfigBuilder& SchedulerConfigBuilder::retry(RetryPolicy policy) {
+  cfg_.retry = policy;
+  return *this;
+}
+
 SchedulerConfig SchedulerConfigBuilder::build() const { return cfg_.validated(); }
 
 SchedulerStats scheduler_stats_from(const obs::CounterSink& counters) {
@@ -176,6 +213,8 @@ SchedulerStats scheduler_stats_from(const obs::CounterSink& counters) {
   s.market_switches = n(counters.count(EventKind::kMarketSwitch));
   s.spot_request_failures = n(counters.count(EventKind::kSpotRequestFailed));
   s.od_hours_started = n(counters.count(EventKind::kBillingHourTick));
+  s.retries = n(counters.count(EventKind::kRetryScheduled));
+  s.degraded_entries = n(counters.count(EventKind::kDegradedMode));
   return s;
 }
 

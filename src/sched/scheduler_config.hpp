@@ -46,6 +46,30 @@ enum class Fallback {
 std::string_view to_string(PlannedTiming timing) noexcept;
 std::string_view to_string(Fallback fallback) noexcept;
 
+/// Bounded retry + exponential backoff for *fault-induced* failures (the
+/// src/faults injection layer): capacity errors while acquiring, forced-flow
+/// destination failures, mid-flight migration faults. Price-driven failures
+/// (spot rejected because the market moved) are handled by the paper's
+/// trigger policy and never consult this — fault-free runs are byte-for-byte
+/// unaffected by these knobs.
+///
+/// Attempt n (1-based) backs off backoff_base_s * backoff_factor^(n-1),
+/// capped at backoff_max_s. After max_attempts, graceful_degradation decides:
+/// degrade (fall back to on-demand / keep polling at the cap) or give up.
+/// `{.max_attempts = 0, .graceful_degradation = false}` is the retries-off
+/// ablation arm of bench_ablation_faults.
+struct RetryPolicy {
+  int max_attempts = 3;          ///< bounded-backoff attempts before degrading
+  double backoff_base_s = 20.0;  ///< first retry delay
+  double backoff_factor = 2.0;   ///< growth per attempt (>= 1)
+  double backoff_max_s = 300.0;  ///< cap; also the degraded-mode poll period
+  bool graceful_degradation = true;  ///< degrade after the budget, vs. give up
+
+  [[nodiscard]] bool retries_enabled() const noexcept { return max_attempts > 0; }
+  /// Backoff before attempt `attempt` (1-based), in seconds.
+  [[nodiscard]] double backoff_s(int attempt) const noexcept;
+};
+
 struct SchedulerConfig {
   BidPolicy bid{};
   virt::MechanismCombo combo = virt::MechanismCombo::kCkptLazyLive;
@@ -79,6 +103,9 @@ struct SchedulerConfig {
   /// (ScopedPlacementPolicy); supply a custom PlacementPolicy to change
   /// where the scheduler migrates without touching its internals.
   std::shared_ptr<const PlacementPolicy> placement{};
+  /// Fault-recovery policy (retry / backoff / graceful degradation); see
+  /// RetryPolicy. Only consulted when the fault injector actually fires.
+  RetryPolicy retry{};
 
   [[nodiscard]] bool on_demand_allowed() const noexcept {
     return fallback == Fallback::kOnDemand;
@@ -118,6 +145,7 @@ class SchedulerConfigBuilder {
   SchedulerConfigBuilder& stability_window(sim::SimTime window);
   SchedulerConfigBuilder& capacity_units_override(int units);
   SchedulerConfigBuilder& placement(std::shared_ptr<const PlacementPolicy> policy);
+  SchedulerConfigBuilder& retry(RetryPolicy policy);
 
   /// Validates and returns the finished config (throws on nonsense).
   [[nodiscard]] SchedulerConfig build() const;
@@ -137,6 +165,8 @@ struct SchedulerStats {
   int market_switches = 0;    ///< planned moves that landed on another spot market
   int spot_request_failures = 0;
   int od_hours_started = 0;   ///< on-demand billing hours with a reverse check
+  int retries = 0;            ///< fault-recovery retries scheduled
+  int degraded_entries = 0;   ///< graceful-degradation fallbacks taken
 };
 
 /// Maps trace-event counters onto the classic aggregate view:
@@ -146,6 +176,8 @@ struct SchedulerStats {
 ///   market_switches    = market_switch
 ///   spot_request_failures = spot_request_failed
 ///   od_hours_started   = billing_hour_tick
+///   retries            = retry_scheduled
+///   degraded_entries   = degraded_mode
 SchedulerStats scheduler_stats_from(const obs::CounterSink& counters);
 
 }  // namespace spothost::sched

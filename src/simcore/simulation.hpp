@@ -19,6 +19,10 @@ namespace spothost::obs {
 class Tracer;  // obs/sink.hpp — simcore stays independent of obs
 }
 
+namespace spothost::faults {
+class FaultInjector;  // faults/injector.hpp — simcore stays independent of faults
+}
+
 namespace spothost::sim {
 
 class Simulation {
@@ -63,6 +67,18 @@ class Simulation {
   void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
   [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
 
+  /// Attaches the run's fault-injection source (not owned; nullptr = no
+  /// injection). Mirrors set_tracer: components holding a Simulation& read
+  /// the injector from here, so one attach point covers the provider and
+  /// the migration engine without constructor plumbing. An injector with an
+  /// empty FaultPlan is equivalent to none (zero draws, zero events).
+  void set_fault_injector(faults::FaultInjector* injector) noexcept {
+    fault_injector_ = injector;
+  }
+  [[nodiscard]] faults::FaultInjector* fault_injector() const noexcept {
+    return fault_injector_;
+  }
+
   /// Observation hook fired on every event dispatch, before the callback
   /// runs, with (event time, total dispatched so far). Unset by default —
   /// the hot path then pays one branch. Not part of the trace stream.
@@ -74,6 +90,7 @@ class Simulation {
   EventQueue queue_;
   std::uint64_t dispatched_ = 0;
   obs::Tracer* tracer_ = nullptr;
+  faults::FaultInjector* fault_injector_ = nullptr;
   DispatchHook dispatch_hook_;
 };
 

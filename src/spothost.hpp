@@ -11,6 +11,7 @@
 //   metrics::run_hosting_scenario       — one full hosting run
 //   metrics::ExperimentRunner           — multi-seed aggregation
 //   obs::Tracer + sinks                 — structured run tracing
+//   faults::FaultPlan / FaultInjector   — deterministic fault injection
 #pragma once
 
 #include "cloud/billing.hpp"
@@ -18,6 +19,8 @@
 #include "cloud/market.hpp"
 #include "cloud/provider.hpp"
 #include "cloud/volume.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/injector.hpp"
 #include "metrics/experiment.hpp"
 #include "metrics/run_metrics.hpp"
 #include "metrics/table.hpp"

@@ -52,7 +52,7 @@ TEST_F(ProviderTest, SpotGrantedWhenPriceBelowBid) {
   bool failed = false;
   provider_.request_spot(
       kSmallEast, 0.06, [&](InstanceId iid) { granted = iid; },
-      [&] { failed = true; });
+      [&](AllocFailure) { failed = true; });
   sim_.run_until(kHour);
   ASSERT_TRUE(granted.has_value());
   EXPECT_FALSE(failed);
@@ -67,7 +67,7 @@ TEST_F(ProviderTest, SpotRejectedWhenPriceAboveBidAtGrant) {
   bool failed = false;
   sim_.at(2 * kHour - kMinute, [&] {
     provider_.request_spot(
-        kSmallEast, 0.06, [&](InstanceId) { granted = true; }, [&] { failed = true; });
+        kSmallEast, 0.06, [&](InstanceId) { granted = true; }, [&](AllocFailure) { failed = true; });
   });
   sim_.run_until(4 * kHour);
   EXPECT_FALSE(granted);
@@ -76,7 +76,7 @@ TEST_F(ProviderTest, SpotRejectedWhenPriceAboveBidAtGrant) {
 
 TEST_F(ProviderTest, RevocationWarningThenGraceThenTermination) {
   std::optional<InstanceId> iid;
-  provider_.request_spot(kSmallEast, 0.06, [&](InstanceId i) { iid = i; }, [] {});
+  provider_.request_spot(kSmallEast, 0.06, [&](InstanceId i) { iid = i; }, [](AllocFailure) {});
   sim_.run_until(kHour);
   ASSERT_TRUE(iid.has_value());
 
@@ -95,7 +95,7 @@ TEST_F(ProviderTest, RevocationWarningThenGraceThenTermination) {
 
 TEST_F(ProviderTest, RevokedPartialHourIsFree) {
   std::optional<InstanceId> iid;
-  provider_.request_spot(kSmallEast, 0.06, [&](InstanceId i) { iid = i; }, [] {});
+  provider_.request_spot(kSmallEast, 0.06, [&](InstanceId i) { iid = i; }, [](AllocFailure) {});
   sim_.run_until(5 * kHour);
   // Launched at 240 s, revoked at 2h+120s = 7320 s. Instance-hours tick at
   // 240s + k*3600s, so only [240, 3840) completed; the in-progress second
@@ -108,7 +108,7 @@ TEST_F(ProviderTest, RevokedPartialHourIsFree) {
 
 TEST_F(ProviderTest, CustomerTerminationBillsPartialHour) {
   std::optional<InstanceId> iid;
-  provider_.request_spot(kSmallEast, 0.06, [&](InstanceId i) { iid = i; }, [] {});
+  provider_.request_spot(kSmallEast, 0.06, [&](InstanceId i) { iid = i; }, [](AllocFailure) {});
   sim_.run_until(kHour);  // running since 240s
   provider_.terminate(*iid);
   ASSERT_EQ(provider_.ledger().records().size(), 1u);
@@ -119,7 +119,7 @@ TEST_F(ProviderTest, CustomerTerminationBillsPartialHour) {
 
 TEST_F(ProviderTest, CustomerCanBeatTheGracePeriod) {
   std::optional<InstanceId> iid;
-  provider_.request_spot(kSmallEast, 0.06, [&](InstanceId i) { iid = i; }, [] {});
+  provider_.request_spot(kSmallEast, 0.06, [&](InstanceId i) { iid = i; }, [](AllocFailure) {});
   sim_.run_until(kHour);
   provider_.set_revocation_handler(*iid, [&](InstanceId i, sim::SimTime) {
     provider_.terminate(i);  // bail out immediately on warning

@@ -1,0 +1,94 @@
+#include "faults/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace spothost::faults {
+namespace {
+
+TEST(FaultPlan, DefaultConstructedIsEmpty) {
+  const FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  for (const FaultKind kind : kAllFaultKinds) {
+    EXPECT_EQ(plan.rate_of(kind), 0.0);
+  }
+  EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(FaultPlan, WithRateArmsOneKind) {
+  FaultPlan plan;
+  plan.with_rate(FaultKind::kAllocTimeout, 0.25);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_EQ(plan.rate_of(FaultKind::kAllocTimeout), 0.25);
+  EXPECT_EQ(plan.rate_of(FaultKind::kWarningDropped), 0.0);
+}
+
+TEST(FaultPlan, AtOpportunityArmsOneKind) {
+  FaultPlan plan;
+  plan.at_opportunity(FaultKind::kLiveCopyAbort, 3);
+  EXPECT_FALSE(plan.empty());
+  ASSERT_EQ(plan.scheduled.size(), 1u);
+  EXPECT_EQ(plan.scheduled.front().first, FaultKind::kLiveCopyAbort);
+  EXPECT_EQ(plan.scheduled.front().second, 3u);
+}
+
+TEST(FaultPlan, BuilderCallsChain) {
+  FaultPlan plan;
+  plan.with_rate(FaultKind::kWarningDelayed, 0.1)
+      .with_rate(FaultKind::kWarningDropped, 0.2)
+      .at_opportunity(FaultKind::kCheckpointStall, 1);
+  EXPECT_EQ(plan.rate_of(FaultKind::kWarningDelayed), 0.1);
+  EXPECT_EQ(plan.rate_of(FaultKind::kWarningDropped), 0.2);
+  EXPECT_EQ(plan.scheduled.size(), 1u);
+}
+
+TEST(FaultPlan, RejectsRateOutsideUnitInterval) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.with_rate(FaultKind::kAllocTimeout, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(plan.with_rate(FaultKind::kAllocTimeout, 1.5),
+               std::invalid_argument);
+  FaultPlan direct;
+  direct.rate[0] = 2.0;
+  EXPECT_THROW(direct.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlan, RejectsZeroOpportunityIndex) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.at_opportunity(FaultKind::kAllocTimeout, 0),
+               std::invalid_argument);
+  FaultPlan direct;
+  direct.scheduled.emplace_back(FaultKind::kAllocTimeout, 0u);
+  EXPECT_THROW(direct.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlan, RejectsNonsenseShapeParameters) {
+  FaultPlan stall;
+  stall.checkpoint_stall_factor = 0.5;
+  EXPECT_THROW(stall.validate(), std::invalid_argument);
+
+  FaultPlan delay;
+  delay.warning_delay_s = -1.0;
+  EXPECT_THROW(delay.validate(), std::invalid_argument);
+
+  FaultPlan timeout;
+  timeout.alloc_timeout_extra_s = -1.0;
+  EXPECT_THROW(timeout.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlan, KindNamesAreStableAndDistinct) {
+  std::set<std::string> names;
+  for (const FaultKind kind : kAllFaultKinds) {
+    names.emplace(to_string(kind));
+  }
+  EXPECT_EQ(names.size(), kFaultKindCount);
+  EXPECT_EQ(to_string(FaultKind::kAllocInsufficientCapacity),
+            "alloc_insufficient_capacity");
+  EXPECT_EQ(to_string(FaultKind::kCheckpointStall), "checkpoint_stall");
+}
+
+}  // namespace
+}  // namespace spothost::faults

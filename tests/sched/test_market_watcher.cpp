@@ -151,7 +151,7 @@ TEST_F(MarketWatcherTest, ArmedRevocationRoutesWarningToListener) {
         granted = iid;
         watcher_->arm_revocation(id, iid);
       },
-      [] { FAIL() << "spot request should be granted at 0.02"; });
+      [](cloud::AllocFailure) { FAIL() << "spot request should be granted at 0.02"; });
   sim_->run_until(kHorizon);
 
   ASSERT_NE(granted, cloud::kInvalidInstance);
