@@ -4,7 +4,8 @@
 // backoff + graceful degradation, the default RetryPolicy) against a
 // retries-off arm that drops the failed operation on the floor. The claim
 // under test: injected infrastructure faults are survivable noise with the
-// ladder, and catastrophic without it.
+// ladder, and catastrophic without it. The fault plan is not part of the
+// trace identity, so all seven arms share one memoized trace set per seed.
 #include "bench_common.hpp"
 
 using namespace spothost;
@@ -22,15 +23,14 @@ double mean_over_runs(const metrics::AggregatedMetrics& agg,
 
 int main() {
   const auto home = bench::market("us-east-1a", "small");
-  const auto runner = bench::default_runner();
+  auto sweep = bench::default_sweep();
 
-  metrics::print_banner(std::cout,
-                        "Ablation: fault rate x retry/backoff ladder");
-  metrics::TextTable table({"fault rate", "retries", "cost %",
-                            "unavailability %", "faults/run", "retries/run",
-                            "degraded/run"});
-
-  double baseline_unavail = 0.0;  // fault-free, ladder on
+  struct ArmSpec {
+    double rate;
+    bool ladder;
+    int arm;
+  };
+  std::vector<ArmSpec> specs;
   for (const double rate : {0.0, 0.02, 0.05, 0.10}) {
     for (const bool ladder : {true, false}) {
       if (rate == 0.0 && !ladder) continue;  // identical to the row above
@@ -44,34 +44,45 @@ int main() {
         cfg.retry = sched::RetryPolicy{.max_attempts = 0,
                                        .graceful_degradation = false};
       }
-      const auto agg = runner.run_with([&](std::uint64_t seed) {
-        sched::Scenario s = scenario;
-        s.seed = seed;
-        return metrics::run_hosting_scenario(s, cfg);
-      });
-      if (rate == 0.0) baseline_unavail = agg.unavailability_pct.mean;
-      table.add_row(
-          {metrics::fmt(rate, 2), ladder ? "on" : "off",
-           metrics::fmt(agg.normalized_cost_pct.mean, 1),
-           metrics::fmt(agg.unavailability_pct.mean, 4),
-           metrics::fmt(mean_over_runs(agg,
-                                       [](const metrics::RunMetrics& r) {
-                                         return static_cast<double>(
-                                             r.faults_injected);
-                                       }),
-                        1),
-           metrics::fmt(mean_over_runs(agg,
-                                       [](const metrics::RunMetrics& r) {
-                                         return static_cast<double>(r.retries);
-                                       }),
-                        1),
-           metrics::fmt(mean_over_runs(agg,
-                                       [](const metrics::RunMetrics& r) {
-                                         return static_cast<double>(
-                                             r.degraded_entries);
-                                       }),
-                        1)});
+      const int arm = sweep.add_arm(
+          "rate=" + metrics::fmt(rate, 2) + (ladder ? "/on" : "/off"), scenario,
+          cfg);
+      specs.push_back({rate, ladder, arm});
     }
+  }
+  const auto results = sweep.run_all();
+
+  metrics::print_banner(std::cout,
+                        "Ablation: fault rate x retry/backoff ladder");
+  metrics::TextTable table({"fault rate", "retries", "cost %",
+                            "unavailability %", "faults/run", "retries/run",
+                            "degraded/run"});
+
+  double baseline_unavail = 0.0;  // fault-free, ladder on
+  for (const auto& spec : specs) {
+    const auto& agg = results[static_cast<std::size_t>(spec.arm)];
+    if (spec.rate == 0.0) baseline_unavail = agg.unavailability_pct.mean;
+    table.add_row(
+        {metrics::fmt(spec.rate, 2), spec.ladder ? "on" : "off",
+         metrics::fmt(agg.normalized_cost_pct.mean, 1),
+         metrics::fmt(agg.unavailability_pct.mean, 4),
+         metrics::fmt(mean_over_runs(agg,
+                                     [](const metrics::RunMetrics& r) {
+                                       return static_cast<double>(
+                                           r.faults_injected);
+                                     }),
+                      1),
+         metrics::fmt(mean_over_runs(agg,
+                                     [](const metrics::RunMetrics& r) {
+                                       return static_cast<double>(r.retries);
+                                     }),
+                      1),
+         metrics::fmt(mean_over_runs(agg,
+                                     [](const metrics::RunMetrics& r) {
+                                       return static_cast<double>(
+                                           r.degraded_entries);
+                                     }),
+                      1)});
   }
   table.print(std::cout);
   std::cout << "fault-free unavailability (ladder on): "

@@ -1,76 +1,77 @@
 // Ablation: sensitivity of the headline results to the design constants —
 // checkpoint bound tau, revocation grace period, planned-migration timing,
-// and the proactive bid multiple k.
+// and the proactive bid multiple k. All four sub-tables are declared as arms
+// of ONE sweep, so every arm over the unmodified scenario shares one memoized
+// trace set per seed (the grace-period arms differ only in grace_period,
+// which is not part of the trace identity, so they share it too).
 #include "bench_common.hpp"
 
 using namespace spothost;
 
 int main() {
-  const auto runner = bench::default_runner();
+  auto sweep = bench::default_sweep();
   const auto home = bench::market("us-east-1a", "small");
   const auto scenario = bench::region_scenario("us-east-1a");
 
-  metrics::print_banner(std::cout, "Ablation: checkpoint bound tau (proactive)");
-  {
-    metrics::TextTable table({"tau (s)", "cost %", "unavailability %", "forced/hr",
-                              "planned+reverse/hr"});
-    for (const double tau : {2.0, 5.0, 10.0, 30.0, 60.0}) {
-      auto cfg = sched::proactive_config(home);
-      cfg.mech.checkpoint.bound_tau_s = tau;
-      table.add_row(
-          bench::hosting_row(metrics::fmt(tau, 0), runner.run(scenario, cfg)));
-    }
-    table.print(std::cout);
-    std::cout << "expected: larger tau => longer flushes => more downtime per\n"
-                 "forced migration (the 2-minute grace caps what is usable)\n";
+  std::vector<int> tau_arms;
+  for (const double tau : {2.0, 5.0, 10.0, 30.0, 60.0}) {
+    auto cfg = sched::proactive_config(home);
+    cfg.mech.checkpoint.bound_tau_s = tau;
+    tau_arms.push_back(sweep.add_arm(metrics::fmt(tau, 0), scenario, cfg));
   }
 
-  metrics::print_banner(std::cout, "Ablation: revocation grace period (reactive)");
-  {
-    metrics::TextTable table({"grace (s)", "cost %", "unavailability %",
-                              "forced/hr", "planned+reverse/hr"});
-    for (const int grace_s : {30, 60, 120, 300}) {
-      sched::Scenario s = scenario;
-      s.grace_period = grace_s * sim::kSecond;
-      table.add_row(bench::hosting_row(
-          std::to_string(grace_s),
-          runner.run(s, sched::reactive_config(home))));
-    }
-    table.print(std::cout);
-    std::cout << "expected: a short grace leaves the on-demand replacement\n"
-                 "unready at termination => reactive downtime grows\n";
+  std::vector<int> grace_arms;
+  for (const int grace_s : {30, 60, 120, 300}) {
+    sched::Scenario s = scenario;
+    s.grace_period = grace_s * sim::kSecond;
+    grace_arms.push_back(
+        sweep.add_arm(std::to_string(grace_s), s, sched::reactive_config(home)));
   }
 
-  metrics::print_banner(std::cout, "Ablation: planned-migration timing (proactive)");
-  {
-    metrics::TextTable table({"timing", "cost %", "unavailability %", "forced/hr",
-                              "planned+reverse/hr"});
-    for (const bool hour_end : {true, false}) {
-      auto cfg = sched::proactive_config(home);
-      cfg.planned_timing = hour_end ? sched::PlannedTiming::kHourEnd
-                                    : sched::PlannedTiming::kImmediate;
-      table.add_row(bench::hosting_row(hour_end ? "hour-end" : "immediate",
-                                       runner.run(scenario, cfg)));
-    }
-    table.print(std::cout);
-    std::cout << "expected: hour-end timing (the paper's rule) shaves cost by\n"
-                 "riding out the already-paid hour, at slightly higher forced\n"
-                 "risk; immediate is the availability-greedy variant\n";
+  std::vector<int> timing_arms;
+  for (const bool hour_end : {true, false}) {
+    auto cfg = sched::proactive_config(home);
+    cfg.planned_timing = hour_end ? sched::PlannedTiming::kHourEnd
+                                  : sched::PlannedTiming::kImmediate;
+    timing_arms.push_back(
+        sweep.add_arm(hour_end ? "hour-end" : "immediate", scenario, cfg));
   }
 
-  metrics::print_banner(std::cout, "Ablation: proactive bid multiple k");
-  {
-    metrics::TextTable table({"k", "cost %", "unavailability %", "forced/hr",
+  std::vector<int> k_arms;
+  for (const double k : {1.5, 2.0, 4.0, 8.0}) {
+    auto cfg = sched::proactive_config(home);
+    cfg.bid.proactive_multiple = k;
+    k_arms.push_back(sweep.add_arm(metrics::fmt(k, 1), scenario, cfg));
+  }
+
+  const auto results = sweep.run_all();
+  auto print_block = [&](const char* title, const char* key_col,
+                         const std::vector<int>& arms, const char* note) {
+    metrics::print_banner(std::cout, title);
+    metrics::TextTable table({key_col, "cost %", "unavailability %", "forced/hr",
                               "planned+reverse/hr"});
-    for (const double k : {1.5, 2.0, 4.0, 8.0}) {
-      auto cfg = sched::proactive_config(home);
-      cfg.bid.proactive_multiple = k;
-      table.add_row(
-          bench::hosting_row(metrics::fmt(k, 1), runner.run(scenario, cfg)));
+    for (const int a : arms) {
+      table.add_row(bench::hosting_row(sweep.arm(a).label,
+                                       results[static_cast<std::size_t>(a)]));
     }
     table.print(std::cout);
-    std::cout << "expected: higher k => fewer spikes clear the bid => fewer\n"
-                 "forced migrations (EC2 capped k at 4)\n";
-  }
+    std::cout << note;
+  };
+
+  print_block("Ablation: checkpoint bound tau (proactive)", "tau (s)", tau_arms,
+              "expected: larger tau => longer flushes => more downtime per\n"
+              "forced migration (the 2-minute grace caps what is usable)\n");
+  print_block("Ablation: revocation grace period (reactive)", "grace (s)",
+              grace_arms,
+              "expected: a short grace leaves the on-demand replacement\n"
+              "unready at termination => reactive downtime grows\n");
+  print_block("Ablation: planned-migration timing (proactive)", "timing",
+              timing_arms,
+              "expected: hour-end timing (the paper's rule) shaves cost by\n"
+              "riding out the already-paid hour, at slightly higher forced\n"
+              "risk; immediate is the availability-greedy variant\n");
+  print_block("Ablation: proactive bid multiple k", "k", k_arms,
+              "expected: higher k => fewer spikes clear the bid => fewer\n"
+              "forced migrations (EC2 capped k at 4)\n");
   return 0;
 }

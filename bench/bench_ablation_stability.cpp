@@ -7,27 +7,30 @@
 using namespace spothost;
 
 int main() {
-  const auto runner = bench::default_runner();
+  auto sweep = bench::default_sweep();
   sched::Scenario scenario = bench::full_scenario();
   scenario.regions = {"us-east-1a", "eu-west-1a"};
-
-  metrics::print_banner(
-      std::cout, "Ablation: greedy vs stability-aware multi-region selection");
-  metrics::TextTable table({"policy", "cost %", "unavailability %", "forced/hr",
-                            "planned+reverse/hr"});
 
   auto base = sched::proactive_config(bench::market("us-east-1a", "small"));
   base.scope = sched::MarketScope::kMultiRegion;
   base.allowed_regions = {"us-east-1a", "eu-west-1a"};
 
-  table.add_row(bench::hosting_row("greedy cheapest", runner.run(scenario, base)));
-
+  sweep.add_arm("greedy cheapest", scenario, base);
   for (const double weight : {0.5, 1.0, 2.0, 4.0}) {
     auto cfg = base;
     cfg.stability = sched::StabilityPolicy::kPenalizeVolatility;
     cfg.stability_penalty_weight = weight;
-    table.add_row(bench::hosting_row(
-        "stability w=" + metrics::fmt(weight, 1), runner.run(scenario, cfg)));
+    sweep.add_arm("stability w=" + metrics::fmt(weight, 1), scenario, cfg);
+  }
+  const auto results = sweep.run_all();
+
+  metrics::print_banner(
+      std::cout, "Ablation: greedy vs stability-aware multi-region selection");
+  metrics::TextTable table({"policy", "cost %", "unavailability %", "forced/hr",
+                            "planned+reverse/hr"});
+  for (int a = 0; a < sweep.arm_count(); ++a) {
+    table.add_row(bench::hosting_row(sweep.arm(a).label,
+                                     results[static_cast<std::size_t>(a)]));
   }
   table.print(std::cout);
   std::cout << "expected: increasing the stability penalty trades a little\n"

@@ -3,7 +3,6 @@
 // reports, with the paper's value quoted alongside where applicable.
 #pragma once
 
-#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -15,31 +14,20 @@ namespace spothost::bench {
 inline constexpr int kDefaultRuns = 5;
 inline constexpr std::uint64_t kBaseSeed = 20150615;  // HPDC'15 opening day
 
+// All env knobs parse through exec::env_int / env_u64: a set-but-garbage
+// value ("3abc", which atoi would accept) warns on stderr and falls back
+// instead of silently changing the experiment. SPOTHOST_THREADS — the
+// worker-pool size — is read the same way by exec::ThreadPool.
+
 /// Seed fan-out count: SPOTHOST_RUNS env var, else `fallback`. Lets CI run
 /// the figure benches cheaply (SPOTHOST_RUNS=1) without editing sources.
-/// Anything that is not a whole positive decimal number (atoi would accept
-/// "3abc" and silently map "abc" to 0) warns on stderr and falls back.
 inline int env_runs(int fallback = kDefaultRuns) {
-  if (const char* v = std::getenv("SPOTHOST_RUNS")) {
-    char* end = nullptr;
-    const long n = std::strtol(v, &end, 10);
-    if (end != v && *end == '\0' && n > 0 && n <= 1000000) {
-      return static_cast<int>(n);
-    }
-    std::cerr << "warning: SPOTHOST_RUNS=\"" << v
-              << "\" is not a positive integer; using " << fallback << " runs\n";
-  }
-  return fallback;
+  return static_cast<int>(exec::env_int("SPOTHOST_RUNS", fallback, 1, 1000000));
 }
 
 /// Base seed: SPOTHOST_SEED env var, else `fallback`.
 inline std::uint64_t env_seed(std::uint64_t fallback = kBaseSeed) {
-  if (const char* v = std::getenv("SPOTHOST_SEED")) {
-    char* end = nullptr;
-    const unsigned long long n = std::strtoull(v, &end, 10);
-    if (end != v && *end == '\0') return n;
-  }
-  return fallback;
+  return exec::env_u64("SPOTHOST_SEED", fallback);
 }
 
 /// Scenario with the canonical four regions and four sizes, 30 days.
@@ -56,8 +44,12 @@ inline sched::Scenario region_scenario(const std::string& region) {
   return s;
 }
 
-inline metrics::ExperimentRunner default_runner() {
-  return metrics::ExperimentRunner(env_runs(), env_seed());
+/// Sweep harness under the env knobs: declare arms, then run_all(). Seeds
+/// and aggregation match `ExperimentRunner(env_runs(), env_seed())`
+/// exactly, so converting a bench from per-arm runner calls to a sweep
+/// never changes its table.
+inline metrics::SweepRunner default_sweep() {
+  return metrics::SweepRunner(env_runs(), env_seed());
 }
 
 inline cloud::MarketId market(const std::string& region, const char* size) {

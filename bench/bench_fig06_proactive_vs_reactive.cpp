@@ -6,23 +6,30 @@
 using namespace spothost;
 
 int main() {
-  const auto runner = bench::default_runner();
+  auto sweep = bench::default_sweep();
   const auto scenario = bench::region_scenario("us-east-1a");
+
+  // All 8 arms share the scenario, so each seed's market traces are
+  // generated once and shared across the whole sweep.
+  for (const char* size : {"small", "medium", "large", "xlarge"}) {
+    const auto home = bench::market("us-east-1a", size);
+    for (const bool proactive : {false, true}) {
+      sweep.add_arm(std::string(size) + " / " +
+                        (proactive ? "proactive" : "reactive"),
+                    scenario,
+                    proactive ? sched::proactive_config(home)
+                              : sched::reactive_config(home));
+    }
+  }
+  const auto results = sweep.run_all();
 
   metrics::print_banner(std::cout, "Fig 6: proactive vs reactive (us-east-1a)");
   metrics::TextTable table({"size / policy", "cost % of on-demand",
                             "unavailability %", "forced/hr",
                             "planned+reverse/hr"});
-  for (const char* size : {"small", "medium", "large", "xlarge"}) {
-    const auto home = bench::market("us-east-1a", size);
-    for (const bool proactive : {false, true}) {
-      auto cfg = proactive ? sched::proactive_config(home)
-                           : sched::reactive_config(home);
-      const auto agg = runner.run(scenario, cfg);
-      table.add_row(bench::hosting_row(
-          std::string(size) + " / " + (proactive ? "proactive" : "reactive"),
-          agg));
-    }
+  for (int a = 0; a < sweep.arm_count(); ++a) {
+    table.add_row(bench::hosting_row(sweep.arm(a).label,
+                                     results[static_cast<std::size_t>(a)]));
   }
   table.print(std::cout);
   std::cout

@@ -5,7 +5,7 @@
 using namespace spothost;
 
 int main() {
-  const auto runner = bench::default_runner();
+  auto sweep = bench::default_sweep();
   const auto scenario = bench::region_scenario("us-east-1a");
   const auto home = bench::market("us-east-1a", "small");
 
@@ -20,22 +20,32 @@ int main() {
       {virt::MechanismCombo::kCkptLazyLive, 0.0022, 0.0137},
   };
 
-  metrics::print_banner(
-      std::cout, "Fig 7: unavailability % by mechanism combo (small, us-east-1a)");
-  metrics::TextTable table({"combo", "typical (sim)", "typical (paper)",
-                            "pessimistic (sim)", "pessimistic (paper)"});
+  // Two arms per combo (typical, pessimistic): 8 arms over one scenario,
+  // one trace set per seed.
   for (const auto& row : paper) {
     auto cfg = sched::proactive_config(home);
     cfg.combo = row.combo;
     cfg.mech = virt::typical_mechanism_params();
-    const auto typical = runner.run(scenario, cfg);
+    sweep.add_arm(std::string(virt::to_string(row.combo)) + "/typical",
+                  scenario, cfg);
     cfg.mech = virt::pessimistic_mechanism_params();
-    const auto pessimistic = runner.run(scenario, cfg);
-    table.add_row({std::string(virt::to_string(row.combo)),
+    sweep.add_arm(std::string(virt::to_string(row.combo)) + "/pessimistic",
+                  scenario, cfg);
+  }
+  const auto results = sweep.run_all();
+
+  metrics::print_banner(
+      std::cout, "Fig 7: unavailability % by mechanism combo (small, us-east-1a)");
+  metrics::TextTable table({"combo", "typical (sim)", "typical (paper)",
+                            "pessimistic (sim)", "pessimistic (paper)"});
+  for (std::size_t i = 0; i < paper.size(); ++i) {
+    const auto& typical = results[2 * i];
+    const auto& pessimistic = results[2 * i + 1];
+    table.add_row({std::string(virt::to_string(paper[i].combo)),
                    metrics::fmt(typical.unavailability_pct.mean, 4),
-                   metrics::fmt(row.paper_typical, 4),
+                   metrics::fmt(paper[i].paper_typical, 4),
                    metrics::fmt(pessimistic.unavailability_pct.mean, 4),
-                   metrics::fmt(row.paper_pessimistic, 4)});
+                   metrics::fmt(paper[i].paper_pessimistic, 4)});
   }
   table.print(std::cout);
   std::cout << "paper conclusions to check: CKPT alone unacceptable; lazy\n"

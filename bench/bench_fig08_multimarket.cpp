@@ -6,7 +6,32 @@
 using namespace spothost;
 
 int main() {
-  const auto runner = bench::default_runner();
+  auto sweep = bench::default_sweep();
+
+  // Five arms per region (four single-market + one multi-market) over the
+  // same scenario: each (region, seed) trace set is generated once and
+  // shared, where the per-arm harness regenerated it per arm.
+  struct RegionArms {
+    std::string region;
+    std::vector<int> single;  // arm indices, one per size
+    int multi = 0;
+  };
+  std::vector<RegionArms> regions;
+  for (const auto region_view : trace::canonical_regions()) {
+    RegionArms arms;
+    arms.region = std::string{region_view};
+    const auto scenario = bench::region_scenario(arms.region);
+    for (const char* size : {"small", "medium", "large", "xlarge"}) {
+      arms.single.push_back(
+          sweep.add_arm(arms.region + "/" + size, scenario,
+                        sched::proactive_config(bench::market(arms.region, size))));
+    }
+    auto cfg = sched::proactive_config(bench::market(arms.region, "small"));
+    cfg.scope = sched::MarketScope::kMultiMarket;
+    arms.multi = sweep.add_arm(arms.region + "/multi", scenario, cfg);
+    regions.push_back(std::move(arms));
+  }
+  const auto results = sweep.run_all();
 
   metrics::print_banner(std::cout, "Fig 8: multi-market vs single-market");
   metrics::TextTable table({"region", "avg single-market cost %",
@@ -14,34 +39,28 @@ int main() {
                             "avg single unavail %", "multi unavail %",
                             "mean intra-region corr"});
 
-  for (const auto region_view : trace::canonical_regions()) {
-    const std::string region{region_view};
-    const auto scenario = bench::region_scenario(region);
-
+  for (const auto& arms : regions) {
     double single_cost = 0.0, single_unavail = 0.0;
-    for (const char* size : {"small", "medium", "large", "xlarge"}) {
-      const auto agg =
-          runner.run(scenario, sched::proactive_config(bench::market(region, size)));
+    for (const int a : arms.single) {
+      const auto& agg = results[static_cast<std::size_t>(a)];
       single_cost += agg.normalized_cost_pct.mean;
       single_unavail += agg.unavailability_pct.mean;
     }
     single_cost /= 4.0;
     single_unavail /= 4.0;
+    const auto& multi = results[static_cast<std::size_t>(arms.multi)];
 
-    auto cfg = sched::proactive_config(bench::market(region, "small"));
-    cfg.scope = sched::MarketScope::kMultiMarket;
-    const auto multi = runner.run(scenario, cfg);
-
-    // Fig 8(b): mean pairwise correlation of the region's four markets.
-    sched::World world(scenario);
-    std::vector<trace::PriceTrace> traces;
-    for (const auto& m : world.provider().markets_in_region(region)) {
-      traces.push_back(world.provider().market(m).price_trace());
-    }
-    const double corr = trace::mean_pairwise_correlation(traces);
+    // Fig 8(b): mean pairwise correlation of the region's four markets,
+    // computed on the memoized trace set of the sweep's first seed — the
+    // prices the experiment arms actually ran on — instead of generating a
+    // whole extra World.
+    const auto traces =
+        sweep.traces_for(bench::region_scenario(arms.region));
+    const double corr =
+        trace::mean_pairwise_correlation(traces->region_traces(arms.region));
 
     table.add_row(
-        {region, metrics::fmt(single_cost, 1),
+        {arms.region, metrics::fmt(single_cost, 1),
          metrics::fmt(multi.normalized_cost_pct.mean, 1),
          metrics::fmt(100.0 * (single_cost - multi.normalized_cost_pct.mean) /
                           single_cost,

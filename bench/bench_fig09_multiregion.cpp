@@ -6,43 +6,62 @@
 using namespace spothost;
 
 int main() {
-  const auto runner = bench::default_runner();
+  auto sweep = bench::default_sweep();
   const std::vector<std::pair<std::string, std::string>> pairs{
       {"us-east-1a", "us-east-1b"}, {"us-east-1a", "us-west-1a"},
       {"us-east-1a", "eu-west-1a"}, {"us-east-1b", "us-west-1a"},
       {"us-east-1b", "eu-west-1a"}, {"us-west-1a", "eu-west-1a"}};
+
+  // Three arms per pair (two single-region + one multi-region), all declared
+  // up front; the pair's two-region trace set is generated once per seed.
+  struct PairArms {
+    sched::Scenario scenario;
+    std::vector<int> single;
+    int multi = 0;
+  };
+  std::vector<PairArms> pair_arms;
+  for (const auto& [ra, rb] : pairs) {
+    PairArms arms;
+    arms.scenario = bench::full_scenario();
+    arms.scenario.regions = {ra, rb};
+    for (const auto& region : {ra, rb}) {
+      auto cfg = sched::proactive_config(bench::market(region, "small"));
+      cfg.scope = sched::MarketScope::kMultiMarket;
+      arms.single.push_back(
+          sweep.add_arm(ra + "+" + rb + "/" + region, arms.scenario, cfg));
+    }
+    auto cfg = sched::proactive_config(bench::market(ra, "small"));
+    cfg.scope = sched::MarketScope::kMultiRegion;
+    cfg.allowed_regions = {ra, rb};
+    arms.multi = sweep.add_arm(ra + "+" + rb + "/multi", arms.scenario, cfg);
+    pair_arms.push_back(std::move(arms));
+  }
+  const auto results = sweep.run_all();
 
   metrics::print_banner(std::cout, "Fig 9: multi-region vs single-region pairs");
   metrics::TextTable table({"pair", "avg single-region cost %",
                             "multi-region cost %", "avg single unavail %",
                             "multi unavail %", "cross-region corr"});
 
-  for (const auto& [ra, rb] : pairs) {
-    sched::Scenario scenario = bench::full_scenario();
-    scenario.regions = {ra, rb};
-
-    // Single-region schemes: multi-market within each region.
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    const auto& [ra, rb] = pairs[p];
+    const auto& arms = pair_arms[p];
     double single_cost = 0.0, single_unavail = 0.0;
-    for (const auto& region : {ra, rb}) {
-      auto cfg = sched::proactive_config(bench::market(region, "small"));
-      cfg.scope = sched::MarketScope::kMultiMarket;
-      const auto agg = runner.run(scenario, cfg);
+    for (const int a : arms.single) {
+      const auto& agg = results[static_cast<std::size_t>(a)];
       single_cost += agg.normalized_cost_pct.mean;
       single_unavail += agg.unavailability_pct.mean;
     }
     single_cost /= 2.0;
     single_unavail /= 2.0;
+    const auto& multi = results[static_cast<std::size_t>(arms.multi)];
 
-    auto cfg = sched::proactive_config(bench::market(ra, "small"));
-    cfg.scope = sched::MarketScope::kMultiRegion;
-    cfg.allowed_regions = {ra, rb};
-    const auto multi = runner.run(scenario, cfg);
-
-    // Fig 9(b): correlation of the small markets across the two regions.
-    sched::World world(scenario);
+    // Fig 9(b): correlation of the small markets across the two regions,
+    // from the memoized trace set the arms ran on.
+    const auto traces = sweep.traces_for(arms.scenario);
     const double corr = trace::trace_correlation(
-        world.provider().market(bench::market(ra, "small")).price_trace(),
-        world.provider().market(bench::market(rb, "small")).price_trace());
+        traces->prices(bench::market(ra, "small")),
+        traces->prices(bench::market(rb, "small")));
 
     table.add_row({ra + " + " + rb, metrics::fmt(single_cost, 1),
                    metrics::fmt(multi.normalized_cost_pct.mean, 1),

@@ -5,7 +5,10 @@
 using namespace spothost;
 
 int main() {
-  sched::World world(bench::full_scenario());
+  // Pure trace statistics: generate the market trace set directly instead of
+  // wiring a full World (provider, simulation, fault injector) around it.
+  const auto scenario = bench::full_scenario();
+  const auto traces = sched::MarketTraceSet::generate(scenario);
 
   metrics::print_banner(std::cout,
                         "Fig 10: price standard deviation ($/hr) by region & size");
@@ -14,10 +17,8 @@ int main() {
     const std::string region{region_view};
     std::vector<std::string> row{region};
     for (const char* size : {"small", "medium", "large", "xlarge"}) {
-      const auto& t =
-          world.provider().market(bench::market(region, size)).price_trace();
-      row.push_back(
-          metrics::fmt(trace::trace_stddev(t, 0, world.horizon()), 4));
+      const auto& t = traces->prices(bench::market(region, size));
+      row.push_back(metrics::fmt(trace::trace_stddev(t, 0, scenario.horizon), 4));
     }
     table.add_row(std::move(row));
   }

@@ -5,22 +5,31 @@
 using namespace spothost;
 
 int main() {
-  const auto runner = bench::default_runner();
+  auto sweep = bench::default_sweep();
   const auto scenario = bench::region_scenario("us-east-1a");
+
+  for (const char* size : {"small", "medium", "large", "xlarge"}) {
+    const auto home = bench::market("us-east-1a", size);
+    sweep.add_arm(std::string(size) + "/proactive", scenario,
+                  sched::proactive_config(home));
+    sweep.add_arm(std::string(size) + "/pure-spot", scenario,
+                  sched::pure_spot_config(home));
+  }
+  const auto results = sweep.run_all();
 
   metrics::print_banner(std::cout, "Fig 11: proactive vs pure spot (us-east-1a)");
   metrics::TextTable table({"size", "proactive cost %", "pure-spot cost %",
                             "proactive unavail %", "pure-spot unavail %",
                             "longest pure-spot outage (min)"});
-  for (const char* size : {"small", "medium", "large", "xlarge"}) {
-    const auto home = bench::market("us-east-1a", size);
-    const auto pro = runner.run(scenario, sched::proactive_config(home));
-    const auto spot = runner.run(scenario, sched::pure_spot_config(home));
+  const std::vector<const char*> sizes{"small", "medium", "large", "xlarge"};
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const auto& pro = results[2 * i];
+    const auto& spot = results[2 * i + 1];
     double longest_s = 0.0;
     for (const auto& run : spot.per_run) {
       longest_s = std::max(longest_s, run.longest_outage_s);
     }
-    table.add_row({size, metrics::fmt(pro.normalized_cost_pct.mean, 1),
+    table.add_row({sizes[i], metrics::fmt(pro.normalized_cost_pct.mean, 1),
                    metrics::fmt(spot.normalized_cost_pct.mean, 1),
                    metrics::fmt(pro.unavailability_pct.mean, 4),
                    metrics::fmt(spot.unavailability_pct.mean, 3),

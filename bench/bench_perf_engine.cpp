@@ -2,6 +2,8 @@
 // throughput, synthetic trace generation, and complete hosting runs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "spothost.hpp"
 
 namespace {
@@ -51,6 +53,51 @@ void BM_SyntheticTraceMonth(benchmark::State& state) {
 }
 BENCHMARK(BM_SyntheticTraceMonth);
 
+// Monotone forward scan over a month of prices, the access pattern of the
+// billing meter and the scheduler's periodic re-evaluation. The baseline
+// re-runs a binary search per query (what price_at did before the read
+// cursor); the cursor variant answers the same queries amortized O(1).
+trace::PriceTrace month_trace() {
+  sim::RngFactory factory(7);
+  auto rng = factory.stream("bench-trace");
+  return trace::SyntheticSpotModel::generate(trace::profile_for("us-east-1a", "small"),
+                                             0.06, 30 * sim::kDay, rng);
+}
+
+void BM_PriceTraceForwardScanBinarySearch(benchmark::State& state) {
+  const auto t = month_trace();
+  const auto& pts = t.points();
+  const sim::SimTime step = 5 * sim::kMinute;
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (sim::SimTime q = t.start(); q < t.end(); q += step) {
+      auto it = std::upper_bound(
+          pts.begin(), pts.end(), q,
+          [](sim::SimTime v, const trace::PricePoint& p) { return v < p.time; });
+      sum += std::prev(it)->price;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>((t.end() - t.start()) / step) * state.iterations());
+}
+BENCHMARK(BM_PriceTraceForwardScanBinarySearch);
+
+void BM_PriceTraceForwardScanCursor(benchmark::State& state) {
+  const auto t = month_trace();
+  const sim::SimTime step = 5 * sim::kMinute;
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (sim::SimTime q = t.start(); q < t.end(); q += step) {
+      sum += t.price_at(q);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>((t.end() - t.start()) / step) * state.iterations());
+}
+BENCHMARK(BM_PriceTraceForwardScanCursor);
+
 void BM_WorldConstruction(benchmark::State& state) {
   std::uint64_t seed = 1;
   for (auto _ : state) {
@@ -74,6 +121,72 @@ void BM_FullHostingMonth(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullHostingMonth);
+
+// Fig-08-shaped arm fan-out: five scheduler arms over the SAME (scenario,
+// seed). The per-arm baseline regenerates the market traces inside every
+// World; the memoized variant generates once per seed via TraceCache and
+// shares the set. The "generations" counter makes the >=5x reduction visible
+// in the JSON output.
+void BM_Fig08ArmsPerArmTraces(benchmark::State& state) {
+  sched::Scenario s;
+  s.horizon = 30 * sim::kDay;
+  s.regions = {"us-east-1a"};
+  std::uint64_t generations = 0;
+  for (auto _ : state) {
+    s.seed += 1;
+    for (int arm = 0; arm < 5; ++arm) {
+      sched::World world(s);  // regenerates the trace set
+      ++generations;
+      benchmark::DoNotOptimize(world.provider().all_markets().size());
+    }
+  }
+  state.counters["generations"] =
+      benchmark::Counter(static_cast<double>(generations));
+}
+BENCHMARK(BM_Fig08ArmsPerArmTraces);
+
+void BM_Fig08ArmsMemoizedTraces(benchmark::State& state) {
+  sched::Scenario s;
+  s.horizon = 30 * sim::kDay;
+  s.regions = {"us-east-1a"};
+  sched::TraceCache cache;
+  for (auto _ : state) {
+    s.seed += 1;
+    for (int arm = 0; arm < 5; ++arm) {
+      sched::World world(s, cache.get(s));
+      benchmark::DoNotOptimize(world.provider().all_markets().size());
+    }
+  }
+  state.counters["generations"] =
+      benchmark::Counter(static_cast<double>(cache.generations()));
+}
+BENCHMARK(BM_Fig08ArmsMemoizedTraces);
+
+// End-to-end sweep throughput: 4 arms x 3 seeds of a one-region hosting
+// month, fanned across the shared pool with memoized traces.
+void BM_SweepThroughput(benchmark::State& state) {
+  sched::Scenario s;
+  s.horizon = 30 * sim::kDay;
+  s.regions = {"us-east-1a"};
+  s.sizes = {cloud::InstanceSize::kSmall};
+  const cloud::MarketId home{"us-east-1a", cloud::InstanceSize::kSmall};
+  std::uint64_t base_seed = 9001;
+  for (auto _ : state) {
+    metrics::SweepRunner sweep(3, base_seed++);
+    sweep.add_arm("reactive", s, sched::reactive_config(home));
+    sweep.add_arm("proactive", s, sched::proactive_config(home));
+    auto pessimistic = sched::proactive_config(home);
+    pessimistic.bid.proactive_multiple = 1.5;
+    sweep.add_arm("pessimistic", s, pessimistic);
+    sweep.add_arm("pure-spot", s, sched::pure_spot_config(home));
+    const auto results = sweep.run_all();
+    benchmark::DoNotOptimize(results.size());
+    state.counters["generations"] = benchmark::Counter(
+        static_cast<double>(sweep.trace_cache()->generations()));
+  }
+  state.SetItemsProcessed(12 * state.iterations());
+}
+BENCHMARK(BM_SweepThroughput);
 
 void BM_MvaSolve(benchmark::State& state) {
   const std::array<workload::Station, 2> stations{

@@ -5,12 +5,17 @@
 using namespace spothost;
 
 int main() {
-  const auto runner = bench::default_runner();
+  auto sweep = bench::default_sweep();
   const auto scenario = bench::region_scenario("us-east-1a");
   const auto home = bench::market("us-east-1a", "small");
 
-  const auto pro = runner.run(scenario, sched::proactive_config(home));
-  const auto spot = runner.run(scenario, sched::pure_spot_config(home));
+  const int pro_arm = sweep.add_arm("proactive", scenario,
+                                    sched::proactive_config(home));
+  const int spot_arm = sweep.add_arm("pure-spot", scenario,
+                                     sched::pure_spot_config(home));
+  const auto results = sweep.run_all();
+  const auto& pro = results[static_cast<std::size_t>(pro_arm)];
+  const auto& spot = results[static_cast<std::size_t>(spot_arm)];
 
   auto cost_label = [](double pct) {
     return pct > 70.0 ? "High" : "Low";

@@ -1,0 +1,49 @@
+#include "exec/env.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <iostream>
+
+namespace spothost::exec {
+
+namespace {
+
+void warn(const char* name, const char* value, long long fallback) {
+  std::cerr << "warning: " << name << "=\"" << value
+            << "\" is not a valid integer for this knob; using " << fallback
+            << "\n";
+}
+
+}  // namespace
+
+long long env_int(const char* name, long long fallback, long long lo,
+                  long long hi) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long long n = std::strtoll(v, &end, 10);
+  if (end != v && *end == '\0' && errno == 0 && n >= lo && n <= hi) return n;
+  warn(name, v, fallback);
+  return fallback;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long n = std::strtoull(v, &end, 10);
+  // strtoull silently wraps "-1"; reject any minus sign outright.
+  bool negative = false;
+  for (const char* p = v; *p != '\0'; ++p) {
+    if (*p == '-') negative = true;
+  }
+  if (end != v && *end == '\0' && errno == 0 && !negative) {
+    return static_cast<std::uint64_t>(n);
+  }
+  warn(name, v, static_cast<long long>(fallback));
+  return fallback;
+}
+
+}  // namespace spothost::exec

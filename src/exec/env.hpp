@@ -1,0 +1,24 @@
+// Validated environment-variable parsing for the runtime knobs
+// (SPOTHOST_RUNS, SPOTHOST_SEED, SPOTHOST_THREADS, ...).
+//
+// All knobs share one policy: an unset variable silently yields the
+// fallback; a set-but-garbage value (trailing junk, sign errors, out of
+// range — everything strtol would half-accept) warns once on stderr and
+// yields the fallback, so a typo degrades a run instead of silently
+// changing its size.
+#pragma once
+
+#include <cstdint>
+
+namespace spothost::exec {
+
+/// `name` parsed as a whole decimal integer in [lo, hi]. Unset -> fallback;
+/// set but invalid -> warning on stderr + fallback.
+long long env_int(const char* name, long long fallback, long long lo,
+                  long long hi);
+
+/// `name` parsed as a whole non-negative decimal integer (full uint64
+/// range). Unset -> fallback; set but invalid -> warning + fallback.
+std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+
+}  // namespace spothost::exec

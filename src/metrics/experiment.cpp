@@ -5,7 +5,9 @@
 #include <future>
 #include <optional>
 #include <stdexcept>
+#include <utility>
 
+#include "exec/thread_pool.hpp"
 #include "obs/ring_sink.hpp"
 #include "obs/sink.hpp"
 #include "sched/market_selection.hpp"
@@ -28,7 +30,14 @@ RunMetrics run_hosting_scenario(const sched::Scenario& scenario,
 RunMetrics run_hosting_scenario(const sched::Scenario& scenario,
                                 const sched::SchedulerConfig& config,
                                 obs::Tracer* tracer, obs::RunProfile* profile) {
-  sched::World world(scenario);
+  return run_hosting_scenario(scenario, config, nullptr, tracer, profile);
+}
+
+RunMetrics run_hosting_scenario(
+    const sched::Scenario& scenario, const sched::SchedulerConfig& config,
+    std::shared_ptr<const sched::MarketTraceSet> traces, obs::Tracer* tracer,
+    obs::RunProfile* profile) {
+  sched::World world(scenario, std::move(traces));
   workload::AlwaysOnService service("hosted-service",
                                     virt::VmSpec{});  // spec set by scheduler
   if (tracer != nullptr) {
@@ -69,18 +78,23 @@ RunMetrics run_hosting_scenario(const sched::Scenario& scenario,
 Aggregate Aggregate::of(std::span<const double> xs) {
   Aggregate a;
   if (xs.empty()) return a;
-  double sum = 0.0;
+  // Welford's online algorithm: one pass for mean and variance (population),
+  // numerically stabler than the naive sum-of-squares.
   a.min = xs.front();
   a.max = xs.front();
+  double mean = 0.0;
+  double m2 = 0.0;
+  double n = 0.0;
   for (const double x : xs) {
-    sum += x;
+    n += 1.0;
+    const double delta = x - mean;
+    mean += delta / n;
+    m2 += delta * (x - mean);
     a.min = std::min(a.min, x);
     a.max = std::max(a.max, x);
   }
-  a.mean = sum / static_cast<double>(xs.size());
-  double ss = 0.0;
-  for (const double x : xs) ss += (x - a.mean) * (x - a.mean);
-  a.stddev = std::sqrt(ss / static_cast<double>(xs.size()));
+  a.mean = mean;
+  a.stddev = std::sqrt(m2 / n);
   return a;
 }
 
@@ -98,13 +112,23 @@ ExperimentRunner& ExperimentRunner::capture_traces(std::size_t ring_capacity) {
   return *this;
 }
 
+ExperimentRunner& ExperimentRunner::memoize_traces(
+    std::shared_ptr<sched::TraceCache> cache) {
+  trace_cache_ = std::move(cache);
+  return *this;
+}
+
 AggregatedMetrics ExperimentRunner::run(const sched::Scenario& scenario,
                                         const sched::SchedulerConfig& config) const {
+  auto market_traces = [&](const sched::Scenario& s) {
+    return trace_cache_ ? trace_cache_->get(s)
+                        : std::shared_ptr<const sched::MarketTraceSet>();
+  };
   if (trace_capacity_ == 0) {
     return run_indexed([&](int, std::uint64_t seed) {
       sched::Scenario s = scenario;
       s.seed = seed;
-      return run_hosting_scenario(s, config);
+      return run_hosting_scenario(s, config, market_traces(s));
     });
   }
   // Trace capture: each seed gets its own tracer + ring buffer; slots are
@@ -118,7 +142,8 @@ AggregatedMetrics ExperimentRunner::run(const sched::Scenario& scenario,
     tracer.add_sink(&ring);
     SeedTrace& slot = traces[static_cast<std::size_t>(index)];
     slot.seed = seed;
-    RunMetrics rm = run_hosting_scenario(s, config, &tracer, &slot.profile);
+    RunMetrics rm =
+        run_hosting_scenario(s, config, market_traces(s), &tracer, &slot.profile);
     slot.events = ring.events();
     slot.dropped = ring.dropped();
     return rm;
@@ -136,25 +161,31 @@ AggregatedMetrics ExperimentRunner::run_indexed(
     const std::function<RunMetrics(int index, std::uint64_t seed)>& body) const {
   std::vector<RunMetrics> results(static_cast<std::size_t>(runs_));
   if (execution_ == Execution::kParallel) {
+    // Bounded fan-out: every run is one task on the shared fixed-size pool,
+    // so peak thread count is SPOTHOST_THREADS no matter how many runs.
+    // Results land in preassigned seed-order slots, making the aggregate
+    // bit-identical to serial execution.
+    auto& pool = exec::ThreadPool::shared();
     std::vector<std::future<RunMetrics>> futures;
     futures.reserve(static_cast<std::size_t>(runs_));
     for (int i = 0; i < runs_; ++i) {
-      const std::uint64_t seed = base_seed_ + static_cast<std::uint64_t>(i) * 7919u;
-      futures.push_back(
-          std::async(std::launch::async, [&body, i, seed] { return body(i, seed); }));
+      const std::uint64_t seed = run_seed(base_seed_, i);
+      futures.push_back(pool.submit([&body, i, seed] { return body(i, seed); }));
     }
     for (int i = 0; i < runs_; ++i) {
       results[static_cast<std::size_t>(i)] = futures[static_cast<std::size_t>(i)].get();
     }
   } else {
     for (int i = 0; i < runs_; ++i) {
-      const std::uint64_t seed = base_seed_ + static_cast<std::uint64_t>(i) * 7919u;
-      results[static_cast<std::size_t>(i)] = body(i, seed);
+      results[static_cast<std::size_t>(i)] = body(i, run_seed(base_seed_, i));
     }
   }
+  return aggregate_runs(std::move(results));
+}
 
+AggregatedMetrics aggregate_runs(std::vector<RunMetrics> results) {
   AggregatedMetrics agg;
-  agg.runs = runs_;
+  agg.runs = static_cast<int>(results.size());
   auto collect = [&](auto getter) {
     std::vector<double> xs;
     xs.reserve(results.size());

@@ -1,10 +1,12 @@
 // Experiment harness: runs a hosting scenario end-to-end and aggregates
 // metrics across seeds. Runs are fully independent worlds, so they execute
-// in parallel across hardware threads.
+// in parallel — fanned out over the shared fixed-size worker pool
+// (exec::ThreadPool), never one thread per run.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -14,6 +16,7 @@
 #include "obs/profile.hpp"
 #include "sched/baselines.hpp"
 #include "sched/config.hpp"
+#include "sched/market_traces.hpp"
 
 namespace spothost::obs {
 class Tracer;  // obs/sink.hpp
@@ -33,12 +36,22 @@ RunMetrics run_hosting_scenario(const sched::Scenario& scenario,
                                 const sched::SchedulerConfig& config,
                                 obs::Tracer* tracer, obs::RunProfile* profile);
 
+/// Memoized form: the world is built on `traces` (a pre-generated
+/// MarketTraceSet for this exact scenario — see sched::TraceCache) instead
+/// of regenerating every market trace. Null `traces` falls back to
+/// generating inline; results are identical either way.
+RunMetrics run_hosting_scenario(
+    const sched::Scenario& scenario, const sched::SchedulerConfig& config,
+    std::shared_ptr<const sched::MarketTraceSet> traces,
+    obs::Tracer* tracer = nullptr, obs::RunProfile* profile = nullptr);
+
 struct Aggregate {
   double mean = 0.0;
   double stddev = 0.0;
   double min = 0.0;
   double max = 0.0;
 
+  /// Single-pass Welford moments (plus min/max) over the samples.
   static Aggregate of(std::span<const double> xs);
 };
 
@@ -46,7 +59,7 @@ struct Aggregate {
 /// `bool parallel` flag.
 enum class Execution {
   kSerial,    ///< one run after another, on the calling thread
-  kParallel,  ///< std::async workers; results stay in seed order
+  kParallel,  ///< shared exec::ThreadPool workers; results stay in seed order
 };
 
 std::string_view to_string(Execution execution) noexcept;
@@ -73,6 +86,19 @@ struct AggregatedMetrics {
   std::vector<SeedTrace> traces;
 };
 
+/// Aggregates per-run metrics (in seed order) into the struct above — the
+/// one aggregation path shared by ExperimentRunner and SweepRunner, so a
+/// sweep's tables are bit-identical to per-arm runner calls.
+[[nodiscard]] AggregatedMetrics aggregate_runs(std::vector<RunMetrics> results);
+
+/// The seed of run `index` under `base_seed` — every runner derives per-run
+/// seeds exactly this way, so memoized traces and printed tables line up
+/// across harnesses.
+[[nodiscard]] constexpr std::uint64_t run_seed(std::uint64_t base_seed,
+                                               int index) noexcept {
+  return base_seed + static_cast<std::uint64_t>(index) * 7919u;
+}
+
 class ExperimentRunner {
  public:
   /// `runs` independent seeds derived from `base_seed`.
@@ -83,6 +109,12 @@ class ExperimentRunner {
   /// into a ring buffer of `ring_capacity` and reports them (with the wall
   /// clock profile) in AggregatedMetrics::traces, in seed order.
   ExperimentRunner& capture_traces(std::size_t ring_capacity = 1 << 16);
+
+  /// Opt into per-seed market-trace memoization: run() resolves each seed's
+  /// market traces through `cache` instead of regenerating them, so
+  /// repeated run() calls over the same scenario (a multi-arm bench) build
+  /// the traces once per seed. Results are unchanged; only work is saved.
+  ExperimentRunner& memoize_traces(std::shared_ptr<sched::TraceCache> cache);
 
   /// Runs `config` against per-seed variants of `scenario` and aggregates.
   [[nodiscard]] AggregatedMetrics run(const sched::Scenario& scenario,
@@ -100,6 +132,7 @@ class ExperimentRunner {
   std::uint64_t base_seed_;
   Execution execution_;
   std::size_t trace_capacity_ = 0;  ///< 0 = no capture
+  std::shared_ptr<sched::TraceCache> trace_cache_;  ///< null = generate inline
 };
 
 }  // namespace spothost::metrics

@@ -1,10 +1,8 @@
 #include "sched/config.hpp"
 
-#include <filesystem>
 #include <stdexcept>
 
-#include "trace/csv.hpp"
-#include "trace/synthetic.hpp"
+#include "sched/market_traces.hpp"
 #include "virt/network_model.hpp"
 
 namespace spothost::sched {
@@ -25,17 +23,33 @@ cloud::AllocationLatency table1_allocation_latency(const std::string& region) {
   return lat;
 }
 
-World::World(Scenario scenario)
-    : scenario_(std::move(scenario)), rng_factory_(scenario_.seed) {
-  if (scenario_.horizon <= 0) throw std::invalid_argument("World: horizon <= 0");
-  if (scenario_.regions.empty()) {
+Scenario normalized_scenario(Scenario scenario) {
+  if (scenario.horizon <= 0) {
+    throw std::invalid_argument("Scenario: horizon <= 0");
+  }
+  if (scenario.regions.empty()) {
     for (const auto r : trace::canonical_regions()) {
-      scenario_.regions.emplace_back(r);
+      scenario.regions.emplace_back(r);
     }
   }
-  if (scenario_.sizes.empty()) {
-    scenario_.sizes.assign(cloud::kAllSizes.begin(), cloud::kAllSizes.end());
+  if (scenario.sizes.empty()) {
+    scenario.sizes.assign(cloud::kAllSizes.begin(), cloud::kAllSizes.end());
   }
+  return scenario;
+}
+
+World::World(Scenario scenario) : World(std::move(scenario), nullptr) {}
+
+World::World(Scenario scenario, std::shared_ptr<const MarketTraceSet> traces)
+    : scenario_(normalized_scenario(std::move(scenario))),
+      rng_factory_(scenario_.seed) {
+  if (traces == nullptr) {
+    traces = MarketTraceSet::generate(scenario_);
+  } else if (traces->key() != MarketTraceSet::cache_key(scenario_)) {
+    throw std::invalid_argument(
+        "World: trace set was generated for a different scenario");
+  }
+  traces_ = std::move(traces);
 
   simulation_ = std::make_unique<sim::Simulation>();
   // Always build and attach the injector — an empty plan makes zero draws,
@@ -48,46 +62,11 @@ World::World(Scenario scenario)
 
   for (const auto& region : scenario_.regions) {
     provider_->set_allocation_latency(region, table1_allocation_latency(region));
-
-    // Shared spike schedule: the source of intra-region price correlation.
-    auto shared_rng = rng_factory_.stream("shared-spikes/" + region);
-    const trace::MarketProfile region_profile =
-        trace::profile_for(region, "small");
-    const auto shared = trace::SyntheticSpotModel::generate_shared_spikes(
-        trace::region_shared_spike_rate(region), region_profile,
-        scenario_.horizon, shared_rng);
-
-    for (const auto size : scenario_.sizes) {
-      const std::string size_name{cloud::to_string(size)};
-      const double od = cloud::on_demand_price(size, region);
-
-      // Measured trace override, if one is on disk for this market.
-      trace::PriceTrace price_trace;
-      bool from_file = false;
-      if (!scenario_.trace_dir.empty()) {
-        const std::filesystem::path path =
-            std::filesystem::path(scenario_.trace_dir) /
-            (region + "_" + size_name + ".csv");
-        if (std::filesystem::exists(path)) {
-          price_trace = trace::load_csv_file(path.string());
-          if (price_trace.end() < scenario_.horizon) {
-            throw std::invalid_argument("World: trace " + path.string() +
-                                        " shorter than the scenario horizon");
-          }
-          from_file = true;
-        }
-      }
-      if (!from_file) {
-        const trace::MarketProfile profile =
-            trace::profile_for(region, size_name);
-        auto market_rng =
-            rng_factory_.stream("market/" + region + "/" + size_name);
-        price_trace = trace::SyntheticSpotModel::generate(
-            profile, od, scenario_.horizon, market_rng, &shared);
-      }
-      provider_->add_market(cloud::MarketId{region, size}, std::move(price_trace),
-                            od);
-    }
+  }
+  // Entries are in the provider's canonical registration order (region order
+  // x size order), so market_order_ matches the generating constructor.
+  for (const auto& entry : traces_->markets()) {
+    provider_->add_market(entry.id, entry.prices, entry.on_demand);
   }
   provider_->start();
 }

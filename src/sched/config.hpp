@@ -40,12 +40,26 @@ struct Scenario {
 /// Allocation latencies per region family, from Table 1.
 cloud::AllocationLatency table1_allocation_latency(const std::string& region);
 
+/// `scenario` with empty regions/sizes replaced by the canonical defaults,
+/// validated (horizon > 0). World and MarketTraceSet both build from this
+/// normal form, so their notions of scenario identity agree.
+[[nodiscard]] Scenario normalized_scenario(Scenario scenario);
+
+class MarketTraceSet;  // sched/market_traces.hpp
+
 /// A fully wired experiment world. Construction generates all market traces
-/// (seeded from the scenario seed) and starts the provider's price feeds;
-/// attach a scheduler and call simulation().run_until(horizon()).
+/// (seeded from the scenario seed) — or copies them from a pre-generated
+/// MarketTraceSet — and starts the provider's price feeds; attach a
+/// scheduler and call simulation().run_until(horizon()).
 class World {
  public:
   explicit World(Scenario scenario);
+
+  /// Builds on a memoized trace set (sched::TraceCache) instead of
+  /// regenerating: `traces` must have been generated for an identical
+  /// scenario (same cache_key). Behaviour is byte-identical to the
+  /// generating constructor; only the trace-generation work is skipped.
+  World(Scenario scenario, std::shared_ptr<const MarketTraceSet> traces);
 
   [[nodiscard]] sim::Simulation& simulation() noexcept { return *simulation_; }
   [[nodiscard]] cloud::CloudProvider& provider() noexcept { return *provider_; }
@@ -67,9 +81,16 @@ class World {
     return rng_factory_.stream(name);
   }
 
+  /// The immutable trace set this world's markets were built from.
+  [[nodiscard]] const std::shared_ptr<const MarketTraceSet>& trace_set()
+      const noexcept {
+    return traces_;
+  }
+
  private:
   Scenario scenario_;
   sim::RngFactory rng_factory_;
+  std::shared_ptr<const MarketTraceSet> traces_;
   std::unique_ptr<sim::Simulation> simulation_;
   std::unique_ptr<faults::FaultInjector> faults_;
   std::unique_ptr<cloud::CloudProvider> provider_;

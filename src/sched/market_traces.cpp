@@ -1,0 +1,149 @@
+#include "sched/market_traces.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "trace/csv.hpp"
+#include "trace/synthetic.hpp"
+
+namespace spothost::sched {
+
+std::shared_ptr<const MarketTraceSet> MarketTraceSet::generate(
+    const Scenario& scenario_in) {
+  const Scenario scenario = normalized_scenario(scenario_in);
+  const sim::RngFactory rng_factory(scenario.seed);
+
+  auto set = std::shared_ptr<MarketTraceSet>(new MarketTraceSet());
+  set->key_ = cache_key(scenario);
+  set->seed_ = scenario.seed;
+  set->horizon_ = scenario.horizon;
+  set->entries_.reserve(scenario.regions.size() * scenario.sizes.size());
+
+  for (const auto& region : scenario.regions) {
+    // Shared spike schedule: the source of intra-region price correlation.
+    auto shared_rng = rng_factory.stream("shared-spikes/" + region);
+    const trace::MarketProfile region_profile =
+        trace::profile_for(region, "small");
+    const auto shared = trace::SyntheticSpotModel::generate_shared_spikes(
+        trace::region_shared_spike_rate(region), region_profile,
+        scenario.horizon, shared_rng);
+
+    for (const auto size : scenario.sizes) {
+      const std::string size_name{cloud::to_string(size)};
+      const double od = cloud::on_demand_price(size, region);
+
+      // Measured trace override, if one is on disk for this market.
+      trace::PriceTrace price_trace;
+      bool from_file = false;
+      if (!scenario.trace_dir.empty()) {
+        const std::filesystem::path path =
+            std::filesystem::path(scenario.trace_dir) /
+            (region + "_" + size_name + ".csv");
+        if (std::filesystem::exists(path)) {
+          price_trace = trace::load_csv_file(path.string());
+          if (price_trace.end() < scenario.horizon) {
+            throw std::invalid_argument("MarketTraceSet: trace " + path.string() +
+                                        " shorter than the scenario horizon");
+          }
+          from_file = true;
+        }
+      }
+      if (!from_file) {
+        const trace::MarketProfile profile =
+            trace::profile_for(region, size_name);
+        auto market_rng =
+            rng_factory.stream("market/" + region + "/" + size_name);
+        price_trace = trace::SyntheticSpotModel::generate(
+            profile, od, scenario.horizon, market_rng, &shared);
+      }
+      set->entries_.push_back(Entry{cloud::MarketId{region, size},
+                                    std::move(price_trace), od});
+    }
+  }
+  return set;
+}
+
+std::string MarketTraceSet::cache_key(const Scenario& scenario_in) {
+  const Scenario scenario = normalized_scenario(scenario_in);
+  std::string key = std::to_string(scenario.seed) + '|' +
+                    std::to_string(scenario.horizon) + '|' +
+                    scenario.trace_dir + '|';
+  for (const auto& region : scenario.regions) {
+    key += region;
+    key += ',';
+  }
+  key += '|';
+  for (const auto size : scenario.sizes) {
+    key += cloud::to_string(size);
+    key += ',';
+  }
+  return key;
+}
+
+const trace::PriceTrace& MarketTraceSet::prices(const cloud::MarketId& id) const {
+  for (const auto& e : entries_) {
+    if (e.id == id) return e.prices;
+  }
+  throw std::out_of_range("MarketTraceSet: no market " + id.str());
+}
+
+std::vector<trace::PriceTrace> MarketTraceSet::region_traces(
+    const std::string& region) const {
+  std::vector<trace::PriceTrace> out;
+  for (const auto& e : entries_) {
+    if (e.id.region == region) out.push_back(e.prices);
+  }
+  return out;
+}
+
+std::shared_ptr<const MarketTraceSet> TraceCache::get(const Scenario& scenario) {
+  const std::string key = MarketTraceSet::cache_key(scenario);
+  std::promise<std::shared_ptr<const MarketTraceSet>> promise;
+  SetFuture future;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sets_.find(key);
+    if (it != sets_.end()) {
+      future = it->second;
+      ++hits_;
+    } else {
+      future = promise.get_future().share();
+      sets_.emplace(key, future);
+      ++generations_;
+      owner = true;
+    }
+  }
+  if (owner) {
+    // Generate outside the lock: other keys proceed concurrently; other
+    // threads asking for *this* key block on the shared future instead of
+    // generating a duplicate.
+    try {
+      promise.set_value(MarketTraceSet::generate(scenario));
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        sets_.erase(key);
+      }
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return future.get();
+}
+
+std::size_t TraceCache::generations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generations_;
+}
+
+std::size_t TraceCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+void TraceCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sets_.clear();
+}
+
+}  // namespace spothost::sched

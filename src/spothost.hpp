@@ -10,12 +10,16 @@
 //   sched::SchedulerConfig / presets    — configure the scheduler
 //   metrics::run_hosting_scenario       — one full hosting run
 //   metrics::ExperimentRunner           — multi-seed aggregation
+//   metrics::SweepRunner                — multi-arm sweeps, memoized traces
+//   exec::ThreadPool                    — the shared bounded worker pool
 //   obs::Tracer + sinks                 — structured run tracing
 //   faults::FaultPlan / FaultInjector   — deterministic fault injection
 #pragma once
 
 #include "cloud/billing.hpp"
 #include "cloud/instance_types.hpp"
+#include "exec/env.hpp"
+#include "exec/thread_pool.hpp"
 #include "cloud/market.hpp"
 #include "cloud/provider.hpp"
 #include "cloud/volume.hpp"
@@ -23,6 +27,7 @@
 #include "faults/injector.hpp"
 #include "metrics/experiment.hpp"
 #include "metrics/run_metrics.hpp"
+#include "metrics/sweep.hpp"
 #include "metrics/table.hpp"
 #include "obs/counter_sink.hpp"
 #include "obs/event.hpp"
@@ -37,6 +42,7 @@
 #include "sched/config.hpp"
 #include "sched/fleet.hpp"
 #include "sched/market_selection.hpp"
+#include "sched/market_traces.hpp"
 #include "sched/market_watcher.hpp"
 #include "sched/migration_engine.hpp"
 #include "sched/placement.hpp"

@@ -42,15 +42,44 @@ sim::SimTime PriceTrace::start() const {
   return points_.front().time;
 }
 
+namespace {
+
+// Forward hops tried linearly before falling back to binary search: covers
+// the simulator's step-by-step advance without degrading a far jump past
+// O(log n).
+constexpr std::size_t kLinearScanLimit = 8;
+
+}  // namespace
+
 std::size_t PriceTrace::index_at(sim::SimTime t) const {
   if (points_.empty() || t < points_.front().time || t >= end_) {
     throw std::out_of_range("PriceTrace: query outside [start, end)");
   }
-  // First point with time > t, step back one.
-  const auto it = std::upper_bound(
-      points_.begin(), points_.end(), t,
-      [](sim::SimTime lhs, const PricePoint& p) { return lhs < p.time; });
-  return static_cast<std::size_t>(std::distance(points_.begin(), it)) - 1;
+  std::size_t i = cursor_ < points_.size() ? cursor_ : 0;
+  if (points_[i].time <= t) {
+    // Forward from the cursor: the monotone common case lands within a few
+    // hops; a long jump gallops into a binary search of the remaining tail.
+    std::size_t hops = 0;
+    while (i + 1 < points_.size() && points_[i + 1].time <= t) {
+      if (++hops > kLinearScanLimit) {
+        const auto it = std::upper_bound(
+            points_.begin() + static_cast<std::ptrdiff_t>(i + 1), points_.end(),
+            t,
+            [](sim::SimTime lhs, const PricePoint& p) { return lhs < p.time; });
+        i = static_cast<std::size_t>(std::distance(points_.begin(), it)) - 1;
+        break;
+      }
+      ++i;
+    }
+  } else {
+    // Rewind: binary search the prefix before the cursor.
+    const auto it = std::upper_bound(
+        points_.begin(), points_.begin() + static_cast<std::ptrdiff_t>(i), t,
+        [](sim::SimTime lhs, const PricePoint& p) { return lhs < p.time; });
+    i = static_cast<std::size_t>(std::distance(points_.begin(), it)) - 1;
+  }
+  cursor_ = i;
+  return i;
 }
 
 double PriceTrace::price_at(sim::SimTime t) const {
@@ -58,11 +87,16 @@ double PriceTrace::price_at(sim::SimTime t) const {
 }
 
 std::optional<PricePoint> PriceTrace::next_change_after(sim::SimTime t) const {
-  const auto it = std::upper_bound(
-      points_.begin(), points_.end(), t,
-      [](sim::SimTime lhs, const PricePoint& p) { return lhs < p.time; });
-  if (it == points_.end() || it->time >= end_) return std::nullopt;
-  return *it;
+  if (points_.empty()) return std::nullopt;
+  if (t < points_.front().time) {
+    if (points_.front().time >= end_) return std::nullopt;
+    return points_.front();
+  }
+  if (t >= end_) return std::nullopt;
+  // t lies in [start, end): the next change is the point after t's segment.
+  const std::size_t i = index_at(t);
+  if (i + 1 < points_.size() && points_[i + 1].time < end_) return points_[i + 1];
+  return std::nullopt;
 }
 
 double PriceTrace::time_average(sim::SimTime from, sim::SimTime to) const {
@@ -120,9 +154,15 @@ std::vector<double> PriceTrace::sample(sim::SimTime from, sim::SimTime to,
                                        sim::SimTime step) const {
   if (step <= 0) throw std::invalid_argument("sample: step must be > 0");
   std::vector<double> out;
+  if (from >= to) return out;
   out.reserve(static_cast<std::size_t>((to - from) / step) + 1);
+  // Single linear merge of the sample grid against the change points —
+  // O(samples + points) instead of a lookup per sample.
+  std::size_t i = index_at(from);
   for (sim::SimTime t = from; t < to; t += step) {
-    out.push_back(price_at(t));
+    if (t >= end_) throw std::out_of_range("PriceTrace: query outside [start, end)");
+    while (i + 1 < points_.size() && points_[i + 1].time <= t) ++i;
+    out.push_back(points_[i].price);
   }
   return out;
 }

@@ -4,6 +4,15 @@
 // events; the price holds between events. PriceTrace stores exactly that and
 // answers the queries the simulator needs: point lookup, next change after t,
 // exact time-weighted integrals, and uniform resampling for statistics.
+//
+// Lookups keep a read cursor at the last segment served: the scheduler and
+// billing only move forward in simulation time, so point queries are
+// amortized O(1) along a monotone pass (with a binary-search fallback for
+// jumps and rewinds). The cursor makes const queries mutate internal state —
+// a PriceTrace instance is therefore NOT safe for concurrent queries; give
+// each thread its own copy (copies are independent, and the experiment
+// layer's memoized trace sets are only ever copied from, never queried
+// concurrently).
 #pragma once
 
 #include <optional>
@@ -64,10 +73,15 @@ class PriceTrace {
 
  private:
   // Index of the point governing time t (largest i with points_[i].time <= t).
+  // Starts from the cursor: a short linear scan forward for the monotone
+  // common case, binary search otherwise; leaves the cursor at the result.
   [[nodiscard]] std::size_t index_at(sim::SimTime t) const;
 
   std::vector<PricePoint> points_;
   sim::SimTime end_ = 0;
+  // Last segment index served by index_at. Pure acceleration state: no query
+  // result depends on it. Mutated by const lookups (see header comment).
+  mutable std::size_t cursor_ = 0;
 };
 
 }  // namespace spothost::trace

@@ -1,0 +1,72 @@
+#include "exec/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace spothost::exec {
+namespace {
+
+constexpr const char* kVar = "SPOTHOST_TEST_ENV_KNOB";
+
+class EnvParse : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetenv(kVar); }
+  void set(const char* value) { ASSERT_EQ(setenv(kVar, value, 1), 0); }
+};
+
+TEST_F(EnvParse, UnsetYieldsFallback) {
+  unsetenv(kVar);
+  EXPECT_EQ(env_int(kVar, 5, 1, 100), 5);
+  EXPECT_EQ(env_u64(kVar, 42u), 42u);
+}
+
+TEST_F(EnvParse, ValidValueParses) {
+  set("17");
+  EXPECT_EQ(env_int(kVar, 5, 1, 100), 17);
+  EXPECT_EQ(env_u64(kVar, 42u), 17u);
+}
+
+TEST_F(EnvParse, TrailingJunkFallsBack) {
+  set("3abc");  // atoi would happily return 3 here
+  EXPECT_EQ(env_int(kVar, 5, 1, 100), 5);
+  EXPECT_EQ(env_u64(kVar, 42u), 42u);
+}
+
+TEST_F(EnvParse, NonNumericFallsBack) {
+  set("lots");
+  EXPECT_EQ(env_int(kVar, 5, 1, 100), 5);
+  set("");
+  EXPECT_EQ(env_int(kVar, 5, 1, 100), 5);
+}
+
+TEST_F(EnvParse, OutOfRangeFallsBack) {
+  set("0");
+  EXPECT_EQ(env_int(kVar, 5, 1, 100), 5);
+  set("101");
+  EXPECT_EQ(env_int(kVar, 5, 1, 100), 5);
+  set("99999999999999999999999999");  // overflows long long
+  EXPECT_EQ(env_int(kVar, 5, 1, 100), 5);
+}
+
+TEST_F(EnvParse, BoundsAreInclusive) {
+  set("1");
+  EXPECT_EQ(env_int(kVar, 5, 1, 100), 1);
+  set("100");
+  EXPECT_EQ(env_int(kVar, 5, 1, 100), 100);
+}
+
+TEST_F(EnvParse, U64RejectsNegatives) {
+  set("-1");  // strtoull would silently wrap this to UINT64_MAX
+  EXPECT_EQ(env_u64(kVar, 42u), 42u);
+}
+
+TEST_F(EnvParse, U64AcceptsFullRange) {
+  set("18446744073709551615");
+  EXPECT_EQ(env_u64(kVar, 42u), 18446744073709551615ull);
+  set("18446744073709551616");  // one past UINT64_MAX
+  EXPECT_EQ(env_u64(kVar, 42u), 42u);
+}
+
+}  // namespace
+}  // namespace spothost::exec

@@ -1,0 +1,146 @@
+#include "sched/market_traces.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace spothost::sched {
+namespace {
+
+using cloud::InstanceSize;
+using sim::kDay;
+
+Scenario one_region_scenario() {
+  Scenario s;
+  s.seed = 500;
+  s.horizon = 5 * kDay;
+  s.regions = {"us-east-1a"};
+  return s;
+}
+
+TEST(MarketTraceSet, GeneratesEveryMarketInRegistrationOrder) {
+  const auto traces = MarketTraceSet::generate(one_region_scenario());
+  ASSERT_EQ(traces->markets().size(), 4u);  // one region x four sizes
+  EXPECT_EQ(traces->markets()[0].id.region, "us-east-1a");
+  EXPECT_EQ(traces->markets()[0].id.size, InstanceSize::kSmall);
+  EXPECT_EQ(traces->markets()[3].id.size, InstanceSize::kXLarge);
+  for (const auto& entry : traces->markets()) {
+    EXPECT_FALSE(entry.prices.empty());
+    EXPECT_GT(entry.on_demand, 0.0);
+    EXPECT_GE(entry.prices.end(), traces->horizon());
+  }
+  EXPECT_EQ(traces->seed(), 500u);
+}
+
+TEST(MarketTraceSet, MatchesWorldInlineGeneration) {
+  const auto scenario = one_region_scenario();
+  const auto traces = MarketTraceSet::generate(scenario);
+  World world(scenario);  // generates inline
+  for (const auto& entry : traces->markets()) {
+    const auto& market = world.provider().market(entry.id);
+    const auto& inline_points = market.price_trace().points();
+    const auto& memo_points = entry.prices.points();
+    ASSERT_EQ(memo_points.size(), inline_points.size());
+    for (std::size_t i = 0; i < memo_points.size(); ++i) {
+      EXPECT_EQ(memo_points[i].time, inline_points[i].time);
+      EXPECT_EQ(memo_points[i].price, inline_points[i].price);
+    }
+  }
+}
+
+TEST(MarketTraceSet, WorldBuiltOnMemoizedSetIsIdentical) {
+  const auto scenario = one_region_scenario();
+  const auto traces = MarketTraceSet::generate(scenario);
+  World generating(scenario);
+  World memoized(scenario, traces);
+  const cloud::MarketId home{"us-east-1a", InstanceSize::kSmall};
+  const auto& a = generating.provider().market(home).price_trace();
+  const auto& b = memoized.provider().market(home).price_trace();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.points()[i].time, b.points()[i].time);
+    EXPECT_EQ(a.points()[i].price, b.points()[i].price);
+  }
+  EXPECT_EQ(memoized.trace_set().get(), traces.get());
+}
+
+TEST(MarketTraceSet, RejectsMismatchedScenario) {
+  const auto traces = MarketTraceSet::generate(one_region_scenario());
+  auto other = one_region_scenario();
+  other.seed = 501;  // different traces — the set must not be reused
+  EXPECT_THROW(World(other, traces), std::invalid_argument);
+}
+
+TEST(MarketTraceSet, PricesThrowsForUnknownMarket) {
+  const auto traces = MarketTraceSet::generate(one_region_scenario());
+  EXPECT_NO_THROW(traces->prices({"us-east-1a", InstanceSize::kSmall}));
+  EXPECT_THROW(traces->prices({"eu-west-1a", InstanceSize::kSmall}),
+               std::out_of_range);
+}
+
+TEST(MarketTraceSet, RegionTracesReturnsSizeOrderedTraces) {
+  const auto traces = MarketTraceSet::generate(one_region_scenario());
+  const auto region = traces->region_traces("us-east-1a");
+  ASSERT_EQ(region.size(), 4u);
+  EXPECT_TRUE(traces->region_traces("eu-west-1a").empty());
+}
+
+TEST(CacheKey, IgnoresFaultPlanAndGracePeriod) {
+  const auto base = one_region_scenario();
+  auto variant = base;
+  variant.grace_period = 300 * sim::kSecond;
+  for (const faults::FaultKind kind : faults::kAllFaultKinds) {
+    variant.fault_plan.with_rate(kind, 0.1);
+  }
+  EXPECT_EQ(MarketTraceSet::cache_key(base), MarketTraceSet::cache_key(variant));
+}
+
+TEST(CacheKey, DistinguishesTraceInputs) {
+  const auto base = one_region_scenario();
+  const auto key = MarketTraceSet::cache_key(base);
+
+  auto seeded = base;
+  seeded.seed = 501;
+  EXPECT_NE(MarketTraceSet::cache_key(seeded), key);
+
+  auto longer = base;
+  longer.horizon = 6 * kDay;
+  EXPECT_NE(MarketTraceSet::cache_key(longer), key);
+
+  auto wider = base;
+  wider.regions = {"us-east-1a", "us-east-1b"};
+  EXPECT_NE(MarketTraceSet::cache_key(wider), key);
+
+  // Defaulted regions/sizes normalize to the canonical lists, so an
+  // explicit spelling of the defaults is the SAME key.
+  Scenario defaulted;
+  defaulted.seed = base.seed;
+  defaulted.horizon = base.horizon;
+  Scenario spelled = defaulted;
+  spelled.regions = {"us-east-1a", "us-east-1b", "us-west-1a", "eu-west-1a"};
+  EXPECT_EQ(MarketTraceSet::cache_key(defaulted),
+            MarketTraceSet::cache_key(spelled));
+}
+
+TEST(TraceCache, MemoizesBySeedAndCountsHits) {
+  TraceCache cache;
+  const auto scenario = one_region_scenario();
+  const auto first = cache.get(scenario);
+  const auto again = cache.get(scenario);
+  EXPECT_EQ(first.get(), again.get());
+  EXPECT_EQ(cache.generations(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  auto other = scenario;
+  other.seed = 501;
+  const auto different = cache.get(other);
+  EXPECT_NE(first.get(), different.get());
+  EXPECT_EQ(cache.generations(), 2u);
+
+  cache.clear();
+  (void)cache.get(scenario);
+  EXPECT_EQ(cache.generations(), 3u);
+}
+
+}  // namespace
+}  // namespace spothost::sched
