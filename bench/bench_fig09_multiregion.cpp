@@ -57,7 +57,9 @@ int main() {
     const auto& multi = results[static_cast<std::size_t>(arms.multi)];
 
     // Fig 9(b): correlation of the small markets across the two regions,
-    // from the memoized trace set the arms ran on.
+    // from the memoized trace set the arms ran on. Querying the shared set
+    // in place is safe: PriceTrace const queries are pure reads, and the
+    // sampling walk inside trace_correlation keeps its own PriceCursors.
     const auto traces = sweep.traces_for(arms.scenario);
     const double corr = trace::trace_correlation(
         traces->prices(bench::market(ra, "small")),

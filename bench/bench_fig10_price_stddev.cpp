@@ -17,6 +17,8 @@ int main() {
     const std::string region{region_view};
     std::vector<std::string> row{region};
     for (const char* size : {"small", "medium", "large", "xlarge"}) {
+      // In-place query of the shared set: trace_stddev's segment walk owns
+      // its PriceCursor, so the shared PriceTrace is never mutated.
       const auto& t = traces->prices(bench::market(region, size));
       row.push_back(metrics::fmt(trace::trace_stddev(t, 0, scenario.horizon), 4));
     }

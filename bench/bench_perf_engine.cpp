@@ -55,8 +55,8 @@ BENCHMARK(BM_SyntheticTraceMonth);
 
 // Monotone forward scan over a month of prices, the access pattern of the
 // billing meter and the scheduler's periodic re-evaluation. The baseline
-// re-runs a binary search per query (what price_at did before the read
-// cursor); the cursor variant answers the same queries amortized O(1).
+// re-runs a binary search per query (what the cursorless price_at overload
+// does); the PriceCursor variant answers the same queries amortized O(1).
 trace::PriceTrace month_trace() {
   sim::RngFactory factory(7);
   auto rng = factory.stream("bench-trace");
@@ -88,8 +88,9 @@ void BM_PriceTraceForwardScanCursor(benchmark::State& state) {
   const sim::SimTime step = 5 * sim::kMinute;
   for (auto _ : state) {
     double sum = 0.0;
+    trace::PriceCursor cursor;  // the reader's state, not the trace's
     for (sim::SimTime q = t.start(); q < t.end(); q += step) {
-      sum += t.price_at(q);
+      sum += t.price_at(q, cursor);
     }
     benchmark::DoNotOptimize(sum);
   }

@@ -18,11 +18,13 @@ double spot_cost(const trace::PriceTrace& price_trace, sim::SimTime launch,
   if (end == launch) return 0.0;
   double cost = 0.0;
   // Bill every *completed* instance-hour at its start price; the final
-  // partial hour is billed only on customer termination.
+  // partial hour is billed only on customer termination. Hour starts are
+  // monotone, so one cursor makes the meter's lookups amortized O(1).
+  trace::PriceCursor cursor;
   for (sim::SimTime hour_start = launch; hour_start < end; hour_start += sim::kHour) {
     const bool complete = hour_start + sim::kHour <= end;
     if (complete || cause == TerminationCause::kCustomer) {
-      cost += price_trace.price_at(hour_start);
+      cost += price_trace.price_at(hour_start, cursor);
     }
   }
   return cost;

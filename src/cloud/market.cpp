@@ -23,7 +23,7 @@ double SpotMarket::price() const {
   const sim::SimTime now = simulation_.now();
   // Clamp to the trace window so queries exactly at the horizon still answer.
   const sim::SimTime t = std::min(std::max(now, trace_.start()), trace_.end() - 1);
-  return trace_.price_at(t);
+  return trace_.price_at(t, trace_cursor_);
 }
 
 SpotMarket::SubscriptionId SpotMarket::subscribe(PriceObserver observer) {
@@ -43,7 +43,7 @@ void SpotMarket::start() {
 }
 
 void SpotMarket::schedule_next(sim::SimTime after_time) {
-  const auto next = trace_.next_change_after(after_time);
+  const auto next = trace_.next_change_after(after_time, trace_cursor_);
   if (!next) return;
   simulation_.at(next->time, [this, point = *next] {
     // Copy observers first: a callback may (un)subscribe reentrantly.

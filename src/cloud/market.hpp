@@ -66,6 +66,12 @@ class SpotMarket {
   sim::Simulation& simulation_;
   MarketId id_;
   trace::PriceTrace trace_;
+  // This market's read position in its trace. A SpotMarket lives inside one
+  // single-threaded Simulation and its queries move forward with sim time,
+  // so one per-instance cursor makes price()/schedule_next amortized O(1);
+  // mutable because price() is logically const (the trace itself is never
+  // mutated — cursor state is the reader's, see trace/price_trace.hpp).
+  mutable trace::PriceCursor trace_cursor_;
   double on_demand_price_;
   // Ordered by subscription id so observer dispatch order is deterministic
   // (the provider's revocation logic subscribes first and must run first).

@@ -21,18 +21,19 @@ TraceAnalysis analyze_trace(const trace::PriceTrace& price_trace, double pon,
   double below_weighted = 0.0;
   sim::SimTime below_time = 0;
 
-  sim::SimTime cursor = from;
-  while (cursor < to) {
-    const double price = price_trace.price_at(cursor);
-    const auto next = price_trace.next_change_after(cursor);
+  trace::PriceCursor cursor;  // one monotone pass over the whole trace
+  sim::SimTime t = from;
+  while (t < to) {
+    const double price = price_trace.price_at(t, cursor);
+    const auto next = price_trace.next_change_after(t, cursor);
     const sim::SimTime segment_end = next ? std::min(next->time, to) : to;
-    const sim::SimTime span = segment_end - cursor;
+    const sim::SimTime span = segment_end - t;
 
     if (price > pon) {
       if (!in_excursion) {
         in_excursion = true;
         excursion_hit_bid = false;
-        excursion_start = cursor;
+        excursion_start = t;
         ++a.excursions_above_pon;
       }
       if (price > bid) excursion_hit_bid = true;
@@ -42,12 +43,12 @@ TraceAnalysis analyze_trace(const trace::PriceTrace& price_trace, double pon,
         in_excursion = false;
         if (excursion_hit_bid) ++a.excursions_above_bid;
         a.longest_excursion =
-            std::max(a.longest_excursion, cursor - excursion_start);
+            std::max(a.longest_excursion, t - excursion_start);
       }
       below_weighted += price * static_cast<double>(span);
       below_time += span;
     }
-    cursor = segment_end;
+    t = segment_end;
   }
   if (in_excursion) {
     if (excursion_hit_bid) ++a.excursions_above_bid;

@@ -27,7 +27,12 @@ namespace spothost::sched {
 /// The generated (or CSV-loaded) price trace and on-demand price of every
 /// market a scenario instantiates, in the provider's deterministic
 /// registration order (scenario region order x scenario size order).
-/// Immutable after generate(); safe to share across threads.
+///
+/// Immutable after generate(), and PriceTrace's const queries are pure
+/// reads (per-reader state lives in caller-owned trace::PriceCursors), so a
+/// shared set may be queried in place from any number of threads — no
+/// defensive copying required. tests/sched/test_trace_race.cpp hammers one
+/// set from every pool thread under ThreadSanitizer to keep this true.
 class MarketTraceSet {
  public:
   struct Entry {

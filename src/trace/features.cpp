@@ -28,34 +28,37 @@ TraceFeatures extract_features(const PriceTrace& price_trace,
   const sim::SimTime to = price_trace.end();
   const double days = static_cast<double>(to - from) / static_cast<double>(sim::kDay);
 
+  // Every pass below restarts at `from`; the shared cursor costs one
+  // binary-search rewind per pass and then scans each walk linearly.
+  PriceCursor cursor;
   TraceFeatures f;
-  f.mean_price = price_trace.time_average(from, to);
+  f.mean_price = price_trace.time_average(from, to, cursor);
   f.stddev = trace_stddev(price_trace, from, to);
-  f.min_price = price_trace.min_price(from, to);
-  f.max_price = price_trace.max_price(from, to);
+  f.min_price = price_trace.min_price(from, to, cursor);
+  f.max_price = price_trace.max_price(from, to, cursor);
   f.changes_per_day = static_cast<double>(price_trace.size()) / std::max(days, 1e-9);
   f.fraction_below_reference =
-      price_trace.fraction_below(reference_price, from, to);
+      price_trace.fraction_below(reference_price, from, to, cursor);
   f.max_over_reference = f.max_price / reference_price;
 
   // Excursions above the reference.
-  sim::SimTime cursor = from;
+  sim::SimTime t = from;
   bool in_excursion = false;
   sim::SimTime excursion_start = 0;
   sim::SimTime excursion_total = 0;
-  while (cursor < to) {
-    const double price = price_trace.price_at(cursor);
-    const auto next = price_trace.next_change_after(cursor);
+  while (t < to) {
+    const double price = price_trace.price_at(t, cursor);
+    const auto next = price_trace.next_change_after(t, cursor);
     const sim::SimTime segment_end = next ? std::min(next->time, to) : to;
     if (price > reference_price && !in_excursion) {
       in_excursion = true;
-      excursion_start = cursor;
+      excursion_start = t;
     } else if (price <= reference_price && in_excursion) {
       in_excursion = false;
       ++f.excursions_above_reference;
-      excursion_total += cursor - excursion_start;
+      excursion_total += t - excursion_start;
     }
-    cursor = segment_end;
+    t = segment_end;
   }
   if (in_excursion) {
     ++f.excursions_above_reference;
@@ -67,7 +70,7 @@ TraceFeatures extract_features(const PriceTrace& price_trace,
   }
 
   // Lag-1h autocorrelation on a 5-minute grid.
-  const auto samples = price_trace.sample(from, to, 5 * sim::kMinute);
+  const auto samples = price_trace.sample(from, to, 5 * sim::kMinute, cursor);
   constexpr std::size_t kLag = 12;  // 12 x 5min = 1h
   if (samples.size() > kLag + 2) {
     const std::size_t n = samples.size() - kLag;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace spothost::trace {
 
@@ -51,11 +52,11 @@ constexpr std::size_t kLinearScanLimit = 8;
 
 }  // namespace
 
-std::size_t PriceTrace::index_at(sim::SimTime t) const {
+std::size_t PriceTrace::index_at(sim::SimTime t, PriceCursor& cursor) const {
   if (points_.empty() || t < points_.front().time || t >= end_) {
     throw std::out_of_range("PriceTrace: query outside [start, end)");
   }
-  std::size_t i = cursor_ < points_.size() ? cursor_ : 0;
+  std::size_t i = cursor.index_ < points_.size() ? cursor.index_ : 0;
   if (points_[i].time <= t) {
     // Forward from the cursor: the monotone common case lands within a few
     // hops; a long jump gallops into a binary search of the remaining tail.
@@ -78,15 +79,40 @@ std::size_t PriceTrace::index_at(sim::SimTime t) const {
         [](sim::SimTime lhs, const PricePoint& p) { return lhs < p.time; });
     i = static_cast<std::size_t>(std::distance(points_.begin(), it)) - 1;
   }
-  cursor_ = i;
+  cursor.index_ = i;
   return i;
 }
 
+void PriceTrace::check_interval(const char* name, sim::SimTime from,
+                                sim::SimTime to) const {
+  if (from >= to) {
+    throw std::invalid_argument(std::string(name) + ": empty interval");
+  }
+  if (to > end_) {
+    // The step function is undefined past end(); silently extrapolating the
+    // last price would fabricate data (and used to, for four of the five
+    // interval statistics).
+    throw std::out_of_range(std::string(name) +
+                            ": interval extends past the trace end()");
+  }
+}
+
 double PriceTrace::price_at(sim::SimTime t) const {
-  return points_[index_at(t)].price;
+  PriceCursor cursor;
+  return price_at(t, cursor);
+}
+
+double PriceTrace::price_at(sim::SimTime t, PriceCursor& cursor) const {
+  return points_[index_at(t, cursor)].price;
 }
 
 std::optional<PricePoint> PriceTrace::next_change_after(sim::SimTime t) const {
+  PriceCursor cursor;
+  return next_change_after(t, cursor);
+}
+
+std::optional<PricePoint> PriceTrace::next_change_after(sim::SimTime t,
+                                                        PriceCursor& cursor) const {
   if (points_.empty()) return std::nullopt;
   if (t < points_.front().time) {
     if (points_.front().time >= end_) return std::nullopt;
@@ -94,76 +120,116 @@ std::optional<PricePoint> PriceTrace::next_change_after(sim::SimTime t) const {
   }
   if (t >= end_) return std::nullopt;
   // t lies in [start, end): the next change is the point after t's segment.
-  const std::size_t i = index_at(t);
+  const std::size_t i = index_at(t, cursor);
   if (i + 1 < points_.size() && points_[i + 1].time < end_) return points_[i + 1];
   return std::nullopt;
 }
 
 double PriceTrace::time_average(sim::SimTime from, sim::SimTime to) const {
-  if (from >= to) throw std::invalid_argument("time_average: empty interval");
-  std::size_t i = index_at(from);
+  PriceCursor cursor;
+  return time_average(from, to, cursor);
+}
+
+double PriceTrace::time_average(sim::SimTime from, sim::SimTime to,
+                                PriceCursor& cursor) const {
+  check_interval("time_average", from, to);
+  std::size_t i = index_at(from, cursor);
   double weighted = 0.0;
-  sim::SimTime cursor = from;
-  while (cursor < to) {
+  sim::SimTime t = from;
+  while (t < to) {
     const sim::SimTime seg_end =
         (i + 1 < points_.size()) ? std::min(points_[i + 1].time, to) : to;
-    weighted += points_[i].price * static_cast<double>(seg_end - cursor);
-    cursor = seg_end;
-    ++i;
+    weighted += points_[i].price * static_cast<double>(seg_end - t);
+    t = seg_end;
+    if (t < to) ++i;
   }
+  cursor.index_ = i;
   return weighted / static_cast<double>(to - from);
 }
 
 double PriceTrace::fraction_below(double threshold, sim::SimTime from,
                                   sim::SimTime to) const {
-  if (from >= to) throw std::invalid_argument("fraction_below: empty interval");
-  std::size_t i = index_at(from);
+  PriceCursor cursor;
+  return fraction_below(threshold, from, to, cursor);
+}
+
+double PriceTrace::fraction_below(double threshold, sim::SimTime from,
+                                  sim::SimTime to, PriceCursor& cursor) const {
+  check_interval("fraction_below", from, to);
+  std::size_t i = index_at(from, cursor);
   sim::SimTime below = 0;
-  sim::SimTime cursor = from;
-  while (cursor < to) {
+  sim::SimTime t = from;
+  while (t < to) {
     const sim::SimTime seg_end =
         (i + 1 < points_.size()) ? std::min(points_[i + 1].time, to) : to;
-    if (points_[i].price < threshold) below += seg_end - cursor;
-    cursor = seg_end;
-    ++i;
+    if (points_[i].price < threshold) below += seg_end - t;
+    t = seg_end;
+    if (t < to) ++i;
   }
+  cursor.index_ = i;
   return static_cast<double>(below) / static_cast<double>(to - from);
 }
 
 double PriceTrace::min_price(sim::SimTime from, sim::SimTime to) const {
-  if (from >= to) throw std::invalid_argument("min_price: empty interval");
-  std::size_t i = index_at(from);
+  PriceCursor cursor;
+  return min_price(from, to, cursor);
+}
+
+double PriceTrace::min_price(sim::SimTime from, sim::SimTime to,
+                             PriceCursor& cursor) const {
+  check_interval("min_price", from, to);
+  std::size_t i = index_at(from, cursor);
   double lo = points_[i].price;
-  for (++i; i < points_.size() && points_[i].time < to; ++i) {
+  while (i + 1 < points_.size() && points_[i + 1].time < to) {
+    ++i;
     lo = std::min(lo, points_[i].price);
   }
+  cursor.index_ = i;
   return lo;
 }
 
 double PriceTrace::max_price(sim::SimTime from, sim::SimTime to) const {
-  if (from >= to) throw std::invalid_argument("max_price: empty interval");
-  std::size_t i = index_at(from);
+  PriceCursor cursor;
+  return max_price(from, to, cursor);
+}
+
+double PriceTrace::max_price(sim::SimTime from, sim::SimTime to,
+                             PriceCursor& cursor) const {
+  check_interval("max_price", from, to);
+  std::size_t i = index_at(from, cursor);
   double hi = points_[i].price;
-  for (++i; i < points_.size() && points_[i].time < to; ++i) {
+  while (i + 1 < points_.size() && points_[i + 1].time < to) {
+    ++i;
     hi = std::max(hi, points_[i].price);
   }
+  cursor.index_ = i;
   return hi;
 }
 
 std::vector<double> PriceTrace::sample(sim::SimTime from, sim::SimTime to,
                                        sim::SimTime step) const {
+  PriceCursor cursor;
+  return sample(from, to, step, cursor);
+}
+
+std::vector<double> PriceTrace::sample(sim::SimTime from, sim::SimTime to,
+                                       sim::SimTime step,
+                                       PriceCursor& cursor) const {
   if (step <= 0) throw std::invalid_argument("sample: step must be > 0");
+  if (to > end_) {
+    throw std::out_of_range("sample: interval extends past the trace end()");
+  }
   std::vector<double> out;
   if (from >= to) return out;
   out.reserve(static_cast<std::size_t>((to - from) / step) + 1);
   // Single linear merge of the sample grid against the change points —
   // O(samples + points) instead of a lookup per sample.
-  std::size_t i = index_at(from);
+  std::size_t i = index_at(from, cursor);
   for (sim::SimTime t = from; t < to; t += step) {
-    if (t >= end_) throw std::out_of_range("PriceTrace: query outside [start, end)");
     while (i + 1 < points_.size() && points_[i + 1].time <= t) ++i;
     out.push_back(points_[i].price);
   }
+  cursor.index_ = i;
   return out;
 }
 

@@ -5,16 +5,15 @@
 // answers the queries the simulator needs: point lookup, next change after t,
 // exact time-weighted integrals, and uniform resampling for statistics.
 //
-// Lookups keep a read cursor at the last segment served: the scheduler and
-// billing only move forward in simulation time, so point queries are
-// amortized O(1) along a monotone pass (with a binary-search fallback for
-// jumps and rewinds). The cursor makes const queries mutate internal state —
-// a PriceTrace instance is therefore NOT safe for concurrent queries; give
-// each thread its own copy (copies are independent, and the experiment
-// layer's memoized trace sets are only ever copied from, never queried
-// concurrently).
+// Thread safety: a PriceTrace is built once (append/set_end) and immutable
+// afterwards — every const query is a pure read, so one instance may be
+// queried from any number of threads concurrently (this is what lets the
+// experiment layer's memoized MarketTraceSets be shared across pool threads
+// without copying). The monotone-scan acceleration state lives in an
+// explicit per-reader PriceCursor owned by the caller, never in the trace.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <vector>
 
@@ -25,6 +24,29 @@ namespace spothost::trace {
 struct PricePoint {
   sim::SimTime time;  ///< instant the price takes effect
   double price;       ///< $/hour from `time` until the next point
+};
+
+/// Per-reader read position for amortized-O(1) monotone PriceTrace queries.
+///
+/// The scheduler and billing meter only move forward in simulation time, so
+/// remembering the last segment served turns their point lookups into a
+/// short linear scan (with a binary-search fallback for jumps and rewinds).
+/// That memory is *reader* state, not trace state: each reader — a
+/// SpotMarket, one statistics walk, one bench loop — owns its own cursor
+/// and passes it to the cursor-taking query overloads. A cursor is cheap to
+/// construct, belongs to one trace at a time (reusing it on another trace
+/// is safe but degrades the first query to a search), and must not be
+/// shared between threads — the trace itself may be.
+class PriceCursor {
+ public:
+  PriceCursor() = default;
+
+  /// Forgets the remembered position; the next query re-searches.
+  void reset() noexcept { index_ = 0; }
+
+ private:
+  friend class PriceTrace;
+  std::size_t index_ = 0;  ///< last segment index served
 };
 
 class PriceTrace {
@@ -48,40 +70,66 @@ class PriceTrace {
   [[nodiscard]] sim::SimTime start() const;
   [[nodiscard]] sim::SimTime end() const noexcept { return end_; }
 
+  // Every query comes in two const-safe flavours: a cursor-taking overload
+  // (amortized O(1) along a monotone pass — pass the same cursor to each
+  // successive call) and a cursorless convenience that searches from
+  // scratch (O(log n)). Neither mutates the trace.
+
   /// Price in effect at `t`. Precondition: start() <= t < end().
   [[nodiscard]] double price_at(sim::SimTime t) const;
+  [[nodiscard]] double price_at(sim::SimTime t, PriceCursor& cursor) const;
 
   /// First change event strictly after `t`, or nullopt if none before end().
   [[nodiscard]] std::optional<PricePoint> next_change_after(sim::SimTime t) const;
+  [[nodiscard]] std::optional<PricePoint> next_change_after(
+      sim::SimTime t, PriceCursor& cursor) const;
+
+  // Interval statistics over [from, to). All of them require
+  // start() <= from < to <= end(): an interval reaching past the validity
+  // window throws std::out_of_range (the step function is unknown there),
+  // an empty interval throws std::invalid_argument.
 
   /// Exact time-weighted average over [from, to) of the step function.
   [[nodiscard]] double time_average(sim::SimTime from, sim::SimTime to) const;
+  [[nodiscard]] double time_average(sim::SimTime from, sim::SimTime to,
+                                    PriceCursor& cursor) const;
 
   /// Fraction of [from, to) during which price < threshold (time-weighted).
   [[nodiscard]] double fraction_below(double threshold, sim::SimTime from,
                                       sim::SimTime to) const;
+  [[nodiscard]] double fraction_below(double threshold, sim::SimTime from,
+                                      sim::SimTime to, PriceCursor& cursor) const;
 
   /// Minimum / maximum price over [from, to).
   [[nodiscard]] double min_price(sim::SimTime from, sim::SimTime to) const;
+  [[nodiscard]] double min_price(sim::SimTime from, sim::SimTime to,
+                                 PriceCursor& cursor) const;
   [[nodiscard]] double max_price(sim::SimTime from, sim::SimTime to) const;
+  [[nodiscard]] double max_price(sim::SimTime from, sim::SimTime to,
+                                 PriceCursor& cursor) const;
 
   /// Samples price at from, from+step, ... (< to) — for correlation grids.
+  /// Requires to <= end(); an empty interval yields an empty vector.
   [[nodiscard]] std::vector<double> sample(sim::SimTime from, sim::SimTime to,
                                            sim::SimTime step) const;
+  [[nodiscard]] std::vector<double> sample(sim::SimTime from, sim::SimTime to,
+                                           sim::SimTime step,
+                                           PriceCursor& cursor) const;
 
   [[nodiscard]] const std::vector<PricePoint>& points() const noexcept { return points_; }
 
  private:
   // Index of the point governing time t (largest i with points_[i].time <= t).
-  // Starts from the cursor: a short linear scan forward for the monotone
-  // common case, binary search otherwise; leaves the cursor at the result.
-  [[nodiscard]] std::size_t index_at(sim::SimTime t) const;
+  // Starts from the caller's cursor: a short linear scan forward for the
+  // monotone common case, binary search otherwise; leaves the cursor at the
+  // result.
+  [[nodiscard]] std::size_t index_at(sim::SimTime t, PriceCursor& cursor) const;
+
+  // Shared [from, to) validation for the interval statistics.
+  void check_interval(const char* name, sim::SimTime from, sim::SimTime to) const;
 
   std::vector<PricePoint> points_;
   sim::SimTime end_ = 0;
-  // Last segment index served by index_at. Pure acceleration state: no query
-  // result depends on it. Mutated by const lookups (see header comment).
-  mutable std::size_t cursor_ = 0;
 };
 
 }  // namespace spothost::trace

@@ -47,16 +47,17 @@ double pearson(std::span<const double> xs, std::span<const double> ys) {
 
 double trace_stddev(const PriceTrace& trace, sim::SimTime from, sim::SimTime to) {
   if (from >= to) throw std::invalid_argument("trace_stddev: empty interval");
-  const double m = trace.time_average(from, to);
+  PriceCursor cursor;
+  const double m = trace.time_average(from, to, cursor);
   // Walk the step function segments and accumulate weighted squared error.
   double acc = 0.0;
-  sim::SimTime cursor = from;
-  while (cursor < to) {
-    const double p = trace.price_at(cursor);
-    const auto next = trace.next_change_after(cursor);
+  sim::SimTime t = from;
+  while (t < to) {
+    const double p = trace.price_at(t, cursor);
+    const auto next = trace.next_change_after(t, cursor);
     const sim::SimTime seg_end = next ? std::min(next->time, to) : to;
-    acc += (p - m) * (p - m) * static_cast<double>(seg_end - cursor);
-    cursor = seg_end;
+    acc += (p - m) * (p - m) * static_cast<double>(seg_end - t);
+    t = seg_end;
   }
   return std::sqrt(acc / static_cast<double>(to - from));
 }

@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <future>
 #include <stdexcept>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "trace/csv.hpp"
 
 namespace spothost::sched {
 namespace {
@@ -140,6 +146,77 @@ TEST(TraceCache, MemoizesBySeedAndCountsHits) {
   cache.clear();
   (void)cache.get(scenario);
   EXPECT_EQ(cache.generations(), 3u);
+}
+
+// Scratch directory holding one measured-trace CSV for us-east-1a/small.
+// Writing a trace shorter than the scenario horizon makes generate() throw;
+// rewriting it long enough repairs the same cache key in place.
+class TraceCacheFailure : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Test name keys the scratch dir: ctest runs each TEST_F in its own
+    // process, so concurrent tests of this suite never share a directory.
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("spothost_trace_cache_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void write_trace_ending_at(sim::SimTime end) {
+    trace::PriceTrace t;
+    t.append(0, 0.05);
+    t.set_end(end);
+    trace::save_csv_file(t, (dir_ / "us-east-1a_small.csv").string());
+  }
+
+  Scenario csv_scenario() {
+    Scenario s = one_region_scenario();
+    s.trace_dir = dir_.string();
+    return s;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(TraceCacheFailure, GenerationFailureIsNotCachedAndRetryRegenerates) {
+  write_trace_ending_at(kDay);  // scenario horizon is 5 days — too short
+  TraceCache cache;
+  const auto scenario = csv_scenario();
+  EXPECT_THROW((void)cache.get(scenario), std::invalid_argument);
+
+  // The failed future must have been evicted: repairing the input and
+  // retrying the SAME key regenerates instead of rethrowing a stale error.
+  write_trace_ending_at(6 * kDay);
+  const auto set = cache.get(scenario);
+  ASSERT_EQ(set->markets().size(), 4u);
+  EXPECT_GE(set->prices({"us-east-1a", InstanceSize::kSmall}).end(), 6 * kDay);
+  EXPECT_GE(cache.generations(), 2u);
+}
+
+TEST_F(TraceCacheFailure, ConcurrentWaitersAllObserveTheException) {
+  write_trace_ending_at(kDay);
+  TraceCache cache;
+  const auto scenario = csv_scenario();
+
+  exec::ThreadPool pool(4);
+  std::vector<std::future<bool>> threw;
+  threw.reserve(12);
+  for (int i = 0; i < 12; ++i) {
+    threw.push_back(pool.submit([&cache, scenario] {
+      try {
+        (void)cache.get(scenario);
+        return false;
+      } catch (const std::invalid_argument&) {
+        return true;  // owner and waiters alike see the generation error
+      }
+    }));
+  }
+  for (auto& f : threw) EXPECT_TRUE(f.get());
+
+  write_trace_ending_at(6 * kDay);
+  EXPECT_NO_THROW((void)cache.get(scenario));
 }
 
 }  // namespace
