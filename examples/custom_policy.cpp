@@ -16,7 +16,7 @@ using namespace spothost;
 // market, on-demand fallback in the query's region. Equivalent to
 // kSingleMarket scope, but expressed from outside the library — the same
 // three virtuals accommodate portfolio selection, latency-aware placement,
-// or anything else an operator dreams up (see DESIGN.md section 3).
+// or anything else an operator dreams up (see DESIGN.md section 4).
 class PinnedMarketPolicy final : public sched::PlacementPolicy {
  public:
   explicit PinnedMarketPolicy(cloud::MarketId pin) : pin_(std::move(pin)) {}

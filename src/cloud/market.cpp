@@ -46,13 +46,22 @@ void SpotMarket::schedule_next(sim::SimTime after_time) {
   const auto next = trace_.next_change_after(after_time, trace_cursor_);
   if (!next) return;
   simulation_.at(next->time, [this, point = *next] {
-    // Copy observers first: a callback may (un)subscribe reentrantly.
-    std::vector<PriceObserver> snapshot;
-    snapshot.reserve(observers_.size());
-    for (const auto& [sid, obs] : observers_) snapshot.push_back(obs);
-    for (const auto& obs : snapshot) obs(*this, point.price);
+    dispatch(point.price);
     schedule_next(point.time);
   });
+}
+
+void SpotMarket::dispatch(double new_price) {
+  // Snapshot ids, not observer functions: a callback may (un)subscribe
+  // reentrantly, and ids are stable where map iterators are not. The buffer
+  // is a reused member, so steady-state price steps do not allocate.
+  dispatch_ids_.clear();
+  for (const auto& [sid, obs] : observers_) dispatch_ids_.push_back(sid);
+  for (const SubscriptionId sid : dispatch_ids_) {
+    const auto it = observers_.find(sid);
+    if (it == observers_.end()) continue;  // unsubscribed mid-dispatch
+    it->second(*this, new_price);
+  }
 }
 
 }  // namespace spothost::cloud

@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "cloud/instance_types.hpp"
 #include "simcore/simulation.hpp"
@@ -73,9 +74,17 @@ class SpotMarket {
   // mutated — cursor state is the reader's, see trace/price_trace.hpp).
   mutable trace::PriceCursor trace_cursor_;
   double on_demand_price_;
+  void dispatch(double new_price);
+
   // Ordered by subscription id so observer dispatch order is deterministic
   // (the provider's revocation logic subscribes first and must run first).
   std::map<SubscriptionId, PriceObserver> observers_;
+  // Reused id snapshot for dispatch: observers may (un)subscribe reentrantly,
+  // so each price step walks a stable list of ids — not live map iterators —
+  // and re-looks each id up before calling. Snapshotting ids instead of the
+  // std::function objects themselves keeps a price step allocation-free once
+  // the buffer has grown to the steady-state observer count.
+  std::vector<SubscriptionId> dispatch_ids_;
   SubscriptionId next_subscription_ = 1;
   bool started_ = false;
 };

@@ -225,6 +225,9 @@ void CloudProvider::complete_grant(InstanceId iid) {
   }
   inst.state = InstanceState::kRunning;
   inst.launch = simulation_.now();
+  if (inst.mode == BillingMode::kSpot) {
+    running_spot_[inst.market].push_back(iid);
+  }
   if (auto* tracer = simulation_.tracer(); tracer && tracer->enabled()) {
     auto e = provider_event(obs::EventKind::kAcquisition, simulation_.now(),
                             inst.market);
@@ -245,7 +248,7 @@ void CloudProvider::complete_grant(InstanceId iid) {
 void CloudProvider::cancel_request(InstanceId id) {
   const auto pit = pending_.find(id);
   if (pit == pending_.end()) return;
-  simulation_.cancel(pit->second.event);
+  pit->second.event.cancel();
   pending_.erase(pit);
   instance_mut(id).state = InstanceState::kTerminated;
 }
@@ -290,18 +293,19 @@ void CloudProvider::on_price_change(const MarketId& id, double new_price) {
     e.value = new_price;
     tracer->emit(e);
   }
-  // Walk running spot instances in this market; warn those whose bid is now
-  // exceeded. Iterate over ids snapshot: handlers may mutate instances_.
+  // Walk this market's running spot index; warn those whose bid is now
+  // exceeded. One pass over the affected instances — a price step never
+  // scales with the fleet. Snapshot the ids: handlers may mutate state.
   std::vector<InstanceId> to_warn;
-  for (auto& [iid, inst] : instances_) {
-    if (inst.mode == BillingMode::kSpot && inst.state == InstanceState::kRunning &&
-        inst.market == id && new_price > inst.bid) {
-      to_warn.push_back(iid);
+  if (const auto rit = running_spot_.find(id); rit != running_spot_.end()) {
+    for (const InstanceId iid : rit->second) {
+      if (new_price > instances_.find(iid)->second.bid) to_warn.push_back(iid);
     }
   }
   std::sort(to_warn.begin(), to_warn.end());  // deterministic order
   for (const InstanceId iid : to_warn) {
     Instance& inst = instance_mut(iid);
+    drop_running_spot(inst);
     inst.state = InstanceState::kWarned;
     inst.termination_time = simulation_.now() + grace_;
     SPOTHOST_LOG(sim::LogLevel::kDebug, simulation_.now(),
@@ -360,8 +364,22 @@ void CloudProvider::on_price_change(const MarketId& id, double new_price) {
   }
 }
 
+void CloudProvider::drop_running_spot(const Instance& inst) {
+  const auto rit = running_spot_.find(inst.market);
+  if (rit == running_spot_.end()) return;
+  auto& ids = rit->second;
+  const auto it = std::find(ids.begin(), ids.end(), inst.id);
+  if (it != ids.end()) {
+    *it = ids.back();
+    ids.pop_back();
+  }
+}
+
 void CloudProvider::complete_lease(Instance& inst, TerminationCause cause,
                                    sim::SimTime end) {
+  if (inst.mode == BillingMode::kSpot && inst.state == InstanceState::kRunning) {
+    drop_running_spot(inst);
+  }
   BillingRecord record;
   record.instance_id = inst.id;
   record.market = inst.market;

@@ -121,7 +121,7 @@ class CloudProvider {
   struct Pending {
     ReadyCallback on_ready;
     FailCallback on_fail;
-    sim::EventId event = sim::kInvalidEventId;
+    sim::EventHandle event;
     bool delayed = false;  ///< an injected allocation timeout already fired
   };
 
@@ -129,6 +129,9 @@ class CloudProvider {
   void complete_grant(InstanceId id);
   void complete_lease(Instance& inst, TerminationCause cause, sim::SimTime end);
   Instance& instance_mut(InstanceId id);
+  /// Removes a spot instance leaving the kRunning state from its market's
+  /// running-spot index.
+  void drop_running_spot(const Instance& inst);
 
   sim::Simulation& simulation_;
   const sim::RngFactory& rng_factory_;
@@ -141,6 +144,10 @@ class CloudProvider {
   mutable std::unordered_map<std::string, std::unique_ptr<sim::RngStream>> latency_rng_;
 
   std::unordered_map<InstanceId, Instance> instances_;
+  /// Running spot instances per market, so a price step touches only the
+  /// instances it can actually revoke — never the whole fleet. Unordered
+  /// within a market; revocation order is fixed by sorting the affected ids.
+  std::unordered_map<MarketId, std::vector<InstanceId>, MarketIdHash> running_spot_;
   std::unordered_map<InstanceId, Pending> pending_;
   std::unordered_map<InstanceId, RevocationHandler> revocation_handlers_;
   InstanceId next_instance_ = 1;

@@ -8,47 +8,48 @@
 
 namespace spothost::sched {
 
-FleetScheduler::FleetScheduler(sim::Simulation& simulation,
+FleetScheduler::FleetScheduler(sim::Clock& clock,
                                cloud::CloudProvider& provider, FleetConfig config,
                                const sim::RngFactory& rng_factory)
     : provider_(provider),
-      watcher_(std::make_unique<MarketWatcher>(simulation, provider)) {
+      watcher_(std::make_unique<MarketWatcher>(clock, provider)),
+      services_(config.num_services > 0
+                    ? static_cast<std::size_t>(config.num_services)
+                    : 0),
+      schedulers_(services_.capacity()) {
   if (config.num_services <= 0) {
     throw std::invalid_argument("FleetScheduler: num_services must be > 0");
   }
-  units_.reserve(static_cast<std::size_t>(config.num_services));
   for (int i = 0; i < config.num_services; ++i) {
     SchedulerConfig cfg = config.service_template;
     if (!config.home_markets.empty()) {
       cfg.home_market = config.home_markets[static_cast<std::size_t>(i) %
                                             config.home_markets.size()];
     }
-    Unit unit;
-    unit.service = std::make_unique<workload::AlwaysOnService>(
+    auto& service = services_.emplace_back(
         "svc-" + std::to_string(i),
         virt::default_spec_for_memory(cloud::type_info(cfg.home_market.size).memory_gb,
                                       cloud::type_info(cfg.home_market.size).disk_gb));
-    unit.scheduler = std::make_unique<CloudScheduler>(
-        simulation, provider, *watcher_, *unit.service, cfg,
+    schedulers_.emplace_back(
+        clock, provider, *watcher_, service, std::move(cfg),
         rng_factory.stream("fleet-timing", static_cast<std::uint64_t>(i)));
-    units_.push_back(std::move(unit));
   }
 }
 
 void FleetScheduler::start() {
-  for (auto& unit : units_) unit.scheduler->start();
+  for (auto& scheduler : schedulers_) scheduler.start();
 }
 
 void FleetScheduler::finalize(sim::SimTime horizon) {
-  for (auto& unit : units_) unit.scheduler->finalize(horizon);
+  for (auto& scheduler : schedulers_) scheduler.finalize(horizon);
 }
 
 const workload::AlwaysOnService& FleetScheduler::service(int index) const {
-  return *units_.at(static_cast<std::size_t>(index)).service;
+  return services_.at(static_cast<std::size_t>(index));
 }
 
 const CloudScheduler& FleetScheduler::scheduler(int index) const {
-  return *units_.at(static_cast<std::size_t>(index)).scheduler;
+  return schedulers_.at(static_cast<std::size_t>(index));
 }
 
 OutageOverlap compute_outage_overlap(
@@ -89,23 +90,23 @@ FleetMetrics FleetScheduler::metrics(sim::SimTime horizon) const {
   // share is the template's; for mixed fleets this is an approximation the
   // per-record owner tracking would refine.
   std::vector<std::vector<workload::OutageRecord>> outages;
-  outages.reserve(units_.size());
+  outages.reserve(schedulers_.size());
   double worst = 0.0;
   double unavail_sum = 0.0;
-  for (const auto& unit : units_) {
-    const auto& avail = unit.service->availability();
+  for (std::size_t i = 0; i < schedulers_.size(); ++i) {
+    const auto& avail = services_[i].availability();
     const double u = avail.unavailability_percent();
     unavail_sum += u;
     worst = std::max(worst, u);
     outages.push_back(avail.outages());
-    const auto& stats = unit.scheduler->stats();
+    const auto& stats = schedulers_[i].stats();
     m.total_forced += stats.forced;
     m.total_planned += stats.planned;
     m.total_reverse += stats.reverse;
 
     const double od = effective_on_demand_price(
-        provider_, unit.scheduler->config().home_market.region,
-        unit.scheduler->config().home_market.size);
+        provider_, schedulers_[i].config().home_market.region,
+        schedulers_[i].config().home_market.size);
     m.baseline_od_cost += cloud::on_demand_cost(od, 0, horizon);
   }
   m.mean_unavailability_pct = unavail_sum / m.services;
@@ -114,7 +115,7 @@ FleetMetrics FleetScheduler::metrics(sim::SimTime horizon) const {
   for (const auto& record : provider_.ledger().records()) {
     m.total_cost += record.cost;
     const int capacity = cloud::type_info(record.market.size).capacity_units;
-    const int units_needed = units_.front().scheduler->units_needed();
+    const int units_needed = schedulers_[0].units_needed();
     m.attributed_cost +=
         record.cost * std::min(1.0, static_cast<double>(units_needed) / capacity);
   }

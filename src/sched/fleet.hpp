@@ -11,11 +11,15 @@
 //
 // All schedulers share one MarketWatcher, so the provider sees one price
 // subscription per market regardless of fleet size (O(M), not O(N×M)).
+// Per-service state lives in dense arenas (exec/arena.hpp) indexed by the
+// service number — at fleet scale (100k-1M services, bench_fleet_scale) the
+// contiguous layout matters as much as the event-queue asymptotics.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "exec/arena.hpp"
 #include "sched/market_watcher.hpp"
 #include "sched/scheduler.hpp"
 #include "workload/service.hpp"
@@ -56,7 +60,7 @@ class FleetScheduler {
   /// Builds `config.num_services` services and schedulers against the
   /// provider. Call start() before running the simulation and finalize()
   /// after; then read metrics().
-  FleetScheduler(sim::Simulation& simulation, cloud::CloudProvider& provider,
+  FleetScheduler(sim::Clock& clock, cloud::CloudProvider& provider,
                  FleetConfig config, const sim::RngFactory& rng_factory);
 
   void start();
@@ -66,21 +70,23 @@ class FleetScheduler {
 
   [[nodiscard]] const workload::AlwaysOnService& service(int index) const;
   [[nodiscard]] const CloudScheduler& scheduler(int index) const;
-  [[nodiscard]] int size() const noexcept { return static_cast<int>(units_.size()); }
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(schedulers_.size());
+  }
   /// The trigger layer shared by every scheduler in the fleet.
   [[nodiscard]] const MarketWatcher& watcher() const noexcept { return *watcher_; }
 
  private:
-  struct Unit {
-    std::unique_ptr<workload::AlwaysOnService> service;
-    std::unique_ptr<CloudScheduler> scheduler;
-  };
-
   cloud::CloudProvider& provider_;
-  // Declared before units_: schedulers deregister from the watcher on
-  // destruction, so it must be destroyed after them.
+  // Destruction order (reverse of declaration): schedulers first — they
+  // deregister from the watcher and reference their service — then the
+  // services, then the shared watcher.
   std::unique_ptr<MarketWatcher> watcher_;
-  std::vector<Unit> units_;
+  // Dense per-service state: one contiguous slab each for services and
+  // schedulers instead of 2N heap nodes (exec/arena.hpp). Index i is one
+  // service's row across both arenas.
+  exec::FixedArena<workload::AlwaysOnService> services_;
+  exec::FixedArena<CloudScheduler> schedulers_;
 };
 
 /// Overlap statistics over per-service outage interval lists: returns

@@ -5,24 +5,31 @@
 
 namespace spothost::sched {
 
-MarketWatcher::MarketWatcher(sim::Simulation& simulation, cloud::CloudProvider& provider)
-    : simulation_(simulation), provider_(provider) {}
+namespace {
+// Interest lists shorter than this are never swept: a pass over them is
+// cheaper than the bookkeeping.
+constexpr std::size_t kSweepFloor = 16;
+}  // namespace
+
+MarketWatcher::MarketWatcher(sim::Clock& clock, cloud::CloudProvider& provider)
+    : clock_(clock), provider_(provider) {}
 
 MarketWatcher::ListenerId MarketWatcher::add_listener(TriggerCallback callback) {
-  const ListenerId id = next_listener_++;
-  listeners_.emplace(id, std::move(callback));
-  return id;
+  listeners_.push_back(std::move(callback));
+  ++live_listeners_;
+  return static_cast<ListenerId>(listeners_.size());
 }
 
 void MarketWatcher::remove_listener(ListenerId id) {
-  listeners_.erase(id);
-  for (auto& [market, ids] : interest_) {
-    ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
-  }
+  if (!alive(id)) return;
+  listeners_[static_cast<std::size_t>(id - 1)] = nullptr;
+  --live_listeners_;
+  // Interest lists keep the tombstoned id until a dispatch-time sweep;
+  // dispatch skips dead entries, so no delivery can happen meanwhile.
 }
 
 void MarketWatcher::watch(ListenerId id, const std::vector<cloud::MarketId>& markets) {
-  if (!listeners_.contains(id)) return;
+  if (!alive(id)) return;
   for (const auto& market : markets) {
     auto& ids = interest_[market];
     if (std::find(ids.begin(), ids.end(), id) != ids.end()) continue;
@@ -39,8 +46,8 @@ void MarketWatcher::watch(ListenerId id, const std::vector<cloud::MarketId>& mar
   }
 }
 
-sim::EventId MarketWatcher::schedule_hour_tick(ListenerId id, sim::SimTime at) {
-  return simulation_.at(at, [this, id] {
+sim::EventHandle MarketWatcher::schedule_hour_tick(ListenerId id, sim::SimTime at) {
+  return clock_.at(at, [this, id] {
     Trigger trigger;
     trigger.kind = TriggerKind::kHourBoundary;
     deliver(id, trigger);
@@ -61,19 +68,37 @@ void MarketWatcher::arm_revocation(ListenerId id, cloud::InstanceId instance) {
 void MarketWatcher::on_price_change(const cloud::MarketId& market, double new_price) {
   const auto it = interest_.find(market);
   if (it == interest_.end()) return;
-  // Snapshot: a trigger handler may watch/unwatch reentrantly.
-  const std::vector<ListenerId> recipients = it->second;
   Trigger trigger;
   trigger.kind = TriggerKind::kPriceChange;
   trigger.market = market;
   trigger.price = new_price;
-  for (const ListenerId id : recipients) deliver(id, trigger);
+  // One pass over the interest list, by index: a handler may watch() (grows
+  // the same vector — appendees are not part of this step), remove_listener
+  // (tombstones — skipped by deliver), or add_listener, all without
+  // invalidating the iteration. No snapshot, no allocation.
+  ++dispatch_depth_;
+  auto& ids = it->second;
+  std::size_t dead = 0;
+  const std::size_t count = ids.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    const ListenerId id = ids[i];
+    if (!alive(id)) {
+      ++dead;
+      continue;
+    }
+    listeners_[static_cast<std::size_t>(id - 1)](trigger);
+  }
+  --dispatch_depth_;
+  // Sweep tombstones once they dominate, but never under a reentrant
+  // dispatch that may still be iterating this list.
+  if (dispatch_depth_ == 0 && ids.size() >= kSweepFloor && 2 * dead > ids.size()) {
+    std::erase_if(ids, [this](ListenerId id) { return !alive(id); });
+  }
 }
 
 void MarketWatcher::deliver(ListenerId id, const Trigger& trigger) {
-  const auto it = listeners_.find(id);
-  if (it == listeners_.end()) return;
-  it->second(trigger);
+  if (!alive(id)) return;
+  listeners_[static_cast<std::size_t>(id - 1)](trigger);
 }
 
 }  // namespace spothost::sched

@@ -14,22 +14,25 @@
 //    the delivery, not the schedule);
 //  * kRevocation   — the provider warned an instance the listener armed.
 //
-// Listeners within one market fire in registration order, and the watcher
-// snapshots the recipient list before dispatching, so listeners may
-// (un)register reentrantly — the same reentrancy contract SpotMarket gives
-// its observers. Everything is deterministic: identical registration order
-// yields identical dispatch order.
+// Fan-out is batched for fleet scale: one price step is one pass over the
+// market's interest list — no per-service events, no snapshot allocation,
+// no std::function copies. Listeners live in a dense vector indexed by
+// ListenerId (ids are never reused); removal tombstones the slot, dispatch
+// iterates by index with the list length captured up front, so listeners
+// may (un)register and watch() reentrantly mid-dispatch. Tombstoned ids are
+// swept out of interest lists only between dispatches. Listeners within one
+// market fire in registration order; identical registration order yields
+// identical dispatch order, every run.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "cloud/provider.hpp"
-#include "simcore/simulation.hpp"
+#include "simcore/clock.hpp"
 
 namespace spothost::sched {
 
@@ -74,7 +77,7 @@ class MarketWatcher {
 
   using TriggerCallback = std::function<void(const Trigger&)>;
 
-  MarketWatcher(sim::Simulation& simulation, cloud::CloudProvider& provider);
+  MarketWatcher(sim::Clock& clock, cloud::CloudProvider& provider);
 
   /// Registers a listener; triggers are delivered through `callback`.
   ///
@@ -82,12 +85,12 @@ class MarketWatcher {
   ///  * Delivery is synchronous, inside the provider/simulation event that
   ///    caused it — a callback observes the world exactly as the trigger
   ///    left it, and may issue provider requests or (un)register listeners
-  ///    reentrantly (the recipient list is snapshotted per dispatch).
+  ///    reentrantly (dispatch tolerates mid-pass mutation).
   ///  * Listeners sharing a market fire in registration (ListenerId) order;
   ///    same registrations, same dispatch order, every run.
   ///  * The callback must stay valid until remove_listener returns; after
-  ///    that no further triggers are delivered, including ones already
-  ///    snapshotted for the in-flight dispatch.
+  ///    that no further triggers are delivered, including to recipients the
+  ///    in-flight dispatch has not reached yet.
   ListenerId add_listener(TriggerCallback callback);
 
   /// Deregisters: no further triggers are delivered. Provider-side feed
@@ -101,8 +104,8 @@ class MarketWatcher {
   void watch(ListenerId id, const std::vector<cloud::MarketId>& markets);
 
   /// Schedules a kHourBoundary trigger for `id` at absolute time `at`.
-  /// Returns the simulation event id — cancel through the simulation.
-  sim::EventId schedule_hour_tick(ListenerId id, sim::SimTime at);
+  /// Returns the event handle — cancel through it.
+  sim::EventHandle schedule_hour_tick(ListenerId id, sim::SimTime at);
 
   /// Routes the provider's revocation warning for `instance` to `id` as a
   /// kRevocation trigger (replaces any previously installed handler).
@@ -120,25 +123,35 @@ class MarketWatcher {
   [[nodiscard]] std::size_t provider_subscriptions() const noexcept {
     return subscribed_.size();
   }
+  /// Live (registered, not yet removed) listeners.
   [[nodiscard]] std::size_t listener_count() const noexcept {
-    return listeners_.size();
+    return live_listeners_;
   }
 
  private:
+  [[nodiscard]] bool alive(ListenerId id) const noexcept {
+    return id != kInvalidListener && id <= listeners_.size() &&
+           listeners_[static_cast<std::size_t>(id - 1)] != nullptr;
+  }
   void on_price_change(const cloud::MarketId& market, double new_price);
   void deliver(ListenerId id, const Trigger& trigger);
 
-  sim::Simulation& simulation_;
+  sim::Clock& clock_;
   cloud::CloudProvider& provider_;
-  // Ordered by listener id so fan-out order is registration order.
-  std::map<ListenerId, TriggerCallback> listeners_;
-  /// Per-market listener ids, in registration order.
+  /// Dense listener table indexed by id-1; a removed listener leaves an
+  /// empty slot (ids are never reused, so no generation counter is needed).
+  std::vector<TriggerCallback> listeners_;
+  std::size_t live_listeners_ = 0;
+  /// Per-market listener ids, in registration order. May contain tombstoned
+  /// ids between sweeps; dispatch skips them.
   std::unordered_map<cloud::MarketId, std::vector<ListenerId>, cloud::MarketIdHash>
       interest_;
   std::unordered_map<cloud::MarketId, cloud::SpotMarket::SubscriptionId,
                      cloud::MarketIdHash>
       subscribed_;
-  ListenerId next_listener_ = 1;
+  /// Depth of in-flight price dispatches; interest lists are swept only at
+  /// depth zero so index-based iteration never sees entries shift.
+  int dispatch_depth_ = 0;
 };
 
 }  // namespace spothost::sched

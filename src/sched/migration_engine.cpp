@@ -37,12 +37,12 @@ virt::MechanismCombo live_stripped(virt::MechanismCombo combo) noexcept {
 
 }  // namespace
 
-MigrationEngine::MigrationEngine(sim::Simulation& simulation,
+MigrationEngine::MigrationEngine(sim::Clock& clock,
                                  cloud::CloudProvider& provider,
                                  workload::ServiceEndpoint& service,
                                  MigrationHost& host, const SchedulerConfig& config,
                                  const virt::VmSpec& spec, sim::RngStream& timing_rng)
-    : simulation_(simulation),
+    : clock_(clock),
       provider_(provider),
       service_(service),
       host_(host),
@@ -136,7 +136,7 @@ void MigrationEngine::begin_voluntary(virt::MigrationClass cls, const Placement&
   }
   e.market = target.market.str();
   host_.trace(std::move(e));
-  SPOTHOST_LOG(sim::LogLevel::kInfo, simulation_.now(),
+  SPOTHOST_LOG(sim::LogLevel::kInfo, clock_.now(),
                (cls == virt::MigrationClass::kReverse ? "reverse" : "planned")
                    << " migration -> " << target.market.str()
                    << (target.on_demand ? " (on-demand)" : " (spot)"));
@@ -146,7 +146,7 @@ void MigrationEngine::start_transfer() {
   if (!migration_ || !migration_->dest_ready || migration_->transfer_started) return;
   if (host_.source_instance() == cloud::kInvalidInstance) return;
   bool degrade_to_ckpt = false;
-  if (auto* inj = simulation_.fault_injector();
+  if (auto* inj = clock_.fault_injector();
       inj && virt::uses_live_migration(config_.combo) &&
       inj->should_inject(faults::FaultKind::kLiveCopyAbort,
                          migration_->target.str(), migration_->dest)) {
@@ -172,9 +172,9 @@ void MigrationEngine::start_transfer() {
                                   migration_->target.region);
   migration_->transfer_started = true;
   migration_->switchover_at =
-      simulation_.now() + jittered(migration_->timings.prepare_s);
+      clock_.now() + jittered(migration_->timings.prepare_s);
   migration_->switchover_event =
-      simulation_.at(migration_->switchover_at, [this] { complete_switchover(); });
+      clock_.at(migration_->switchover_at, [this] { complete_switchover(); });
   auto e = host_.trace_event(obs::EventKind::kMigrationTransfer,
                              migration_code(migration_->cls));
   e.instance = migration_->dest;
@@ -222,15 +222,15 @@ void MigrationEngine::complete_switchover() {
   }
 
   if (downtime > 0 && service_.is_up()) {
-    service_.begin_outage(simulation_.now(), cause);
-    const SimTime up_at = simulation_.now() + downtime;
-    simulation_.at(up_at, [this, degraded] {
+    service_.begin_outage(clock_.now(), cause);
+    const SimTime up_at = clock_.now() + downtime;
+    clock_.at(up_at, [this, degraded] {
       if (forced_) return;  // a forced flow took over mid-switchover
       if (!service_.is_up()) {
-        service_.end_outage(simulation_.now(), degraded > 0);
+        service_.end_outage(clock_.now(), degraded > 0);
         if (degraded > 0) {
-          simulation_.after(degraded,
-                            [this] { service_.end_degraded(simulation_.now()); });
+          clock_.after(degraded,
+                            [this] { service_.end_degraded(clock_.now()); });
         }
       }
     });
@@ -240,9 +240,7 @@ void MigrationEngine::complete_switchover() {
 
 void MigrationEngine::abandon(AbandonReason reason) {
   if (!migration_) return;
-  if (migration_->switchover_event != sim::kInvalidEventId) {
-    simulation_.cancel(migration_->switchover_event);
-  }
+  migration_->switchover_event.cancel();
   if (migration_->dest != cloud::kInvalidInstance) {
     // Pending requests are cancelled; a ready destination is released (its
     // partial hour is billed — the price of a cancelled migration).
@@ -279,7 +277,7 @@ InstanceId MigrationEngine::request_forced_dest(const MarketId& od_market) {
       [this](InstanceId iid) {
         if (!forced_ || forced_->dest != iid) return;
         forced_->dest_ready = true;
-        forced_->dest_ready_at = simulation_.now();
+        forced_->dest_ready_at = clock_.now();
         forced_try_resume();
       },
       [this](cloud::AllocFailure) { on_forced_dest_failed(); });
@@ -307,7 +305,7 @@ void MigrationEngine::on_forced_dest_failed() {
   } else {
     // Retries off, no degradation: the forced flow stays stuck with the
     // service down — the retries-off ablation arm measures exactly this.
-    SPOTHOST_LOG(sim::LogLevel::kWarn, simulation_.now(),
+    SPOTHOST_LOG(sim::LogLevel::kWarn, clock_.now(),
                  "forced replacement in " << forced_->od_market.str()
                      << " failed; retries disabled, giving up");
     return;
@@ -320,7 +318,7 @@ void MigrationEngine::on_forced_dest_failed() {
     e.market = forced_->od_market.str();
     host_.trace(std::move(e));
   }
-  simulation_.after(sim::from_seconds(delay_s), [this] {
+  clock_.after(sim::from_seconds(delay_s), [this] {
     if (!forced_ || forced_->dest != cloud::kInvalidInstance) return;
     forced_->dest = request_forced_dest(forced_->od_market);
   });
@@ -346,12 +344,10 @@ void MigrationEngine::begin_forced(SimTime t_term, InstanceId source,
   // and request a fresh on-demand server here.
   if (migration_ && migration_->dest != cloud::kInvalidInstance &&
       migration_->target.region == source_market.region) {
-    if (migration_->switchover_event != sim::kInvalidEventId) {
-      simulation_.cancel(migration_->switchover_event);
-    }
+    migration_->switchover_event.cancel();
     f.dest = migration_->dest;
     f.dest_ready = migration_->dest_ready;
-    if (f.dest_ready) f.dest_ready_at = simulation_.now();
+    if (f.dest_ready) f.dest_ready_at = clock_.now();
     migration_.reset();
   } else {
     if (migration_) abandon(AbandonReason::kPreempted);
@@ -371,12 +367,12 @@ void MigrationEngine::begin_forced(SimTime t_term, InstanceId source,
   }
 
   // Keep serving until the last moment the bounded flush allows.
-  const SimTime t_stop = std::max(simulation_.now(),
+  const SimTime t_stop = std::max(clock_.now(),
                                   t_term - sim::from_seconds(forced_->timings.flush_s));
-  simulation_.at(t_stop, [this] {
+  clock_.at(t_stop, [this] {
     if (!forced_) return;
     if (service_.is_up()) {
-      service_.begin_outage(simulation_.now(),
+      service_.begin_outage(clock_.now(),
                             workload::OutageCause::kForcedMigration);
     }
     forced_->service_stopped = true;
@@ -385,23 +381,23 @@ void MigrationEngine::begin_forced(SimTime t_term, InstanceId source,
     host_.trace(std::move(e));
     forced_try_resume();
   });
-  simulation_.at(t_term, [this] {
+  clock_.at(t_term, [this] {
     if (!forced_) return;
     host_.on_source_lost();
     forced_try_resume();
   });
-  SPOTHOST_LOG(sim::LogLevel::kInfo, simulation_.now(),
+  SPOTHOST_LOG(sim::LogLevel::kInfo, clock_.now(),
                "forced migration, termination at " << sim::format_time(t_term));
 }
 
 void MigrationEngine::forced_try_resume() {
   if (!forced_ || forced_->resume_scheduled) return;
   if (!forced_->service_stopped || !forced_->dest_ready) return;
-  if (simulation_.now() < forced_->t_term) return;  // source not gone yet
+  if (clock_.now() < forced_->t_term) return;  // source not gone yet
   forced_->resume_scheduled = true;
   SimTime restore = jittered(forced_->timings.restore_s);
   SimTime degraded = jittered(forced_->timings.degraded_s);
-  if (auto* inj = simulation_.fault_injector(); inj) {
+  if (auto* inj = clock_.fault_injector(); inj) {
     const std::string dest_market = provider_.instance(forced_->dest).market.str();
     if (inj->should_inject(faults::FaultKind::kCheckpointStall, dest_market,
                            forced_->dest)) {
@@ -423,15 +419,15 @@ void MigrationEngine::forced_try_resume() {
       }
     }
   }
-  simulation_.after(restore, [this, restore, degraded] {
+  clock_.after(restore, [this, restore, degraded] {
     if (!forced_) return;
     const Forced f = *forced_;
     forced_.reset();
     if (!service_.is_up()) {
-      service_.end_outage(simulation_.now(), degraded > 0);
+      service_.end_outage(clock_.now(), degraded > 0);
       if (degraded > 0) {
-        simulation_.after(degraded,
-                          [this] { service_.end_degraded(simulation_.now()); });
+        clock_.after(degraded,
+                          [this] { service_.end_degraded(clock_.now()); });
       }
     }
     const auto& inst = provider_.instance(f.dest);

@@ -24,7 +24,7 @@
 #include "sched/placement.hpp"
 #include "sched/scheduler_config.hpp"
 #include "simcore/rng.hpp"
-#include "simcore/simulation.hpp"
+#include "simcore/clock.hpp"
 #include "virt/mechanisms.hpp"
 #include "workload/endpoint.hpp"
 
@@ -96,7 +96,7 @@ class MigrationHost {
 
 class MigrationEngine {
  public:
-  MigrationEngine(sim::Simulation& simulation, cloud::CloudProvider& provider,
+  MigrationEngine(sim::Clock& clock, cloud::CloudProvider& provider,
                   workload::ServiceEndpoint& service, MigrationHost& host,
                   const SchedulerConfig& config, const virt::VmSpec& spec,
                   sim::RngStream& timing_rng);
@@ -157,7 +157,7 @@ class MigrationEngine {
     bool transfer_started = false;
     sim::SimTime switchover_at = -1;
     virt::MigrationTimings timings{};
-    sim::EventId switchover_event = sim::kInvalidEventId;
+    sim::EventHandle switchover_event;
   };
 
   struct Forced {
@@ -181,7 +181,7 @@ class MigrationEngine {
   cloud::InstanceId request_forced_dest(const cloud::MarketId& od_market);
   void on_forced_dest_failed();
 
-  sim::Simulation& simulation_;
+  sim::Clock& clock_;
   cloud::CloudProvider& provider_;
   workload::ServiceEndpoint& service_;
   MigrationHost& host_;

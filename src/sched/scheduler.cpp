@@ -22,7 +22,7 @@ constexpr SimTime kLeadSlack = 60 * sim::kSecond;
 
 void CloudScheduler::trace(obs::TraceEvent event) {
   counters_.on_event(event);
-  if (auto* tracer = simulation_.tracer(); tracer != nullptr && tracer->enabled()) {
+  if (auto* tracer = clock_.tracer(); tracer != nullptr && tracer->enabled()) {
     tracer->emit(event);
   }
 }
@@ -30,35 +30,35 @@ void CloudScheduler::trace(obs::TraceEvent event) {
 obs::TraceEvent CloudScheduler::trace_event(obs::EventKind kind,
                                             std::uint8_t code) const {
   obs::TraceEvent e;
-  e.t = simulation_.now();
+  e.t = clock_.now();
   e.kind = kind;
   e.code = code;
   return e;
 }
 
-CloudScheduler::CloudScheduler(sim::Simulation& simulation,
+CloudScheduler::CloudScheduler(sim::Clock& clock,
                                cloud::CloudProvider& provider,
                                workload::ServiceEndpoint& service,
                                SchedulerConfig config, sim::RngStream timing_rng)
-    : CloudScheduler(simulation, provider,
-                     std::make_unique<MarketWatcher>(simulation, provider),
+    : CloudScheduler(clock, provider,
+                     std::make_unique<MarketWatcher>(clock, provider),
                      /*shared_watcher=*/nullptr, service, std::move(config),
                      std::move(timing_rng)) {}
 
-CloudScheduler::CloudScheduler(sim::Simulation& simulation,
+CloudScheduler::CloudScheduler(sim::Clock& clock,
                                cloud::CloudProvider& provider, MarketWatcher& watcher,
                                workload::ServiceEndpoint& service,
                                SchedulerConfig config, sim::RngStream timing_rng)
-    : CloudScheduler(simulation, provider, /*owned_watcher=*/nullptr, &watcher,
+    : CloudScheduler(clock, provider, /*owned_watcher=*/nullptr, &watcher,
                      service, std::move(config), std::move(timing_rng)) {}
 
-CloudScheduler::CloudScheduler(sim::Simulation& simulation,
+CloudScheduler::CloudScheduler(sim::Clock& clock,
                                cloud::CloudProvider& provider,
                                std::unique_ptr<MarketWatcher> owned_watcher,
                                MarketWatcher* shared_watcher,
                                workload::ServiceEndpoint& service,
                                SchedulerConfig config, sim::RngStream timing_rng)
-    : simulation_(simulation),
+    : clock_(clock),
       provider_(provider),
       service_(service),
       config_(std::move(config)),
@@ -80,7 +80,7 @@ CloudScheduler::CloudScheduler(sim::Simulation& simulation,
   }
   placement_ = placement_policy_for(config_);
   MigrationHost& host = *this;  // private base: convert in class scope
-  engine_ = std::make_unique<MigrationEngine>(simulation_, provider_, service_,
+  engine_ = std::make_unique<MigrationEngine>(clock_, provider_, service_,
                                               host, config_, spec_, rng_);
   listener_ = watcher_.add_listener(
       [this](const MarketWatcher::Trigger& trigger) { on_trigger(trigger); });
@@ -111,7 +111,7 @@ PlacementQuery CloudScheduler::placement_query(double threshold) const {
   query.avoid = avoid_markets_;
   query.fallback_region =
       holding_ ? holding_->market.region : config_.home_market.region;
-  query.now = simulation_.now();
+  query.now = clock_.now();
   return query;
 }
 
@@ -140,7 +140,7 @@ SimTime CloudScheduler::reverse_lead() const {
 SimTime CloudScheduler::next_instance_hour_boundary() const {
   if (!holding_) throw std::logic_error("next_instance_hour_boundary: no holding");
   const SimTime launch = provider_.instance(holding_->id).launch;
-  const SimTime elapsed = simulation_.now() - launch;
+  const SimTime elapsed = clock_.now() - launch;
   const SimTime hours = elapsed / sim::kHour + 1;
   return launch + hours * sim::kHour;
 }
@@ -164,7 +164,7 @@ void CloudScheduler::on_trigger(const MarketWatcher::Trigger& trigger) {
       on_price_change(trigger.market, trigger.price);
       break;
     case MarketWatcher::TriggerKind::kHourBoundary:
-      hour_check_event_ = sim::kInvalidEventId;
+      hour_check_event_.reset();
       on_hour_check();
       break;
     case MarketWatcher::TriggerKind::kRevocation:
@@ -244,7 +244,7 @@ void CloudScheduler::on_acquire_capacity_failed(const MarketId& market,
   } else {
     // Retries off, no degradation: acquisition is abandoned and the service
     // stays down — the retries-off ablation arm measures exactly this.
-    SPOTHOST_LOG(sim::LogLevel::kWarn, simulation_.now(),
+    SPOTHOST_LOG(sim::LogLevel::kWarn, clock_.now(),
                  "acquisition in " << market.str()
                      << " failed (capacity); retries disabled, giving up");
     return;
@@ -256,7 +256,7 @@ void CloudScheduler::on_acquire_capacity_failed(const MarketId& market,
     e.market = market.str();
     trace(std::move(e));
   }
-  simulation_.after(sim::from_seconds(delay_s), [this] {
+  clock_.after(sim::from_seconds(delay_s), [this] {
     if (pending_acquire_ != cloud::kInvalidInstance) return;
     if (state_ != State::kAcquiring && state_ != State::kDown) return;
     if (engine_->active()) return;
@@ -273,7 +273,7 @@ void CloudScheduler::adopt(InstanceId instance, const MarketId& market,
   avoid_markets_.clear();
   degraded_acquire_ = false;
   if (!service_live_) {
-    service_.go_live(simulation_.now());
+    service_.go_live(clock_.now());
     service_live_ = true;
   }
   if (!on_demand) {
@@ -286,7 +286,7 @@ void CloudScheduler::adopt(InstanceId instance, const MarketId& market,
   } else {
     schedule_hour_check();
   }
-  SPOTHOST_LOG(sim::LogLevel::kInfo, simulation_.now(),
+  SPOTHOST_LOG(sim::LogLevel::kInfo, clock_.now(),
                "adopt " << market.str() << (on_demand ? " (on-demand)" : " (spot)")
                         << " instance " << instance);
 }
@@ -340,18 +340,18 @@ void CloudScheduler::on_price_change(const MarketId& market, double new_price) {
 // ---------------------------------------------------------------------------
 
 void CloudScheduler::maybe_schedule_planned() {
-  if (engine_->active() || planned_begin_event_ != sim::kInvalidEventId) return;
+  if (engine_->active() || planned_begin_event_.valid()) return;
   if (config_.planned_timing == PlannedTiming::kImmediate) {
     begin_planned();
     return;
   }
   const SimTime begin_at = next_instance_hour_boundary() - planned_lead();
-  if (begin_at <= simulation_.now()) {
+  if (begin_at <= clock_.now()) {
     begin_planned();
     return;
   }
-  planned_begin_event_ = simulation_.at(begin_at, [this] {
-    planned_begin_event_ = sim::kInvalidEventId;
+  planned_begin_event_ = clock_.at(begin_at, [this] {
+    planned_begin_event_.reset();
     if (state_ != State::kOnSpot || engine_->active() || !holding_) return;
     const double eff =
         effective_spot_price(provider_, holding_->market, units_needed());
@@ -359,12 +359,7 @@ void CloudScheduler::maybe_schedule_planned() {
   });
 }
 
-void CloudScheduler::cancel_scheduled_planned() {
-  if (planned_begin_event_ != sim::kInvalidEventId) {
-    simulation_.cancel(planned_begin_event_);
-    planned_begin_event_ = sim::kInvalidEventId;
-  }
-}
+void CloudScheduler::cancel_scheduled_planned() { planned_begin_event_.cancel(); }
 
 void CloudScheduler::begin_planned() {
   if (state_ != State::kOnSpot || engine_->active() || !holding_) return;
@@ -401,12 +396,9 @@ void CloudScheduler::on_voluntary_dest_failed(virt::MigrationClass cls) {
 
 void CloudScheduler::schedule_hour_check() {
   if (state_ != State::kOnDemand || !holding_) return;
-  if (hour_check_event_ != sim::kInvalidEventId) {
-    simulation_.cancel(hour_check_event_);
-    hour_check_event_ = sim::kInvalidEventId;
-  }
+  hour_check_event_.cancel();
   SimTime check_at = next_instance_hour_boundary() - reverse_lead();
-  while (check_at <= simulation_.now()) check_at += sim::kHour;
+  while (check_at <= clock_.now()) check_at += sim::kHour;
   hour_check_event_ = watcher_.schedule_hour_tick(listener_, check_at);
 }
 
@@ -446,14 +438,14 @@ void CloudScheduler::on_revocation_warning(InstanceId instance, SimTime t_term) 
     const auto timings =
         engine_->planner().plan(virt::MigrationClass::kForced, spec_,
                                 holding_->market.region, holding_->market.region);
-    const SimTime t_stop = std::max(simulation_.now(),
+    const SimTime t_stop = std::max(clock_.now(),
                                     t_term - sim::from_seconds(timings.flush_s));
-    simulation_.at(t_stop, [this] {
+    clock_.at(t_stop, [this] {
       if (service_.is_up()) {
-        service_.begin_outage(simulation_.now(), workload::OutageCause::kSpotLoss);
+        service_.begin_outage(clock_.now(), workload::OutageCause::kSpotLoss);
       }
     });
-    simulation_.at(t_term, [this] {
+    clock_.at(t_term, [this] {
       holding_.reset();
       state_ = State::kDown;
       pure_spot_reacquire();
@@ -482,12 +474,7 @@ void CloudScheduler::on_source_lost() {
   state_ = State::kDown;
 }
 
-void CloudScheduler::on_source_released() {
-  if (hour_check_event_ != sim::kInvalidEventId) {
-    simulation_.cancel(hour_check_event_);
-    hour_check_event_ = sim::kInvalidEventId;
-  }
-}
+void CloudScheduler::on_source_released() { hour_check_event_.cancel(); }
 
 // ---------------------------------------------------------------------------
 // Pure-spot baseline
@@ -512,12 +499,12 @@ void CloudScheduler::pure_spot_reacquire() {
                                     home.region, home.region);
         const SimTime restore = engine_->jittered(timings.restore_s);
         const SimTime degraded = engine_->jittered(timings.degraded_s);
-        simulation_.after(restore, [this, iid, home, degraded] {
+        clock_.after(restore, [this, iid, home, degraded] {
           if (!service_.is_up()) {
-            service_.end_outage(simulation_.now(), degraded > 0);
+            service_.end_outage(clock_.now(), degraded > 0);
             if (degraded > 0) {
-              simulation_.after(degraded,
-                                [this] { service_.end_degraded(simulation_.now()); });
+              clock_.after(degraded,
+                                [this] { service_.end_degraded(clock_.now()); });
             }
           }
           adopt(iid, home, /*on_demand=*/false);

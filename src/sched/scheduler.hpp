@@ -40,7 +40,7 @@
 #include "sched/placement.hpp"
 #include "sched/scheduler_config.hpp"
 #include "simcore/rng.hpp"
-#include "simcore/simulation.hpp"
+#include "simcore/clock.hpp"
 #include "virt/mechanisms.hpp"
 #include "workload/endpoint.hpp"
 
@@ -50,15 +50,17 @@ class CloudScheduler : private MigrationHost {
  public:
   enum class State { kAcquiring, kOnSpot, kOnDemand, kDown };
 
-  /// Standalone scheduler: owns a private MarketWatcher.
-  CloudScheduler(sim::Simulation& simulation, cloud::CloudProvider& provider,
+  /// Standalone scheduler: owns a private MarketWatcher. `clock` is the
+  /// narrow scheduling interface (a Simulation&, implicitly) — the scheduler
+  /// never touches the engine beyond it.
+  CloudScheduler(sim::Clock& clock, cloud::CloudProvider& provider,
                  workload::ServiceEndpoint& service, SchedulerConfig config,
                  sim::RngStream timing_rng);
 
   /// Fleet composition: listens on a shared MarketWatcher, so N schedulers
   /// over M markets cost O(M) provider subscriptions instead of O(N×M).
   /// The watcher must outlive the scheduler.
-  CloudScheduler(sim::Simulation& simulation, cloud::CloudProvider& provider,
+  CloudScheduler(sim::Clock& clock, cloud::CloudProvider& provider,
                  MarketWatcher& watcher, workload::ServiceEndpoint& service,
                  SchedulerConfig config, sim::RngStream timing_rng);
 
@@ -92,7 +94,7 @@ class CloudScheduler : private MigrationHost {
   [[nodiscard]] int units_needed() const;
 
  private:
-  CloudScheduler(sim::Simulation& simulation, cloud::CloudProvider& provider,
+  CloudScheduler(sim::Clock& clock, cloud::CloudProvider& provider,
                  std::unique_ptr<MarketWatcher> owned_watcher,
                  MarketWatcher* shared_watcher, workload::ServiceEndpoint& service,
                  SchedulerConfig config, sim::RngStream timing_rng);
@@ -149,12 +151,12 @@ class CloudScheduler : private MigrationHost {
   void on_revocation_warning(cloud::InstanceId instance, sim::SimTime t_term) override;
 
   /// Feeds the event into counters_ (the stats backing store) and forwards
-  /// it to the simulation's tracer, if one is attached.
+  /// it to the clock's tracer, if one is attached.
   void trace(obs::TraceEvent event) override;
   [[nodiscard]] obs::TraceEvent trace_event(obs::EventKind kind,
                                             std::uint8_t code) const override;
 
-  sim::Simulation& simulation_;
+  sim::Clock& clock_;
   cloud::CloudProvider& provider_;
   workload::ServiceEndpoint& service_;
   SchedulerConfig config_;
@@ -169,8 +171,8 @@ class CloudScheduler : private MigrationHost {
   State state_ = State::kAcquiring;
   bool service_live_ = false;
   std::optional<Holding> holding_;
-  sim::EventId planned_begin_event_ = sim::kInvalidEventId;
-  sim::EventId hour_check_event_ = sim::kInvalidEventId;
+  sim::EventHandle planned_begin_event_;
+  sim::EventHandle hour_check_event_;
   cloud::InstanceId pending_acquire_ = cloud::kInvalidInstance;
   obs::CounterSink counters_;
   // --- fault-recovery state (reset on every adopt) ----------------------

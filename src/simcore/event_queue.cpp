@@ -2,76 +2,122 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
+#include "simcore/timing_wheel.hpp"
+
 namespace spothost::sim {
+
+const char* to_string(QueueBackend backend) noexcept {
+  switch (backend) {
+    case QueueBackend::kTimingWheel:
+      return "wheel";
+    case QueueBackend::kBinaryHeap:
+      return "heap";
+  }
+  return "?";
+}
+
+QueueBackend default_queue_backend() {
+  // Plain getenv (not the exec layer's helpers): simcore sits below exec in
+  // the dependency order.
+  const char* value = std::getenv("SPOTHOST_EVENT_QUEUE");
+  if (value == nullptr || *value == '\0') return QueueBackend::kTimingWheel;
+  if (std::strcmp(value, "wheel") == 0) return QueueBackend::kTimingWheel;
+  if (std::strcmp(value, "heap") == 0) return QueueBackend::kBinaryHeap;
+  static bool warned = false;
+  if (!warned) {
+    warned = true;
+    std::fprintf(stderr,
+                 "spothost: ignoring unrecognised SPOTHOST_EVENT_QUEUE=%s "
+                 "(expected \"wheel\" or \"heap\"); using wheel\n",
+                 value);
+  }
+  return QueueBackend::kTimingWheel;
+}
+
+std::unique_ptr<EventQueue> make_event_queue(QueueBackend backend) {
+  switch (backend) {
+    case QueueBackend::kBinaryHeap:
+      return std::make_unique<BinaryHeapQueue>();
+    case QueueBackend::kTimingWheel:
+      break;
+  }
+  return std::make_unique<TimingWheelQueue>();
+}
 
 namespace {
 // Below this heap size a rebuild costs more than the stale entries do.
 constexpr std::size_t kCompactFloor = 64;
 }  // namespace
 
-EventId EventQueue::schedule(SimTime when, Callback cb) {
-  const EventId id = next_id_++;
-  heap_.push_back(Entry{when, next_seq_++, id});
+EventId BinaryHeapQueue::schedule(SimTime when, Callback cb) {
+  const EventArena::Alloc alloc = arena_.allocate(when, std::move(cb));
+  heap_.push_back(
+      Entry{when, arena_.seq(alloc.slot), alloc.slot, arena_.gen(alloc.slot)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
-  callbacks_.emplace(id, std::move(cb));
-  ++live_count_;
-  return id;
+  return alloc.id;
 }
 
-bool EventQueue::cancel(EventId id) {
-  const auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  assert(live_count_ > 0);
-  --live_count_;
+bool BinaryHeapQueue::cancel(EventId id) {
+  const std::uint32_t slot = arena_.slot_if_live(id);
+  if (slot == EventArena::kNoSlot) return false;
+  arena_.release(slot);
   compact_if_stale();
   return true;
 }
 
-void EventQueue::compact_if_stale() {
-  if (heap_.size() < kCompactFloor || heap_.size() <= 2 * live_count_) return;
-  std::erase_if(heap_, [this](const Entry& e) {
-    return callbacks_.find(e.id) == callbacks_.end();
-  });
+void BinaryHeapQueue::compact_if_stale() {
+  if (heap_.size() < kCompactFloor || heap_.size() <= 2 * arena_.live()) return;
+  std::erase_if(heap_, [this](const Entry& e) { return stale(e); });
   // Same comparator as the incremental pushes, so pop order — and therefore
   // simulation determinism — is unchanged.
   std::make_heap(heap_.begin(), heap_.end(), Later{});
 }
 
-void EventQueue::skim() const {
-  while (!heap_.empty() &&
-         callbacks_.find(heap_.front().id) == callbacks_.end()) {
+void BinaryHeapQueue::skim() const {
+  while (!heap_.empty() && stale(heap_.front())) {
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
   }
 }
 
-SimTime EventQueue::next_time() const {
+SimTime BinaryHeapQueue::next_time() const {
   skim();
   assert(!heap_.empty());
   return heap_.front().time;
 }
 
-EventQueue::Fired EventQueue::pop() {
+EventQueue::Fired BinaryHeapQueue::pop() {
   skim();
   assert(!heap_.empty());
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   const Entry top = heap_.back();
   heap_.pop_back();
-  auto it = callbacks_.find(top.id);
-  assert(it != callbacks_.end());
-  Fired fired{top.time, top.id, std::move(it->second)};
-  callbacks_.erase(it);
-  --live_count_;
+  Fired fired{top.time, arena_.id_at(top.slot), arena_.take(top.slot)};
+  arena_.release(top.slot);
   return fired;
 }
 
-void EventQueue::clear() {
+bool BinaryHeapQueue::pop_due(SimTime horizon, Fired& out) {
+  skim();
+  if (heap_.empty() || heap_.front().time > horizon) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const Entry top = heap_.back();
+  heap_.pop_back();
+  out.time = top.time;
+  out.id = arena_.id_at(top.slot);
+  out.callback = arena_.take(top.slot);
+  arena_.release(top.slot);
+  return true;
+}
+
+void BinaryHeapQueue::clear() {
   heap_.clear();
-  callbacks_.clear();
-  live_count_ = 0;
+  arena_.clear();
 }
 
 }  // namespace spothost::sim

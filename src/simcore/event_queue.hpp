@@ -1,59 +1,124 @@
-// Cancellable discrete-event queue.
+// Cancellable discrete-event queue: the backend seam.
 //
-// Events at equal timestamps fire in scheduling order (FIFO), which keeps
-// simulations deterministic regardless of heap internals. Cancellation is
-// lazy: cancelled entries stay in the heap and are skipped on pop, so both
-// schedule and cancel are O(log n) amortised. When cancelled entries come to
-// outnumber live ones (long fleet runs with proactive bidding accumulate
-// cancelled switchover/hour-tick events faster than they pop), the heap is
-// compacted in one O(n) rebuild, bounding memory at ~2x the live count.
+// EventQueue is the abstract contract the Simulation drives; two backends
+// implement it over the shared EventArena slab (simcore/event_arena.hpp):
+//
+//   * TimingWheelQueue (simcore/timing_wheel.hpp) — hierarchical timing
+//     wheel, O(1) schedule/cancel/pop for the massively periodic hour-tick
+//     and poll events that dominate fleet runs. The default.
+//   * BinaryHeapQueue (below) — the classic O(log n) heap. Kept as the
+//     differential-testing oracle and as a fallback.
+//
+// Determinism contract (both backends, enforced by the differential fuzz
+// test in tests/simcore): events pop in (time, schedule order) — FIFO among
+// equal timestamps — so same-seed runs are byte-identical regardless of
+// backend, and the wheel can be the default without re-pinning goldens.
+//
+// Select a backend per-Simulation via the constructor, or process-wide with
+// SPOTHOST_EVENT_QUEUE=wheel|heap (read by default_queue_backend()).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
+#include "simcore/clock.hpp"
+#include "simcore/event_arena.hpp"
 #include "simcore/time.hpp"
 
 namespace spothost::sim {
 
-/// Opaque identifier for a scheduled event; usable to cancel it.
-using EventId = std::uint64_t;
+/// Which EventQueue implementation backs a Simulation.
+enum class QueueBackend : std::uint8_t {
+  kTimingWheel,  ///< hierarchical timing wheel (default)
+  kBinaryHeap,   ///< binary heap oracle
+};
 
-/// Sentinel returned for operations that never produce a real event.
-inline constexpr EventId kInvalidEventId = 0;
+[[nodiscard]] const char* to_string(QueueBackend backend) noexcept;
+
+/// The process-wide default: SPOTHOST_EVENT_QUEUE=wheel|heap if set (an
+/// unrecognised value warns on stderr once and falls through), else the
+/// timing wheel.
+[[nodiscard]] QueueBackend default_queue_backend();
 
 class EventQueue {
  public:
   using Callback = std::function<void()>;
 
-  /// Enqueues `cb` to fire at absolute time `when`. Returns a cancellation id.
-  EventId schedule(SimTime when, Callback cb);
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+  virtual ~EventQueue() = default;
+
+  /// Enqueues `cb` to fire at absolute time `when`. Returns a cancellation
+  /// id. Backends may require monotone scheduling (when >= the time of the
+  /// last pop); the Simulation's now() guard guarantees it.
+  virtual EventId schedule(SimTime when, Callback cb) = 0;
 
   /// Cancels a pending event. Returns false if the event already fired,
   /// was already cancelled, or never existed.
-  bool cancel(EventId id);
+  virtual bool cancel(EventId id) = 0;
 
   /// True if no live (non-cancelled) events remain.
-  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] virtual bool empty() const = 0;
 
   /// Number of live events.
-  [[nodiscard]] std::size_t size() const { return live_count_; }
+  [[nodiscard]] virtual std::size_t size() const = 0;
 
   /// Timestamp of the earliest live event. Precondition: !empty().
-  [[nodiscard]] SimTime next_time() const;
+  [[nodiscard]] virtual SimTime next_time() const = 0;
 
-  /// Removes and returns the earliest live event. Precondition: !empty().
+  /// Removes and returns the earliest live event. The callback is *moved*
+  /// out of storage — dispatch never copies a std::function.
+  /// Precondition: !empty().
   struct Fired {
     SimTime time;
     EventId id;
     Callback callback;
   };
-  Fired pop();
+  virtual Fired pop() = 0;
 
-  /// Drops all pending events.
-  void clear();
+  /// Fused peek-and-pop, the dispatch loop's fast path: when the earliest
+  /// live event fires at or before `horizon`, pops it into `out` and
+  /// returns true; otherwise returns false with `out` untouched. One
+  /// virtual call per dispatched event instead of three (empty / next_time
+  /// / pop), and backends skip the duplicated find-the-earliest work.
+  virtual bool pop_due(SimTime horizon, Fired& out) {
+    if (empty() || next_time() > horizon) return false;
+    out = pop();
+    return true;
+  }
+
+  /// Drops all pending events. Ids issued before clear() stay invalid.
+  virtual void clear() = 0;
+
+  [[nodiscard]] virtual QueueBackend backend() const noexcept = 0;
+};
+
+/// Constructs the requested backend.
+[[nodiscard]] std::unique_ptr<EventQueue> make_event_queue(QueueBackend backend);
+
+/// Binary-heap backend. Events at equal timestamps fire in scheduling order
+/// (FIFO) via a global sequence tie-break. Cancellation is O(1) in the arena
+/// but lazy in the heap: cancelled entries stay until skimmed on pop. When
+/// cancelled entries come to outnumber live ones (long fleet runs with
+/// proactive bidding accumulate cancelled switchover/hour-tick events faster
+/// than they pop), the heap is compacted in one O(n) rebuild, bounding
+/// memory at ~2x the live count.
+class BinaryHeapQueue final : public EventQueue {
+ public:
+  EventId schedule(SimTime when, Callback cb) override;
+  bool cancel(EventId id) override;
+  [[nodiscard]] bool empty() const override { return arena_.live() == 0; }
+  [[nodiscard]] std::size_t size() const override { return arena_.live(); }
+  [[nodiscard]] SimTime next_time() const override;
+  Fired pop() override;
+  bool pop_due(SimTime horizon, Fired& out) override;
+  void clear() override;
+  [[nodiscard]] QueueBackend backend() const noexcept override {
+    return QueueBackend::kBinaryHeap;
+  }
 
   /// Total heap entries, live + cancelled-but-not-yet-dropped. Exposed so
   /// tests can assert compaction keeps this bounded relative to size().
@@ -63,7 +128,8 @@ class EventQueue {
   struct Entry {
     SimTime time;
     std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-    EventId id;
+    std::uint32_t slot;
+    std::uint32_t gen;  // entry is stale once the arena generation moves on
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -72,6 +138,9 @@ class EventQueue {
     }
   };
 
+  [[nodiscard]] bool stale(const Entry& e) const {
+    return arena_.gen(e.slot) != e.gen;
+  }
   // Pops cancelled entries off the heap top.
   void skim() const;
   // Rebuilds the heap without cancelled entries once they exceed the live
@@ -82,10 +151,7 @@ class EventQueue {
   // std::push_heap/pop_heap; a plain vector so compaction can erase stale
   // entries in place. Mutable: skim() drops dead entries from const reads.
   mutable std::vector<Entry> heap_;
-  std::unordered_map<EventId, Callback> callbacks_;
-  std::size_t live_count_ = 0;
-  std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
+  EventArena arena_;
 };
 
 }  // namespace spothost::sim

@@ -4,23 +4,23 @@
 
 namespace spothost::sim {
 
-EventId Simulation::at(SimTime when, EventQueue::Callback cb) {
+EventHandle Simulation::at(SimTime when, Callback cb) {
   if (when < now_) {
     throw std::invalid_argument("Simulation::at: scheduling in the past");
   }
-  return queue_.schedule(when, std::move(cb));
+  return EventHandle{this, queue_->schedule(when, std::move(cb))};
 }
 
-EventId Simulation::after(SimTime delay, EventQueue::Callback cb) {
+EventHandle Simulation::after(SimTime delay, Callback cb) {
   if (delay < 0) {
     throw std::invalid_argument("Simulation::after: negative delay");
   }
-  return queue_.schedule(now_ + delay, std::move(cb));
+  return EventHandle{this, queue_->schedule(now_ + delay, std::move(cb))};
 }
 
 void Simulation::run_until(SimTime horizon) {
-  while (!queue_.empty() && queue_.next_time() <= horizon) {
-    auto fired = queue_.pop();
+  EventQueue::Fired fired;
+  while (queue_->pop_due(horizon, fired)) {
     now_ = fired.time;
     ++dispatched_;
     if (dispatch_hook_) dispatch_hook_(now_, dispatched_);
@@ -32,8 +32,8 @@ void Simulation::run_until(SimTime horizon) {
 }
 
 bool Simulation::step() {
-  if (queue_.empty()) return false;
-  auto fired = queue_.pop();
+  if (queue_->empty()) return false;
+  auto fired = queue_->pop();
   now_ = fired.time;
   ++dispatched_;
   if (dispatch_hook_) dispatch_hook_(now_, dispatched_);

@@ -3,45 +3,53 @@
 // A Simulation owns the clock and the event queue. Components schedule
 // callbacks at absolute or relative times; run_until() advances the clock to
 // each event in order. The engine is single-threaded by design: determinism
-// matters more than parallel event dispatch at the event rates these
-// experiments generate (a 30-day hosting run is ~10^4 events). Experiments
-// parallelise across *runs* (seeds), not within a run.
+// matters more than parallel event dispatch *within* a run — experiments
+// parallelise across runs (seeds) instead. What changed with fleet scale is
+// the event rate a single run must sustain: a 30-day single-service run is
+// ~10^4 events, but one simulation carrying a 100k-1M-service fleet pushes
+// 10^8-10^9 periodic hour-tick/poll events through this loop, which is why
+// the queue behind it is a hierarchical timing wheel (O(1) per event; see
+// simcore/timing_wheel.hpp) with the binary heap retained as a
+// differential-testing oracle behind the EventQueue seam.
+//
+// Policy code should not depend on this class: it programs against the
+// narrow sim::Clock interface (simcore/clock.hpp) that Simulation
+// implements, and manages its pending events through the EventHandle values
+// that at()/after() return.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
 
+#include "simcore/clock.hpp"
 #include "simcore/event_queue.hpp"
 #include "simcore/time.hpp"
 
-namespace spothost::obs {
-class Tracer;  // obs/sink.hpp — simcore stays independent of obs
-}
-
-namespace spothost::faults {
-class FaultInjector;  // faults/injector.hpp — simcore stays independent of faults
-}
-
 namespace spothost::sim {
 
-class Simulation {
+class Simulation final : public Clock {
  public:
-  Simulation() = default;
+  /// Backed by `backend`; the default honours SPOTHOST_EVENT_QUEUE and
+  /// otherwise picks the timing wheel.
+  explicit Simulation(QueueBackend backend = default_queue_backend())
+      : queue_(make_event_queue(backend)) {}
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
   /// Current simulation time.
-  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] SimTime now() const noexcept override { return now_; }
 
   /// Schedules `cb` at absolute time `when` (must be >= now()).
-  EventId at(SimTime when, EventQueue::Callback cb);
+  EventHandle at(SimTime when, Callback cb) override;
 
   /// Schedules `cb` after a relative delay (must be >= 0).
-  EventId after(SimTime delay, EventQueue::Callback cb);
+  EventHandle after(SimTime delay, Callback cb) override;
 
-  /// Cancels a pending event; returns false if it already fired.
-  bool cancel(EventId id) { return queue_.cancel(id); }
+  /// Cancels a pending event; returns false if it already fired. Prefer
+  /// EventHandle::cancel() in policy code.
+  bool cancel(EventId id) override { return queue_->cancel(id); }
 
   /// Runs events until the queue is empty or the clock would pass `horizon`.
   /// The clock is left at min(horizon, last event time); events scheduled at
@@ -58,24 +66,29 @@ class Simulation {
   [[nodiscard]] std::uint64_t dispatched() const noexcept { return dispatched_; }
 
   /// Pending live events.
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::size_t pending() const { return queue_->size(); }
+
+  /// Which EventQueue implementation this simulation runs on.
+  [[nodiscard]] QueueBackend backend() const noexcept {
+    return queue_->backend();
+  }
 
   /// Attaches the run's trace dispatcher (not owned; nullptr disables).
-  /// Components that hold a Simulation& read the tracer from here, so one
-  /// attach point covers the provider, scheduler, and anything else wired to
-  /// this engine. Disabled tracing costs emitters a single null check.
+  /// Components that hold a Clock& read the tracer from here, so one attach
+  /// point covers the provider, scheduler, and anything else wired to this
+  /// engine. Disabled tracing costs emitters a single null check.
   void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
-  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+  [[nodiscard]] obs::Tracer* tracer() const noexcept override { return tracer_; }
 
   /// Attaches the run's fault-injection source (not owned; nullptr = no
-  /// injection). Mirrors set_tracer: components holding a Simulation& read
-  /// the injector from here, so one attach point covers the provider and
-  /// the migration engine without constructor plumbing. An injector with an
+  /// injection). Mirrors set_tracer: components holding a Clock& read the
+  /// injector from here, so one attach point covers the provider and the
+  /// migration engine without constructor plumbing. An injector with an
   /// empty FaultPlan is equivalent to none (zero draws, zero events).
   void set_fault_injector(faults::FaultInjector* injector) noexcept {
     fault_injector_ = injector;
   }
-  [[nodiscard]] faults::FaultInjector* fault_injector() const noexcept {
+  [[nodiscard]] faults::FaultInjector* fault_injector() const noexcept override {
     return fault_injector_;
   }
 
@@ -87,7 +100,7 @@ class Simulation {
 
  private:
   SimTime now_ = 0;
-  EventQueue queue_;
+  std::unique_ptr<EventQueue> queue_;
   std::uint64_t dispatched_ = 0;
   obs::Tracer* tracer_ = nullptr;
   faults::FaultInjector* fault_injector_ = nullptr;

@@ -7,16 +7,16 @@
 
 namespace spothost::virt {
 
-CheckpointProcess::CheckpointProcess(sim::Simulation& simulation, VmSpec spec,
+CheckpointProcess::CheckpointProcess(sim::Clock& clock, VmSpec spec,
                                      CheckpointParams params)
-    : simulation_(simulation), spec_(spec), params_(params) {
+    : clock_(clock), spec_(spec), params_(params) {
   if (params_.bound_tau_s <= 0 || params_.write_rate_mb_s <= 0) {
     throw std::invalid_argument("CheckpointProcess: bad parameters");
   }
 }
 
 double CheckpointProcess::dirty_since(sim::SimTime since) const {
-  const double elapsed_s = sim::to_seconds(simulation_.now() - since);
+  const double elapsed_s = sim::to_seconds(clock_.now() - since);
   return dirty_mb_after(spec_, std::max(0.0, elapsed_s));
 }
 
@@ -52,10 +52,10 @@ void CheckpointProcess::start() {
   started_ = true;
   // Initial full checkpoint of all RAM.
   writing_ = true;
-  write_began_ = simulation_.now();
+  write_began_ = clock_.now();
   const double full_s = spec_.memory_mb() / params_.write_rate_mb_s;
-  pending_event_ = simulation_.after(sim::from_seconds(full_s), [this] {
-    pending_event_ = sim::kInvalidEventId;
+  pending_event_ = clock_.after(sim::from_seconds(full_s), [this] {
+    pending_event_.reset();
     writing_ = false;
     initial_done_ = true;
     ++completed_;
@@ -66,10 +66,7 @@ void CheckpointProcess::start() {
 
 void CheckpointProcess::stop() {
   stopped_ = true;
-  if (pending_event_ != sim::kInvalidEventId) {
-    simulation_.cancel(pending_event_);
-    pending_event_ = sim::kInvalidEventId;
-  }
+  pending_event_.cancel();
   writing_ = false;
 }
 
@@ -84,14 +81,11 @@ void CheckpointProcess::set_dirty_rate(double dirty_mb_s) {
     spec_.dirty_rate_mb_s = dirty_mb_s;
     if (dirty_mb_s > 0) {
       const double equivalent_s = staleness / dirty_mb_s;
-      clean_point_ = simulation_.now() - sim::from_seconds(equivalent_s);
+      clean_point_ = clock_.now() - sim::from_seconds(equivalent_s);
     } else {
-      clean_point_ = simulation_.now();
+      clean_point_ = clock_.now();
     }
-    if (pending_event_ != sim::kInvalidEventId) {
-      simulation_.cancel(pending_event_);
-      pending_event_ = sim::kInvalidEventId;
-    }
+    pending_event_.cancel();
     schedule_next_trigger();
   } else {
     spec_.dirty_rate_mb_s = dirty_mb_s;
@@ -106,8 +100,8 @@ void CheckpointProcess::schedule_next_trigger() {
   const double wait_s = (staleness >= trigger)
                             ? 0.0
                             : (trigger - staleness) / spec_.dirty_rate_mb_s;
-  pending_event_ = simulation_.after(sim::from_seconds(wait_s), [this] {
-    pending_event_ = sim::kInvalidEventId;
+  pending_event_ = clock_.after(sim::from_seconds(wait_s), [this] {
+    pending_event_.reset();
     begin_write();
   });
 }
@@ -115,11 +109,11 @@ void CheckpointProcess::schedule_next_trigger() {
 void CheckpointProcess::begin_write() {
   if (stopped_) return;
   writing_ = true;
-  write_began_ = simulation_.now();
+  write_began_ = clock_.now();
   const double increment = staleness_mb();
   const double write_s = increment / params_.write_rate_mb_s;
-  pending_event_ = simulation_.after(sim::from_seconds(write_s), [this] {
-    pending_event_ = sim::kInvalidEventId;
+  pending_event_ = clock_.after(sim::from_seconds(write_s), [this] {
+    pending_event_.reset();
     writing_ = false;
     ++completed_;
     clean_point_ = write_began_;

@@ -18,7 +18,7 @@
 // flush_time_now_s() <= tau at every instant.
 #pragma once
 
-#include "simcore/simulation.hpp"
+#include "simcore/clock.hpp"
 #include "virt/checkpoint.hpp"
 #include "virt/vm.hpp"
 
@@ -26,7 +26,7 @@ namespace spothost::virt {
 
 class CheckpointProcess {
  public:
-  CheckpointProcess(sim::Simulation& simulation, VmSpec spec,
+  CheckpointProcess(sim::Clock& clock, VmSpec spec,
                     CheckpointParams params);
 
   /// Begins with a full checkpoint, then runs adaptive incrementals. Call
@@ -74,7 +74,7 @@ class CheckpointProcess {
   void begin_write();
   [[nodiscard]] double dirty_since(sim::SimTime since) const;
 
-  sim::Simulation& simulation_;
+  sim::Clock& clock_;
   VmSpec spec_;
   CheckpointParams params_;
 
@@ -88,7 +88,7 @@ class CheckpointProcess {
   sim::SimTime clean_point_ = 0;
   /// Begin time of the in-flight write (valid while writing_).
   sim::SimTime write_began_ = 0;
-  sim::EventId pending_event_ = sim::kInvalidEventId;
+  sim::EventHandle pending_event_;
 };
 
 }  // namespace spothost::virt

@@ -132,8 +132,8 @@ TEST_F(MarketWatcherTest, CancelledHourTickNeverFires) {
   int fired = 0;
   const auto id = watcher_->add_listener(
       [&](const MarketWatcher::Trigger&) { ++fired; });
-  const auto ev = watcher_->schedule_hour_tick(id, 2 * kHour);
-  sim_->cancel(ev);
+  auto ev = watcher_->schedule_hour_tick(id, 2 * kHour);
+  EXPECT_TRUE(ev.cancel());
   sim_->run_until(kHorizon);
   EXPECT_EQ(fired, 0);
 }

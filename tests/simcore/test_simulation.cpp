@@ -58,8 +58,11 @@ TEST(Simulation, SchedulingInThePastThrows) {
 TEST(Simulation, CancelStopsPendingEvent) {
   Simulation s;
   bool fired = false;
-  const EventId id = s.at(100, [&] { fired = true; });
-  EXPECT_TRUE(s.cancel(id));
+  EventHandle handle = s.at(100, [&] { fired = true; });
+  EXPECT_TRUE(handle.valid());
+  EXPECT_TRUE(handle.cancel());
+  EXPECT_FALSE(handle.valid());
+  EXPECT_FALSE(handle.cancel());  // second cancel is a no-op
   s.run_until(1000);
   EXPECT_FALSE(fired);
 }
