@@ -11,10 +11,10 @@ namespace {
 sched::FleetMetrics run_fleet(const sched::Scenario& scenario,
                               const sched::FleetConfig& cfg) {
   sched::World world(scenario);
-  sched::FleetScheduler fleet(world.simulation(), world.provider(), cfg,
+  sched::FleetScheduler fleet(world.clock(), world.provider(), cfg,
                               world.rng());
   fleet.start();
-  world.simulation().run_until(world.horizon());
+  world.engine().run_until(world.horizon());
   world.provider().finalize(world.horizon());
   fleet.finalize(world.horizon());
   return fleet.metrics(world.horizon());

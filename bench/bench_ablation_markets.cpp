@@ -3,6 +3,7 @@
 // comparison on prices produced by the *auction* model (endogenous
 // supply/demand clearing) and compare the two models' trace fingerprints.
 #include "bench_common.hpp"
+#include "simcore/simulation.hpp"
 
 using namespace spothost;
 

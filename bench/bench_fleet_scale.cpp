@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "simcore/simulation.hpp"
 
 namespace {
 

@@ -8,7 +8,7 @@ using namespace spothost;
 int main() {
   sched::World world(bench::full_scenario());
   auto& provider = world.provider();
-  auto& simulation = world.simulation();
+  auto& engine = world.engine();
 
   struct Row {
     std::string region;
@@ -28,21 +28,21 @@ int main() {
     double od_sum = 0.0, spot_sum = 0.0;
     int od_done = 0, spot_done = 0;
     for (int i = 0; i < kSamples; ++i) {
-      const sim::SimTime begun = simulation.now();
+      const sim::SimTime begun = engine.now();
       provider.request_on_demand(m, [&, begun](cloud::InstanceId iid) {
-        od_sum += sim::to_seconds(simulation.now() - begun);
+        od_sum += sim::to_seconds(engine.now() - begun);
         ++od_done;
         provider.terminate(iid);
       });
       provider.request_spot(
           m, /*bid=*/1e9,  // never rejected: we are sampling latency only
           [&, begun](cloud::InstanceId iid) {
-            spot_sum += sim::to_seconds(simulation.now() - begun);
+            spot_sum += sim::to_seconds(engine.now() - begun);
             ++spot_done;
             provider.terminate(iid);
           },
           [](cloud::AllocFailure) {});
-      simulation.run_until(simulation.now() + sim::kHour);
+      engine.run_until(engine.now() + sim::kHour);
     }
     table.add_row({row.region, metrics::fmt(od_sum / od_done, 2),
                    metrics::fmt(row.paper_od, 2),

@@ -76,11 +76,11 @@ int main() {
   {
     sched::World world(scenario);
     workload::AlwaysOnService svc("shop", virt::default_spec_for_memory(3.75, 8.0));
-    sched::CloudScheduler scheduler(world.simulation(), world.provider(), svc,
+    sched::CloudScheduler scheduler(world.clock(), world.provider(), svc,
                                     sched::proactive_config(home),
                                     world.stream("xp"));
     scheduler.start();
-    world.simulation().run_until(world.horizon());
+    world.engine().run_until(world.horizon());
     world.provider().finalize(world.horizon());
     scheduler.finalize(world.horizon());
 

@@ -39,10 +39,10 @@ int main() {
       {"us-east-1a", cloud::InstanceSize::kSmall},
       {"us-east-1b", cloud::InstanceSize::kSmall},
   };
-  sched::FleetScheduler fleet(world.simulation(), world.provider(), fleet_cfg,
+  sched::FleetScheduler fleet(world.clock(), world.provider(), fleet_cfg,
                               world.rng());
   fleet.start();
-  world.simulation().run_until(world.horizon());
+  world.engine().run_until(world.horizon());
   world.provider().finalize(world.horizon());
   fleet.finalize(world.horizon());
 
@@ -72,11 +72,11 @@ int main() {
   packed_cfg.scope = sched::MarketScope::kMultiMarket;
   packed_cfg.capacity_units_override = tenants.size();
   packed_cfg.vm_spec = tenants.aggregate_spec();
-  sched::CloudScheduler packed(packed_world.simulation(), packed_world.provider(),
+  sched::CloudScheduler packed(packed_world.clock(), packed_world.provider(),
                                tenants, packed_cfg,
                                packed_world.stream("packed"));
   packed.start();
-  packed_world.simulation().run_until(packed_world.horizon());
+  packed_world.engine().run_until(packed_world.horizon());
   packed_world.provider().finalize(packed_world.horizon());
   packed.finalize(packed_world.horizon());
 

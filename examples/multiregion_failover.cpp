@@ -33,10 +33,10 @@ int main() {
     if (level == sim::LogLevel::kInfo) timeline.push_back(msg);
   });
 
-  sched::CloudScheduler scheduler(world.simulation(), world.provider(), service,
+  sched::CloudScheduler scheduler(world.clock(), world.provider(), service,
                                   config, world.stream("timing"));
   scheduler.start();
-  world.simulation().run_until(world.horizon());
+  world.engine().run_until(world.horizon());
   world.provider().finalize(world.horizon());
   scheduler.finalize(world.horizon());
 

@@ -9,11 +9,18 @@
 //   $ ./trace_explorer --timeline               # hosting run event timeline
 //   $ ./trace_explorer --timeline 7 migration_begin
 //                                               # seed 7, one event kind only
+//   $ ./trace_explorer --follow run.jsonl       # tail -f a growing event
+//                                               # stream (e.g. spothost_serve
+//                                               # --out run.jsonl); optional
+//                                               # second arg = max seconds
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "spothost.hpp"
 
@@ -92,9 +99,74 @@ int run_timeline(std::uint64_t seed, std::optional<obs::EventKind> only) {
   return 0;
 }
 
+int run_follow(const std::string& path, double max_seconds) {
+  // tail -f over a growing JSONL event stream: emit only complete
+  // newline-terminated lines (a writer caught mid-line is completed on a
+  // later poll), resume at the end of what we've printed, detect truncation.
+  std::ifstream file;
+  std::streamoff pos = 0;
+  std::string partial;
+  std::uint64_t lines = 0;
+  const auto deadline =
+      max_seconds > 0
+          ? std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(max_seconds))
+          : std::chrono::steady_clock::time_point::max();
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (!file.is_open()) {
+      file.open(path, std::ios::binary);
+      if (!file.is_open()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds{100});
+        continue;
+      }
+    }
+    file.clear();
+    file.seekg(0, std::ios::end);
+    const std::streamoff size = file.tellg();
+    if (size < pos) {  // truncated/rotated: start over
+      std::cerr << "-- " << path << " truncated, restarting --\n";
+      pos = 0;
+      partial.clear();
+    }
+    if (size > pos) {
+      file.seekg(pos);
+      std::string chunk(static_cast<std::size_t>(size - pos), '\0');
+      file.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+      chunk.resize(static_cast<std::size_t>(file.gcount()));
+      pos += static_cast<std::streamoff>(chunk.size());
+      std::size_t start = 0;
+      for (;;) {
+        const auto nl = chunk.find('\n', start);
+        if (nl == std::string::npos) {
+          partial.append(chunk, start, std::string::npos);
+          break;
+        }
+        std::string line = std::move(partial);
+        partial.clear();
+        line.append(chunk, start, nl - start);
+        if (!line.empty()) {
+          std::cout << line << "\n";
+          ++lines;
+        }
+        start = nl + 1;
+      }
+      std::cout.flush();
+      continue;  // drain quickly while the file is growing
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds{50});
+  }
+  std::cerr << "-- followed " << lines << " events --\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 2 && std::string(argv[1]) == "--follow") {
+    const double max_seconds = argc > 3 ? std::atof(argv[3]) : 0.0;
+    return run_follow(argv[2], max_seconds);
+  }
   if (argc > 1 && std::string(argv[1]) == "--timeline") {
     std::uint64_t seed = 42;
     if (argc > 2) {

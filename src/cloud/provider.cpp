@@ -22,10 +22,10 @@ obs::TraceEvent provider_event(obs::EventKind kind, sim::SimTime t,
 
 }  // namespace
 
-CloudProvider::CloudProvider(sim::Simulation& simulation,
+CloudProvider::CloudProvider(sim::Clock& clock,
                              const sim::RngFactory& rng_factory,
                              sim::SimTime grace_period)
-    : simulation_(simulation), rng_factory_(rng_factory), grace_(grace_period) {
+    : clock_(clock), rng_factory_(rng_factory), grace_(grace_period) {
   if (grace_ < 0) throw std::invalid_argument("CloudProvider: negative grace period");
 }
 
@@ -35,8 +35,21 @@ void CloudProvider::add_market(MarketId id, trace::PriceTrace price_trace,
   if (markets_.contains(id)) {
     throw std::invalid_argument("CloudProvider: duplicate market " + id.str());
   }
-  auto market_ptr = std::make_unique<SpotMarket>(simulation_, id,
+  auto market_ptr = std::make_unique<SpotMarket>(clock_, id,
                                                  std::move(price_trace), od_price);
+  adopt_market(std::move(id), std::move(market_ptr));
+}
+
+void CloudProvider::add_live_market(MarketId id, double od_price) {
+  if (started_) throw std::logic_error("CloudProvider: add_live_market after start");
+  if (markets_.contains(id)) {
+    throw std::invalid_argument("CloudProvider: duplicate market " + id.str());
+  }
+  auto market_ptr = std::make_unique<SpotMarket>(clock_, id, od_price);
+  adopt_market(std::move(id), std::move(market_ptr));
+}
+
+void CloudProvider::adopt_market(MarketId id, std::unique_ptr<SpotMarket> market_ptr) {
   market_ptr->subscribe([this, mid = id](const SpotMarket&, double new_price) {
     on_price_change(mid, new_price);
   });
@@ -108,8 +121,8 @@ InstanceId CloudProvider::request_on_demand(const MarketId& id, ReadyCallback on
                                             FailCallback on_fail) {
   (void)market(id);  // validate
   const InstanceId iid = next_instance_++;
-  if (auto* tracer = simulation_.tracer(); tracer && tracer->enabled()) {
-    auto e = provider_event(obs::EventKind::kBidPlaced, simulation_.now(), id);
+  if (auto* tracer = clock_.tracer(); tracer && tracer->enabled()) {
+    auto e = provider_event(obs::EventKind::kBidPlaced, clock_.now(), id);
     e.code = obs::code::kOnDemand;
     e.instance = iid;
     e.value = od_price(id);
@@ -119,7 +132,7 @@ InstanceId CloudProvider::request_on_demand(const MarketId& id, ReadyCallback on
   inst.id = iid;
   inst.market = id;
   inst.mode = BillingMode::kOnDemand;
-  inst.requested_at = simulation_.now();
+  inst.requested_at = clock_.now();
   instances_.emplace(iid, inst);
 
   const AllocationLatency lat = allocation_latency(id.region);
@@ -133,7 +146,7 @@ InstanceId CloudProvider::request_on_demand(const MarketId& id, ReadyCallback on
   Pending pending;
   pending.on_ready = std::move(on_ready);
   pending.on_fail = std::move(on_fail);
-  pending.event = simulation_.after(sim::from_seconds(delay_s),
+  pending.event = clock_.after(sim::from_seconds(delay_s),
                                     [this, iid] { complete_grant(iid); });
   pending_.emplace(iid, std::move(pending));
   return iid;
@@ -149,10 +162,10 @@ InstanceId CloudProvider::request_spot(const MarketId& id, double bid,
   inst.market = id;
   inst.mode = BillingMode::kSpot;
   inst.bid = bid;
-  inst.requested_at = simulation_.now();
+  inst.requested_at = clock_.now();
   instances_.emplace(iid, inst);
-  if (auto* tracer = simulation_.tracer(); tracer && tracer->enabled()) {
-    auto e = provider_event(obs::EventKind::kBidPlaced, simulation_.now(), id);
+  if (auto* tracer = clock_.tracer(); tracer && tracer->enabled()) {
+    auto e = provider_event(obs::EventKind::kBidPlaced, clock_.now(), id);
     e.code = obs::code::kSpot;
     e.instance = iid;
     e.value = bid;
@@ -171,7 +184,7 @@ InstanceId CloudProvider::request_spot(const MarketId& id, double bid,
   Pending pending;
   pending.on_ready = std::move(on_ready);
   pending.on_fail = std::move(on_fail);
-  pending.event = simulation_.after(sim::from_seconds(delay_s),
+  pending.event = clock_.after(sim::from_seconds(delay_s),
                                     [this, iid] { complete_grant(iid); });
   pending_.emplace(iid, std::move(pending));
   return iid;
@@ -181,7 +194,7 @@ void CloudProvider::complete_grant(InstanceId iid) {
   auto pit = pending_.find(iid);
   if (pit == pending_.end()) return;  // cancelled
   Instance& inst = instance_mut(iid);
-  auto* injector = simulation_.fault_injector();
+  auto* injector = clock_.fault_injector();
 
   // Injected allocation timeout: the grant takes alloc_timeout_extra_s
   // longer (once per request); price and capacity are re-checked at the new
@@ -191,7 +204,7 @@ void CloudProvider::complete_grant(InstanceId iid) {
                               inst.market.str(), iid)) {
     pit->second.delayed = true;
     pit->second.event =
-        simulation_.after(sim::from_seconds(injector->plan().alloc_timeout_extra_s),
+        clock_.after(sim::from_seconds(injector->plan().alloc_timeout_extra_s),
                           [this, iid] { complete_grant(iid); });
     return;
   }
@@ -206,7 +219,7 @@ void CloudProvider::complete_grant(InstanceId iid) {
       injector->should_inject(faults::FaultKind::kAllocInsufficientCapacity,
                               inst.market.str(), iid)) {
     inst.state = InstanceState::kTerminated;
-    SPOTHOST_LOG(sim::LogLevel::kDebug, simulation_.now(),
+    SPOTHOST_LOG(sim::LogLevel::kDebug, clock_.now(),
                  "request " << iid << " failed: insufficient capacity (injected)");
     p.on_fail(AllocFailure::kInsufficientCapacity);
     return;
@@ -216,7 +229,7 @@ void CloudProvider::complete_grant(InstanceId iid) {
     const double current = price(inst.market);
     if (current > inst.bid) {
       inst.state = InstanceState::kTerminated;
-      SPOTHOST_LOG(sim::LogLevel::kDebug, simulation_.now(),
+      SPOTHOST_LOG(sim::LogLevel::kDebug, clock_.now(),
                    "spot request " << iid << " rejected: price " << current
                                    << " > bid " << inst.bid);
       if (p.on_fail) p.on_fail(AllocFailure::kPriceAboveBid);
@@ -224,12 +237,12 @@ void CloudProvider::complete_grant(InstanceId iid) {
     }
   }
   inst.state = InstanceState::kRunning;
-  inst.launch = simulation_.now();
+  inst.launch = clock_.now();
   if (inst.mode == BillingMode::kSpot) {
     running_spot_[inst.market].push_back(iid);
   }
-  if (auto* tracer = simulation_.tracer(); tracer && tracer->enabled()) {
-    auto e = provider_event(obs::EventKind::kAcquisition, simulation_.now(),
+  if (auto* tracer = clock_.tracer(); tracer && tracer->enabled()) {
+    auto e = provider_event(obs::EventKind::kAcquisition, clock_.now(),
                             inst.market);
     e.instance = iid;
     if (inst.mode == BillingMode::kSpot) {
@@ -268,7 +281,7 @@ void CloudProvider::terminate(InstanceId id) {
     return;
   }
   if (inst.state == InstanceState::kTerminated) return;
-  complete_lease(inst, TerminationCause::kCustomer, simulation_.now());
+  complete_lease(inst, TerminationCause::kCustomer, clock_.now());
 }
 
 const Instance& CloudProvider::instance(InstanceId id) const {
@@ -288,8 +301,8 @@ Instance& CloudProvider::instance_mut(InstanceId id) {
 }
 
 void CloudProvider::on_price_change(const MarketId& id, double new_price) {
-  if (auto* tracer = simulation_.tracer(); tracer && tracer->enabled()) {
-    auto e = provider_event(obs::EventKind::kPriceChange, simulation_.now(), id);
+  if (auto* tracer = clock_.tracer(); tracer && tracer->enabled()) {
+    auto e = provider_event(obs::EventKind::kPriceChange, clock_.now(), id);
     e.value = new_price;
     tracer->emit(e);
   }
@@ -307,8 +320,8 @@ void CloudProvider::on_price_change(const MarketId& id, double new_price) {
     Instance& inst = instance_mut(iid);
     drop_running_spot(inst);
     inst.state = InstanceState::kWarned;
-    inst.termination_time = simulation_.now() + grace_;
-    SPOTHOST_LOG(sim::LogLevel::kDebug, simulation_.now(),
+    inst.termination_time = clock_.now() + grace_;
+    SPOTHOST_LOG(sim::LogLevel::kDebug, clock_.now(),
                  "revocation warning for " << iid << " in " << id.str()
                                            << ", termination at "
                                            << sim::format_time(inst.termination_time));
@@ -323,42 +336,42 @@ void CloudProvider::on_price_change(const MarketId& id, double new_price) {
     const auto hit = revocation_handlers_.find(iid);
     RevocationHandler handler =
         (hit != revocation_handlers_.end()) ? hit->second : nullptr;
-    sim::SimTime deliver_at = simulation_.now();
+    sim::SimTime deliver_at = clock_.now();
     if (handler) {
-      if (auto* injector = simulation_.fault_injector()) {
+      if (auto* injector = clock_.fault_injector()) {
         if (injector->should_inject(faults::FaultKind::kWarningDropped,
                                     id.str(), iid)) {
           deliver_at = inst.termination_time;
         } else if (injector->should_inject(faults::FaultKind::kWarningDelayed,
                                            id.str(), iid)) {
           deliver_at = std::min(
-              simulation_.now() +
+              clock_.now() +
                   sim::from_seconds(injector->plan().warning_delay_s),
               inst.termination_time);
         }
       }
-      if (deliver_at > simulation_.now()) {
-        simulation_.at(deliver_at,
+      if (deliver_at > clock_.now()) {
+        clock_.at(deliver_at,
                        [handler, iid, t_term = inst.termination_time] {
                          handler(iid, t_term);
                        });
       }
     }
 
-    simulation_.at(inst.termination_time, [this, iid] {
+    clock_.at(inst.termination_time, [this, iid] {
       Instance& victim = instance_mut(iid);
       if (victim.state != InstanceState::kWarned) return;  // customer beat us
-      complete_lease(victim, TerminationCause::kProviderRevoked, simulation_.now());
+      complete_lease(victim, TerminationCause::kProviderRevoked, clock_.now());
     });
-    if (auto* tracer = simulation_.tracer(); tracer && tracer->enabled()) {
+    if (auto* tracer = clock_.tracer(); tracer && tracer->enabled()) {
       auto e = provider_event(obs::EventKind::kRevocationWarning,
-                              simulation_.now(), id);
+                              clock_.now(), id);
       e.instance = iid;
       e.value = new_price;
       e.aux = sim::to_seconds(inst.termination_time);
       tracer->emit(e);
     }
-    if (handler && deliver_at == simulation_.now()) {
+    if (handler && deliver_at == clock_.now()) {
       handler(iid, inst.termination_time);
     }
   }
@@ -390,7 +403,8 @@ void CloudProvider::complete_lease(Instance& inst, TerminationCause cause,
   if (inst.mode == BillingMode::kOnDemand) {
     record.cost = on_demand_cost(od_price(inst.market), inst.launch, end);
   } else {
-    record.cost = spot_cost(market(inst.market).price_trace(), inst.launch, end, cause);
+    record.cost =
+        spot_cost(market(inst.market).billable_trace(end), inst.launch, end, cause);
   }
   inst.state = InstanceState::kTerminated;
   revocation_handlers_.erase(inst.id);

@@ -19,8 +19,8 @@
 
 #include "cloud/billing.hpp"
 #include "cloud/market.hpp"
+#include "simcore/clock.hpp"
 #include "simcore/rng.hpp"
-#include "simcore/simulation.hpp"
 
 namespace spothost::cloud {
 
@@ -62,17 +62,24 @@ class CloudProvider {
   /// is forcibly terminated at `termination_time` (= warning time + grace).
   using RevocationHandler = std::function<void(InstanceId, sim::SimTime termination_time)>;
 
-  CloudProvider(sim::Simulation& simulation, const sim::RngFactory& rng_factory,
+  CloudProvider(sim::Clock& clock, const sim::RngFactory& rng_factory,
                 sim::SimTime grace_period = 120 * sim::kSecond);
 
-  /// Registers a market. Must be called before start().
+  /// Registers a trace-fed market. Must be called before start().
   void add_market(MarketId id, trace::PriceTrace price_trace, double od_price);
+
+  /// Registers a push-fed (live) market: no trace — a live::FeedDriver
+  /// primes and steps its price instead. Must be called before start();
+  /// start() skips push-fed markets. Mixing trace-fed and push-fed markets
+  /// in one provider is allowed.
+  void add_live_market(MarketId id, double od_price);
 
   /// Overrides a region's allocation latency profile (defaults: Table 1).
   void set_allocation_latency(const std::string& region, AllocationLatency latency);
   [[nodiscard]] AllocationLatency allocation_latency(const std::string& region) const;
 
-  /// Begins replaying all market price feeds. Call once, before running.
+  /// Begins replaying all trace-fed market price feeds (push-fed markets
+  /// are driven by their feed). Call once, before running.
   void start();
 
   [[nodiscard]] SpotMarket& market(const MarketId& id);
@@ -125,6 +132,7 @@ class CloudProvider {
     bool delayed = false;  ///< an injected allocation timeout already fired
   };
 
+  void adopt_market(MarketId id, std::unique_ptr<SpotMarket> market_ptr);
   void on_price_change(const MarketId& id, double new_price);
   void complete_grant(InstanceId id);
   void complete_lease(Instance& inst, TerminationCause cause, sim::SimTime end);
@@ -133,7 +141,7 @@ class CloudProvider {
   /// running-spot index.
   void drop_running_spot(const Instance& inst);
 
-  sim::Simulation& simulation_;
+  sim::Clock& clock_;
   const sim::RngFactory& rng_factory_;
   sim::SimTime grace_;
   bool started_ = false;

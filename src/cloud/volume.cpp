@@ -4,9 +4,9 @@
 
 namespace spothost::cloud {
 
-VolumeManager::VolumeManager(sim::Simulation& simulation, CloudProvider& provider,
+VolumeManager::VolumeManager(sim::Clock& clock, CloudProvider& provider,
                              sim::SimTime attach_latency)
-    : simulation_(simulation), provider_(provider), attach_latency_(attach_latency) {
+    : clock_(clock), provider_(provider), attach_latency_(attach_latency) {
   if (attach_latency_ < 0) {
     throw std::invalid_argument("VolumeManager: negative attach latency");
   }
@@ -38,7 +38,7 @@ void VolumeManager::attach(VolumeId id, InstanceId instance_id,
                            vol.region + " to instance in " + inst.market.region);
   }
   vol.attached_to = instance_id;
-  simulation_.after(attach_latency_, [this, id, cb = std::move(on_attached)] {
+  clock_.after(attach_latency_, [this, id, cb = std::move(on_attached)] {
     // The volume may have been detached again while the attach was in
     // flight; report only if still attached.
     const auto it = volumes_.find(id);

@@ -14,7 +14,7 @@
 #include <unordered_map>
 
 #include "cloud/provider.hpp"
-#include "simcore/simulation.hpp"
+#include "simcore/clock.hpp"
 
 namespace spothost::cloud {
 
@@ -37,7 +37,7 @@ class VolumeManager {
  public:
   using AttachCallback = std::function<void(VolumeId)>;
 
-  VolumeManager(sim::Simulation& simulation, CloudProvider& provider,
+  VolumeManager(sim::Clock& clock, CloudProvider& provider,
                 sim::SimTime attach_latency = 4 * sim::kSecond);
 
   VolumeId create(const std::string& region, double size_gb);
@@ -59,7 +59,7 @@ class VolumeManager {
  private:
   Volume& volume_mut(VolumeId id);
 
-  sim::Simulation& simulation_;
+  sim::Clock& clock_;
   CloudProvider& provider_;
   sim::SimTime attach_latency_;
   std::unordered_map<VolumeId, Volume> volumes_;

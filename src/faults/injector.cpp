@@ -8,9 +8,9 @@
 
 namespace spothost::faults {
 
-FaultInjector::FaultInjector(sim::Simulation& simulation,
-                             const sim::RngFactory& rng, FaultPlan plan)
-    : simulation_(simulation), plan_(std::move(plan)) {
+FaultInjector::FaultInjector(sim::Clock& clock, const sim::RngFactory& rng,
+                             FaultPlan plan)
+    : clock_(clock), plan_(std::move(plan)) {
   plan_.validate();
   streams_.reserve(kFaultKindCount);
   for (const FaultKind kind : kAllFaultKinds) {
@@ -44,9 +44,9 @@ bool FaultInjector::should_inject(FaultKind kind, std::string_view market,
   if (!hit) return false;
 
   ++injected_[k];
-  if (auto* tracer = simulation_.tracer(); tracer != nullptr && tracer->enabled()) {
+  if (auto* tracer = clock_.tracer(); tracer != nullptr && tracer->enabled()) {
     obs::TraceEvent e;
-    e.t = simulation_.now();
+    e.t = clock_.now();
     e.kind = obs::EventKind::kFaultInjected;
     e.code = static_cast<std::uint8_t>(kind);
     e.instance = instance;

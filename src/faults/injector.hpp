@@ -1,9 +1,9 @@
 // FaultInjector: turns a FaultPlan into seeded, trace-visible injection
 // decisions.
 //
-// The injector is owned by the World and attached to the Simulation
-// (Simulation::set_fault_injector) the same way the Tracer is, so every
-// component holding a Simulation& — the provider, the migration engine —
+// The injector is owned by the World and attached to the engine
+// (sim::Engine::set_fault_injector) the same way the Tracer is, so every
+// component holding a sim::Clock& — the provider, the migration engine —
 // reads it from one place without new constructor plumbing. Each injection
 // point calls should_inject(kind, ...) at the moment the fault could occur
 // (an "opportunity"); the injector counts the opportunity, consults the
@@ -25,7 +25,7 @@
 
 #include "faults/fault_plan.hpp"
 #include "simcore/rng.hpp"
-#include "simcore/simulation.hpp"
+#include "simcore/clock.hpp"
 
 namespace spothost::faults {
 
@@ -33,7 +33,7 @@ class FaultInjector {
  public:
   /// Validates and captures the plan; derives one RNG stream per armed kind
   /// from `rng` (stream names "faults/<kind>").
-  FaultInjector(sim::Simulation& simulation, const sim::RngFactory& rng,
+  FaultInjector(sim::Clock& clock, const sim::RngFactory& rng,
                 FaultPlan plan);
 
   FaultInjector(const FaultInjector&) = delete;
@@ -57,7 +57,7 @@ class FaultInjector {
   [[nodiscard]] std::uint64_t injected_total() const noexcept;
 
  private:
-  sim::Simulation& simulation_;
+  sim::Clock& clock_;
   FaultPlan plan_;
   std::vector<sim::RngStream> streams_;  ///< one per kind, in enum order
   /// 1-based opportunity indices scheduled to fail, per kind, sorted.

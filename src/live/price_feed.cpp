@@ -1,0 +1,269 @@
+#include "live/price_feed.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace spothost::live {
+
+// --- TraceReplayFeed ------------------------------------------------------
+
+void TraceReplayFeed::add_market(std::string key, const trace::PriceTrace* trace) {
+  if (trace == nullptr) {
+    throw std::invalid_argument("TraceReplayFeed: null trace for " + key);
+  }
+  if (streams_.count(key) != 0) {
+    throw std::invalid_argument("TraceReplayFeed: duplicate market " + key);
+  }
+  order_.push_back(key);
+  streams_.emplace(std::move(key), Stream{trace, 0});
+}
+
+std::vector<std::string> TraceReplayFeed::markets() const { return order_; }
+
+PriceFeed::Status TraceReplayFeed::next(const std::string& market, PriceUpdate& out) {
+  const auto it = streams_.find(market);
+  if (it == streams_.end()) {
+    throw std::out_of_range("TraceReplayFeed: unknown market " + market);
+  }
+  Stream& s = it->second;
+  const auto& points = s.trace->points();
+  if (s.index >= points.size()) return Status::kEnd;
+  const trace::PricePoint& p = points[s.index++];
+  out.time = p.time;
+  out.market = market;
+  out.price = p.price;
+  out.read_at = {};  // replay: no wall provenance
+  return Status::kReady;
+}
+
+// --- FileTailFeed ---------------------------------------------------------
+
+namespace {
+
+// Minimal JSONL field extraction — enough for the one flat object shape the
+// feed format defines; not a general JSON parser.
+bool json_number(const std::string& line, const std::string& key, double& out) {
+  const auto k = line.find("\"" + key + "\"");
+  if (k == std::string::npos) return false;
+  auto i = line.find(':', k);
+  if (i == std::string::npos) return false;
+  ++i;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  const char* begin = line.c_str() + i;
+  char* end = nullptr;
+  out = std::strtod(begin, &end);
+  return end != begin;
+}
+
+bool json_string(const std::string& line, const std::string& key, std::string& out) {
+  const auto k = line.find("\"" + key + "\"");
+  if (k == std::string::npos) return false;
+  auto i = line.find(':', k);
+  if (i == std::string::npos) return false;
+  i = line.find('"', i);
+  if (i == std::string::npos) return false;
+  const auto close = line.find('"', i + 1);
+  if (close == std::string::npos) return false;
+  out = line.substr(i + 1, close - i - 1);
+  return true;
+}
+
+bool parse_time_ms(const std::string& field, sim::SimTime& out) {
+  if (field.empty()) return false;
+  const char* begin = field.c_str();
+  char* end = nullptr;
+  const long long v = std::strtoll(begin, &end, 10);
+  if (end == begin || *end != '\0' || v < 0) return false;
+  out = static_cast<sim::SimTime>(v);
+  return true;
+}
+
+}  // namespace
+
+FileTailFeed::FileTailFeed(std::string path, Options options)
+    : path_(std::move(path)), options_(std::move(options)) {
+  // Pre-create allowlisted streams so markets() answers (in the allowlist's
+  // order) before the first pump, and rows for anything else count as
+  // unknown-market.
+  for (const auto& m : options_.markets) {
+    if (streams_.emplace(m, Stream{}).second) order_.push_back(m);
+  }
+}
+
+std::vector<std::string> FileTailFeed::markets() const { return order_; }
+
+FileTailFeed::Stream* FileTailFeed::stream_for(const std::string& market) {
+  const auto it = streams_.find(market);
+  if (it != streams_.end()) return &it->second;
+  if (!options_.markets.empty()) return nullptr;  // allowlist rejects the rest
+  order_.push_back(market);
+  return &streams_.emplace(market, Stream{}).first->second;
+}
+
+void FileTailFeed::reject(const std::string& message) {
+  ++rejected_lines_;
+  if (errors_.size() < options_.max_errors) {
+    errors_.push_back(FeedError{line_no_, message});
+  }
+}
+
+void FileTailFeed::handle_line(const std::string& raw) {
+  std::string line = raw;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line.empty() || line[0] == '#') return;
+
+  sim::SimTime time = 0;
+  std::string market;
+  double price = 0.0;
+
+  if (line[0] == '{') {
+    double t_ms = 0.0;
+    if (!json_number(line, "t", t_ms) || !json_string(line, "market", market) ||
+        !json_number(line, "price", price) || t_ms < 0) {
+      reject("malformed JSONL row: " + line);
+      return;
+    }
+    time = static_cast<sim::SimTime>(t_ms);
+  } else {
+    const auto c1 = line.find(',');
+    if (c1 == std::string::npos) {
+      reject("malformed row (no comma): " + line);
+      return;
+    }
+    const std::string first = line.substr(0, c1);
+    if (first.rfind("time", 0) == 0) return;  // header ("time", "time_ms", ...)
+    if (first == "end") {
+      sim::SimTime t = 0;
+      if (!parse_time_ms(line.substr(c1 + 1), t)) {
+        reject("malformed end sentinel: " + line);
+        return;
+      }
+      ended_ = true;
+      end_time_ = t;
+      return;
+    }
+    const auto c2 = line.find(',', c1 + 1);
+    if (c2 == std::string::npos) {
+      reject("malformed row (two fields): " + line);
+      return;
+    }
+    if (!parse_time_ms(first, time)) {
+      reject("bad timestamp: " + line);
+      return;
+    }
+    market = line.substr(c1 + 1, c2 - c1 - 1);
+    const std::string price_field = line.substr(c2 + 1);
+    const char* begin = price_field.c_str();
+    char* end = nullptr;
+    price = std::strtod(begin, &end);
+    if (end == begin) {
+      reject("bad price: " + line);
+      return;
+    }
+  }
+
+  if (market.empty()) {
+    reject("empty market id: " + line);
+    return;
+  }
+  if (!std::isfinite(price) || price <= 0.0) {
+    reject("price must be finite and > 0: " + line);
+    return;
+  }
+  Stream* s = stream_for(market);
+  if (s == nullptr) {
+    ++unknown_market_lines_;
+    return;
+  }
+  if (time <= s->last_time) {
+    reject("out-of-order timestamp for " + market + " at line " +
+           std::to_string(line_no_) + " (" + std::to_string(time) +
+           " <= " + std::to_string(s->last_time) + ")");
+    return;
+  }
+  s->last_time = time;
+  PriceUpdate u;
+  u.time = time;
+  u.market = market;
+  u.price = price;
+  u.read_at = std::chrono::steady_clock::now();
+  s->buffered.push_back(std::move(u));
+  ++lines_ingested_;
+}
+
+std::size_t FileTailFeed::pump() {
+  const std::size_t before = lines_ingested_;
+  if (!file_.is_open()) {
+    file_.open(path_, std::ios::binary);
+    if (!file_.is_open()) return 0;  // not created yet; retry on a later pump
+  }
+  file_.clear();
+  file_.seekg(0, std::ios::end);
+  const std::streamoff size = file_.tellg();
+  if (size < 0) return 0;
+  bool rewritten = size < pos_;  // shrank: unambiguous truncation
+  if (!rewritten && pos_ > 0 && !prefix_sig_.empty()) {
+    // The file may have been truncated and re-grown past our offset between
+    // pumps; the size check alone cannot see that. Compare the head bytes.
+    std::string head(prefix_sig_.size(), '\0');
+    file_.seekg(0);
+    file_.read(head.data(), static_cast<std::streamsize>(head.size()));
+    head.resize(static_cast<std::size_t>(file_.gcount()));
+    file_.clear();
+    rewritten = head != prefix_sig_;
+  }
+  if (rewritten) {
+    // Start over; per-market last_time survives, so re-read rows at or
+    // before what we already delivered get rejected as out-of-order
+    // instead of replayed.
+    pos_ = 0;
+    partial_.clear();
+    line_no_ = 0;
+    prefix_sig_.clear();
+    ++truncations_;
+  }
+  if (size == pos_) return 0;
+  const std::streamoff old_pos = pos_;
+  file_.seekg(pos_);
+  std::string chunk(static_cast<std::size_t>(size - pos_), '\0');
+  file_.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+  chunk.resize(static_cast<std::size_t>(file_.gcount()));
+  pos_ += static_cast<std::streamoff>(chunk.size());
+  constexpr std::streamoff kPrefixSigBytes = 64;
+  if (old_pos < kPrefixSigBytes) {
+    const auto want = static_cast<std::size_t>(kPrefixSigBytes - old_pos);
+    prefix_sig_.append(chunk, 0, std::min(want, chunk.size()));
+  }
+
+  // Only complete, newline-terminated lines are parsed; a trailing fragment
+  // (writer caught mid-line) waits in partial_ for the next pump.
+  std::size_t start = 0;
+  for (;;) {
+    const auto nl = chunk.find('\n', start);
+    if (nl == std::string::npos) {
+      partial_.append(chunk, start, std::string::npos);
+      break;
+    }
+    std::string line = std::move(partial_);
+    partial_.clear();
+    line.append(chunk, start, nl - start);
+    ++line_no_;
+    handle_line(line);
+    start = nl + 1;
+  }
+  return lines_ingested_ - before;
+}
+
+PriceFeed::Status FileTailFeed::next(const std::string& market, PriceUpdate& out) {
+  const auto it = streams_.find(market);
+  if (it == streams_.end()) return ended_ ? Status::kEnd : Status::kWouldBlock;
+  Stream& s = it->second;
+  if (s.buffered.empty()) return ended_ ? Status::kEnd : Status::kWouldBlock;
+  out = std::move(s.buffered.front());
+  s.buffered.pop_front();
+  return Status::kReady;
+}
+
+}  // namespace spothost::live

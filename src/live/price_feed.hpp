@@ -1,0 +1,164 @@
+// Price feeds: where live price updates come from.
+//
+// A PriceFeed is a pull-based, per-market stream of (time, market, price)
+// updates. The FeedDriver (live/feed_driver.hpp) pulls from it and steps the
+// push-fed SpotMarkets; the feed itself knows nothing about the cloud layer.
+// Two implementations:
+//
+//   * TraceReplayFeed — adapts pre-loaded trace::PriceTrace objects (e.g. a
+//     generated MarketTraceSet or a recorded file). Pure and deterministic:
+//     this is the source for the sim/live parity golden test.
+//   * FileTailFeed — tails a growing CSV/JSONL file, tail -f style. Reads
+//     only complete newline-terminated lines (a writer caught mid-line is
+//     picked up on the next pump), resumes at its byte offset, demuxes rows
+//     per market, and rejects malformed or out-of-order rows with the line
+//     number so operators can find them.
+//
+// File format (one row per price change):
+//     time_ms,market,price          e.g.  3600000,us-east-1a/large,0.171
+//     {"t":3600000,"market":"us-east-1a/large","price":0.171}   (JSONL)
+//     # comment lines and a "time,..." header are skipped
+//     end,<time_ms>                 sentinel: feed is complete through time_ms
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simcore/time.hpp"
+#include "trace/price_trace.hpp"
+
+namespace spothost::live {
+
+/// One price change, as read from a feed.
+struct PriceUpdate {
+  sim::SimTime time = 0;  ///< virtual (feed) timestamp, milliseconds
+  std::string market;     ///< market key, e.g. "us-east-1a/large"
+  double price = 0.0;
+  /// Wall instant the update was read off the feed (set by tailing feeds;
+  /// epoch for replay feeds). The serve loop measures delivery latency as
+  /// steady_clock::now() - read_at when the update reaches the policy layer.
+  std::chrono::steady_clock::time_point read_at{};
+};
+
+class PriceFeed {
+ public:
+  enum class Status {
+    kReady,       ///< `out` filled with the next update for that market
+    kWouldBlock,  ///< nothing buffered now; pump() again later
+    kEnd,         ///< this market's stream is complete
+  };
+
+  virtual ~PriceFeed() = default;
+
+  /// Market keys this feed serves, in first-seen (deterministic) order.
+  [[nodiscard]] virtual std::vector<std::string> markets() const = 0;
+
+  /// Pulls the next update for `market`.
+  virtual Status next(const std::string& market, PriceUpdate& out) = 0;
+
+  /// Ingests whatever new data the source has (no-op for replay feeds).
+  /// Returns the number of updates ingested.
+  virtual std::size_t pump() { return 0; }
+};
+
+/// Replays pre-loaded PriceTraces as a feed. The traces must outlive the
+/// feed. Deterministic: updates come out exactly as recorded.
+class TraceReplayFeed final : public PriceFeed {
+ public:
+  void add_market(std::string key, const trace::PriceTrace* trace);
+
+  [[nodiscard]] std::vector<std::string> markets() const override;
+  Status next(const std::string& market, PriceUpdate& out) override;
+
+ private:
+  struct Stream {
+    const trace::PriceTrace* trace = nullptr;
+    std::size_t index = 0;
+  };
+  std::vector<std::string> order_;
+  std::unordered_map<std::string, Stream> streams_;
+};
+
+/// Tails a growing CSV/JSONL price file.
+class FileTailFeed final : public PriceFeed {
+ public:
+  struct Options {
+    /// Markets to accept. Empty = accept every market seen (keys are then
+    /// discovered in file order).
+    std::vector<std::string> markets;
+    /// Keep at most this many parse errors (counters keep counting past it).
+    std::size_t max_errors = 16;
+  };
+
+  /// A rejected line, with its 1-based line number in the file.
+  struct FeedError {
+    std::size_t line = 0;
+    std::string message;
+  };
+
+  explicit FileTailFeed(std::string path) : FileTailFeed(std::move(path), Options{{}, 16}) {}
+  FileTailFeed(std::string path, Options options);
+
+  [[nodiscard]] std::vector<std::string> markets() const override;
+  Status next(const std::string& market, PriceUpdate& out) override;
+
+  /// Reads all complete lines appended since the last pump. Safe against a
+  /// writer caught mid-line (the partial tail is buffered and completed on a
+  /// later pump) and against truncation (re-reads from the start; rows at or
+  /// before a market's last accepted timestamp are rejected as out-of-order).
+  std::size_t pump() override;
+
+  /// True once the `end,<time_ms>` sentinel has been read.
+  [[nodiscard]] bool ended() const noexcept { return ended_; }
+  [[nodiscard]] sim::SimTime end_time() const noexcept { return end_time_; }
+
+  [[nodiscard]] std::size_t lines_ingested() const noexcept { return lines_ingested_; }
+  [[nodiscard]] std::size_t rejected_lines() const noexcept { return rejected_lines_; }
+  [[nodiscard]] std::size_t unknown_market_lines() const noexcept {
+    return unknown_market_lines_;
+  }
+  [[nodiscard]] std::size_t truncations() const noexcept { return truncations_; }
+  [[nodiscard]] const std::vector<FeedError>& errors() const noexcept { return errors_; }
+
+ private:
+  struct Stream {
+    std::deque<PriceUpdate> buffered;
+    sim::SimTime last_time = -1;  ///< last accepted timestamp (strictly increasing)
+  };
+
+  void handle_line(const std::string& line);
+  void reject(const std::string& message);
+  Stream* stream_for(const std::string& market);
+
+  std::string path_;
+  Options options_;
+  std::ifstream file_;
+  std::streamoff pos_ = 0;     ///< byte offset of the next unread byte
+  std::string partial_;        ///< incomplete trailing line from the last pump
+  std::size_t line_no_ = 0;    ///< 1-based number of the line being parsed
+  /// First bytes ever read from offset 0 (up to 64). A rewrite that grows
+  /// the file past the saved offset would otherwise go unnoticed and be
+  /// parsed from mid-file; if these bytes change, the file was replaced and
+  /// reading restarts from 0. A rotation that re-emits byte-identical
+  /// history resumes seamlessly at the old offset instead.
+  std::string prefix_sig_;
+
+  std::vector<std::string> order_;
+  std::unordered_map<std::string, Stream> streams_;
+  bool ended_ = false;
+  sim::SimTime end_time_ = 0;
+
+  std::size_t lines_ingested_ = 0;
+  std::size_t rejected_lines_ = 0;
+  std::size_t unknown_market_lines_ = 0;
+  std::size_t truncations_ = 0;
+  std::vector<FeedError> errors_;
+};
+
+}  // namespace spothost::live

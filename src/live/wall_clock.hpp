@@ -1,0 +1,121 @@
+// The wall-time engine: sim::Clock/Engine over std::chrono::steady_clock.
+//
+// WallClock maps elapsed wall time onto the same millisecond SimTime axis
+// the simulation uses, backed by the very same event-queue backends (timing
+// wheel by default — SPOTHOST_EVENT_QUEUE applies here too), so the policy
+// layer cannot tell which engine is underneath. Three speeds:
+//
+//   * speed 1.0  — real time: one virtual millisecond per wall millisecond.
+//   * speed N    — paced replay: N virtual ms per wall ms (demo / soak).
+//   * kMaxSpeed  — deterministic fast-replay: time jumps straight from event
+//     to event with no sleeping, exactly the discrete-event semantics of
+//     Simulation::run_until. This is the parity mode: replaying a recorded
+//     feed here produces the byte-identical trace the simulation produces
+//     (tests/live/test_serve_parity.cpp pins it).
+//
+// Time only advances inside poll()/run_until() — between calls now() is the
+// time of the last dispatch target, never a raw steady_clock read. That
+// keeps the discrete-event invariants (now() is stable within a callback,
+// events fire in (time, schedule-seq) order, scheduling is monotone) intact
+// on the wall path; the price is that now() lags wall time by up to one
+// poll interval, which the serve loop keeps at ~10 ms.
+//
+// Single-threaded, like Simulation: all scheduling and polling must happen
+// on one thread. Feed ingestion from another thread must be handed over via
+// the feed's own synchronization (live::FileTailFeed reads a file, so the
+// filesystem is the handoff).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+
+#include "simcore/engine.hpp"
+#include "simcore/event_queue.hpp"
+#include "simcore/time.hpp"
+
+namespace spothost::live {
+
+class WallClock final : public sim::Engine {
+ public:
+  /// speed value selecting deterministic fast-replay.
+  static constexpr double kMaxSpeed = std::numeric_limits<double>::infinity();
+
+  struct Options {
+    /// Virtual milliseconds per wall millisecond; kMaxSpeed = fast-replay.
+    /// Must be > 0.
+    double speed = 1.0;
+    /// Initial virtual time.
+    sim::SimTime start_time = 0;
+    /// Event-queue backend (default honours SPOTHOST_EVENT_QUEUE).
+    sim::QueueBackend backend = sim::default_queue_backend();
+  };
+
+  WallClock() : WallClock(Options{1.0, 0, sim::default_queue_backend()}) {}
+  explicit WallClock(Options options);
+
+  // --- sim::Clock --------------------------------------------------------
+  [[nodiscard]] sim::SimTime now() const noexcept override { return now_; }
+  sim::EventHandle at(sim::SimTime when, Callback cb) override;
+  sim::EventHandle after(sim::SimTime delay, Callback cb) override;
+  bool cancel(sim::EventId id) override { return queue_->cancel(id); }
+  [[nodiscard]] obs::Tracer* tracer() const noexcept override {
+    return tracer_;
+  }
+  [[nodiscard]] faults::FaultInjector* fault_injector() const noexcept override {
+    return fault_injector_;
+  }
+
+  // --- sim::Engine -------------------------------------------------------
+  /// Fast-replay: identical to Simulation::run_until (no sleeping).
+  /// Real time / paced: dispatches due events and sleeps between them until
+  /// virtual time reaches `horizon`. Do not pass the run-forever sentinel on
+  /// the wall path unless something is guaranteed to drain the queue.
+  void run_until(sim::SimTime horizon) override;
+  [[nodiscard]] std::uint64_t dispatched() const noexcept override {
+    return dispatched_;
+  }
+  [[nodiscard]] std::size_t pending() const override { return queue_->size(); }
+  void set_tracer(obs::Tracer* tracer) noexcept override { tracer_ = tracer; }
+  void set_fault_injector(faults::FaultInjector* injector) noexcept override {
+    fault_injector_ = injector;
+  }
+
+  // --- the serve loop's surface ------------------------------------------
+  /// Dispatches everything currently due — in fast-replay, *everything*
+  /// pending (timers coalesce into one (time, seq)-ordered batch; see
+  /// tests/live/test_wall_clock.cpp) — and advances now() to the wall-mapped
+  /// time. Never sleeps. Returns the number of events dispatched.
+  std::size_t poll();
+
+  /// Wall duration until the next pending event is due (zero if already due
+  /// or in fast-replay); nullopt when idle. The serve loop sleeps on this.
+  [[nodiscard]] std::optional<std::chrono::nanoseconds> wall_until_next() const;
+
+  [[nodiscard]] bool fast_replay() const noexcept { return replay_; }
+  [[nodiscard]] double speed() const noexcept { return speed_; }
+  [[nodiscard]] sim::QueueBackend backend() const noexcept {
+    return queue_->backend();
+  }
+
+ private:
+  /// Virtual time corresponding to the current wall instant (>= now_).
+  [[nodiscard]] sim::SimTime wall_virtual_now() const;
+  /// Dispatches every event due at or before `target`; advances now_ to
+  /// `target` afterwards (unless it is the run-forever sentinel).
+  std::size_t drain(sim::SimTime target);
+
+  std::unique_ptr<sim::EventQueue> queue_;
+  double speed_ = 1.0;
+  bool replay_ = false;
+  sim::SimTime now_ = 0;
+  std::chrono::steady_clock::time_point anchor_wall_;
+  sim::SimTime anchor_virtual_ = 0;
+  std::uint64_t dispatched_ = 0;
+  obs::Tracer* tracer_ = nullptr;
+  faults::FaultInjector* fault_injector_ = nullptr;
+};
+
+}  // namespace spothost::live

@@ -41,16 +41,16 @@ RunMetrics run_hosting_scenario(
   workload::AlwaysOnService service("hosted-service",
                                     virt::VmSpec{});  // spec set by scheduler
   if (tracer != nullptr) {
-    world.simulation().set_tracer(tracer);
+    world.engine().set_tracer(tracer);
     service.set_tracer(tracer);
   }
-  sched::CloudScheduler scheduler(world.simulation(), world.provider(), service,
+  sched::CloudScheduler scheduler(world.clock(), world.provider(), service,
                                   config, world.stream("scheduler-timing"));
   scheduler.start();
   {
     std::optional<obs::ProfileScope> scope;
-    if (profile != nullptr) scope.emplace(world.simulation(), *profile);
-    world.simulation().run_until(world.horizon());
+    if (profile != nullptr) scope.emplace(world.engine(), *profile);
+    world.engine().run_until(world.horizon());
   }
   world.provider().finalize(world.horizon());
   scheduler.finalize(world.horizon());

@@ -1,20 +1,20 @@
 #include "obs/profile.hpp"
 
-#include "simcore/simulation.hpp"
+#include "simcore/engine.hpp"
 
 namespace spothost::obs {
 
-ProfileScope::ProfileScope(const sim::Simulation& simulation, RunProfile& out)
-    : simulation_(simulation),
+ProfileScope::ProfileScope(const sim::Engine& engine, RunProfile& out)
+    : engine_(engine),
       out_(out),
       start_(std::chrono::steady_clock::now()),
-      dispatched_at_start_(simulation.dispatched()) {}
+      dispatched_at_start_(engine.dispatched()) {}
 
 ProfileScope::~ProfileScope() {
   const auto elapsed = std::chrono::steady_clock::now() - start_;
   out_.wall_seconds =
       std::chrono::duration_cast<std::chrono::duration<double>>(elapsed).count();
-  out_.events_dispatched = simulation_.dispatched() - dispatched_at_start_;
+  out_.events_dispatched = engine_.dispatched() - dispatched_at_start_;
 }
 
 }  // namespace spothost::obs

@@ -8,7 +8,7 @@
 #include <cstdint>
 
 namespace spothost::sim {
-class Simulation;
+class Engine;
 }
 
 namespace spothost::obs {
@@ -24,17 +24,18 @@ struct RunProfile {
   }
 };
 
-/// RAII scope around a simulation run: records the wall time elapsed and the
-/// events dispatched between construction and destruction into `out`.
+/// RAII scope around an engine run (simulated or wall-clock): records the
+/// wall time elapsed and the events dispatched between construction and
+/// destruction into `out`.
 class ProfileScope {
  public:
-  ProfileScope(const sim::Simulation& simulation, RunProfile& out);
+  ProfileScope(const sim::Engine& engine, RunProfile& out);
   ProfileScope(const ProfileScope&) = delete;
   ProfileScope& operator=(const ProfileScope&) = delete;
   ~ProfileScope();
 
  private:
-  const sim::Simulation& simulation_;
+  const sim::Engine& engine_;
   RunProfile& out_;
   std::chrono::steady_clock::time_point start_;
   std::uint64_t dispatched_at_start_;

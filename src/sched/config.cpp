@@ -38,9 +38,13 @@ Scenario normalized_scenario(Scenario scenario) {
   return scenario;
 }
 
-World::World(Scenario scenario) : World(std::move(scenario), nullptr) {}
+World::World(Scenario scenario) : World(std::move(scenario), nullptr, nullptr) {}
 
 World::World(Scenario scenario, std::shared_ptr<const MarketTraceSet> traces)
+    : World(std::move(scenario), std::move(traces), nullptr) {}
+
+World::World(Scenario scenario, std::shared_ptr<const MarketTraceSet> traces,
+             std::unique_ptr<sim::Engine> engine)
     : scenario_(normalized_scenario(std::move(scenario))),
       rng_factory_(scenario_.seed) {
   if (traces == nullptr) {
@@ -51,13 +55,13 @@ World::World(Scenario scenario, std::shared_ptr<const MarketTraceSet> traces)
   }
   traces_ = std::move(traces);
 
-  simulation_ = std::make_unique<sim::Simulation>();
+  engine_ = engine != nullptr ? std::move(engine) : sim::make_simulation_engine();
   // Always build and attach the injector — an empty plan makes zero draws,
   // so fault-free worlds behave identically with or without it.
-  faults_ = std::make_unique<faults::FaultInjector>(*simulation_, rng_factory_,
+  faults_ = std::make_unique<faults::FaultInjector>(*engine_, rng_factory_,
                                                     scenario_.fault_plan);
-  simulation_->set_fault_injector(faults_.get());
-  provider_ = std::make_unique<cloud::CloudProvider>(*simulation_, rng_factory_,
+  engine_->set_fault_injector(faults_.get());
+  provider_ = std::make_unique<cloud::CloudProvider>(*engine_, rng_factory_,
                                                      scenario_.grace_period);
 
   for (const auto& region : scenario_.regions) {

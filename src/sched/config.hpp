@@ -11,8 +11,8 @@
 #include "cloud/provider.hpp"
 #include "faults/fault_plan.hpp"
 #include "faults/injector.hpp"
+#include "simcore/engine.hpp"
 #include "simcore/rng.hpp"
-#include "simcore/simulation.hpp"
 #include "trace/profiles.hpp"
 
 namespace spothost::sched {
@@ -50,7 +50,13 @@ class MarketTraceSet;  // sched/market_traces.hpp
 /// A fully wired experiment world. Construction generates all market traces
 /// (seeded from the scenario seed) — or copies them from a pre-generated
 /// MarketTraceSet — and starts the provider's price feeds; attach a
-/// scheduler and call simulation().run_until(horizon()).
+/// scheduler (built over clock()) and call engine().run_until(horizon()).
+///
+/// The engine seam: policy components take clock() (sim::Clock — scheduling
+/// only), run control goes through engine() (sim::Engine — run_until /
+/// set_tracer / dispatched). The default engine is a sim::Simulation; pass
+/// one explicitly (e.g. a live::WallClock in fast-replay) to run the exact
+/// same wiring on wall time.
 class World {
  public:
   explicit World(Scenario scenario);
@@ -61,7 +67,17 @@ class World {
   /// generating constructor; only the trace-generation work is skipped.
   World(Scenario scenario, std::shared_ptr<const MarketTraceSet> traces);
 
-  [[nodiscard]] sim::Simulation& simulation() noexcept { return *simulation_; }
+  /// Same wiring over a caller-supplied engine (must be freshly constructed:
+  /// time 0, nothing scheduled). nullptr = the default sim::Simulation.
+  World(Scenario scenario, std::shared_ptr<const MarketTraceSet> traces,
+        std::unique_ptr<sim::Engine> engine);
+
+  /// The scheduling seam policy components take.
+  [[nodiscard]] sim::Clock& clock() noexcept { return *engine_; }
+
+  /// Run control: run_until, set_tracer, dispatched, ...
+  [[nodiscard]] sim::Engine& engine() noexcept { return *engine_; }
+  [[nodiscard]] const sim::Engine& engine() const noexcept { return *engine_; }
   [[nodiscard]] cloud::CloudProvider& provider() noexcept { return *provider_; }
   [[nodiscard]] const cloud::CloudProvider& provider() const noexcept {
     return *provider_;
@@ -91,7 +107,7 @@ class World {
   Scenario scenario_;
   sim::RngFactory rng_factory_;
   std::shared_ptr<const MarketTraceSet> traces_;
-  std::unique_ptr<sim::Simulation> simulation_;
+  std::unique_ptr<sim::Engine> engine_;
   std::unique_ptr<faults::FaultInjector> faults_;
   std::unique_ptr<cloud::CloudProvider> provider_;
 };

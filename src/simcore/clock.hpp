@@ -2,11 +2,13 @@
 //
 // Schedulers, migration engines, and watchers need exactly four things from
 // the engine: the current time, a way to schedule at an absolute or relative
-// time, and a way to cancel. Clock is that contract. Simulation implements
-// it; policy code holds a Clock& and stays free of any dependency on the
-// engine's event-queue internals, which keeps backends swappable and leaves
-// the door open to driving the same policy code from a wall-clock adapter
-// (the ROADMAP online-serving item).
+// time, and a way to cancel. Clock is that contract. Two engines implement
+// it — sim::Simulation (virtual time, simcore/simulation.hpp) and
+// live::WallClock (wall time / paced replay, live/wall_clock.hpp) — and
+// policy code holds a Clock& so the same scheduler runs a backtest or a live
+// feed without knowing which. The layering is enforced, not promised:
+// scripts/check_layering.sh fails CI if sched/virt/cloud code includes the
+// concrete engine header.
 //
 // Two pieces of per-run context ride along with the clock: the trace
 // dispatcher and the fault injector. Both are attach-once, engine-owned
@@ -22,9 +24,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <utility>
 
+#include "simcore/callback.hpp"
 #include "simcore/time.hpp"
 
 namespace spothost::obs {
@@ -48,12 +50,14 @@ inline constexpr EventId kInvalidEventId = 0;
 
 class EventHandle;
 
-/// What policy code may do with time. Implemented by Simulation (and by any
-/// future wall-clock adapter). All scheduling is single-threaded within a
-/// run; see Simulation for the engine's threading contract.
+/// What policy code may do with time. Implemented by sim::Simulation and
+/// live::WallClock (via sim::Engine). All scheduling is single-threaded
+/// within a run; see Simulation for the engine's threading contract.
 class Clock {
  public:
-  using Callback = std::function<void()>;
+  /// Move-only small-buffer callable (simcore/callback.hpp); lambdas convert
+  /// implicitly, exactly as they did when this was std::function.
+  using Callback = sim::Callback;
 
   virtual ~Clock() = default;
 

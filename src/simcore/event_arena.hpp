@@ -9,12 +9,13 @@
 //   * O(1) cancel — decode, compare generations, done. No hash lookup.
 //   * stale-cancel safety — a handle kept past its event's firing simply
 //     fails the generation check.
-//   * a dispatch path that *moves* the callback out of storage (take()),
-//     so std::function copies never appear in the hot loop.
+//   * a dispatch path that *moves* the callback out of storage (take()) —
+//     sim::Callback is move-only, so copies are impossible by construction.
 //
 // The record is deliberately array-of-structures: time, sequence,
 // generation, a backend scratch byte, and the callback sit in ONE record
-// (56 bytes with libstdc++'s 32-byte std::function), so scheduling,
+// (56 bytes with the 32-byte sim::Callback — same size std::function had,
+// with 24 inline capture bytes instead of libstdc++'s 16), so scheduling,
 // cancelling, or firing an event touches a single cache line. The earlier
 // structure-of-arrays layout spread each event over seven vectors — seven
 // potential misses per touch — which dominated the event-core profile at
@@ -28,7 +29,6 @@
 
 #include <cassert>
 #include <cstdint>
-#include <functional>
 #include <utility>
 #include <vector>
 
@@ -39,7 +39,7 @@ namespace spothost::sim {
 
 class EventArena {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::Callback;  // simcore/callback.hpp, via clock.hpp
 
   /// "No slot" marker for index-valued returns and backend link fields.
   static constexpr std::uint32_t kNoSlot = 0xffffffffu;

@@ -19,7 +19,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -44,7 +43,7 @@ enum class QueueBackend : std::uint8_t {
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::Callback;  // simcore/callback.hpp, via clock.hpp
 
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
@@ -70,7 +69,7 @@ class EventQueue {
   [[nodiscard]] virtual SimTime next_time() const = 0;
 
   /// Removes and returns the earliest live event. The callback is *moved*
-  /// out of storage — dispatch never copies a std::function.
+  /// out of storage — dispatch never copies a callable.
   /// Precondition: !empty().
   struct Fired {
     SimTime time;

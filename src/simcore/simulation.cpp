@@ -41,4 +41,8 @@ bool Simulation::step() {
   return true;
 }
 
+std::unique_ptr<Engine> make_simulation_engine() {
+  return std::make_unique<Simulation>();
+}
+
 }  // namespace spothost::sim

@@ -15,7 +15,10 @@
 // Policy code should not depend on this class: it programs against the
 // narrow sim::Clock interface (simcore/clock.hpp) that Simulation
 // implements, and manages its pending events through the EventHandle values
-// that at()/after() return.
+// that at()/after() return. Run-control code (the experiment layer) uses
+// the sim::Engine interface (simcore/engine.hpp) so the same wiring can
+// drive a live::WallClock instead; scripts/check_layering.sh keeps this
+// header out of sched/virt/cloud.
 #pragma once
 
 #include <cstdint>
@@ -24,12 +27,13 @@
 #include <memory>
 
 #include "simcore/clock.hpp"
+#include "simcore/engine.hpp"
 #include "simcore/event_queue.hpp"
 #include "simcore/time.hpp"
 
 namespace spothost::sim {
 
-class Simulation final : public Clock {
+class Simulation final : public Engine {
  public:
   /// Backed by `backend`; the default honours SPOTHOST_EVENT_QUEUE and
   /// otherwise picks the timing wheel.
@@ -54,19 +58,18 @@ class Simulation final : public Clock {
   /// Runs events until the queue is empty or the clock would pass `horizon`.
   /// The clock is left at min(horizon, last event time); events scheduled at
   /// exactly `horizon` do fire.
-  void run_until(SimTime horizon);
-
-  /// Runs until the queue drains completely.
-  void run() { run_until(std::numeric_limits<SimTime>::max()); }
+  void run_until(SimTime horizon) override;
 
   /// Fires the single next event, if any. Returns false when idle.
   bool step();
 
   /// Number of events dispatched so far (for perf benchmarking and tests).
-  [[nodiscard]] std::uint64_t dispatched() const noexcept { return dispatched_; }
+  [[nodiscard]] std::uint64_t dispatched() const noexcept override {
+    return dispatched_;
+  }
 
   /// Pending live events.
-  [[nodiscard]] std::size_t pending() const { return queue_->size(); }
+  [[nodiscard]] std::size_t pending() const override { return queue_->size(); }
 
   /// Which EventQueue implementation this simulation runs on.
   [[nodiscard]] QueueBackend backend() const noexcept {
@@ -77,7 +80,7 @@ class Simulation final : public Clock {
   /// Components that hold a Clock& read the tracer from here, so one attach
   /// point covers the provider, scheduler, and anything else wired to this
   /// engine. Disabled tracing costs emitters a single null check.
-  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  void set_tracer(obs::Tracer* tracer) noexcept override { tracer_ = tracer; }
   [[nodiscard]] obs::Tracer* tracer() const noexcept override { return tracer_; }
 
   /// Attaches the run's fault-injection source (not owned; nullptr = no
@@ -85,7 +88,7 @@ class Simulation final : public Clock {
   /// injector from here, so one attach point covers the provider and the
   /// migration engine without constructor plumbing. An injector with an
   /// empty FaultPlan is equivalent to none (zero draws, zero events).
-  void set_fault_injector(faults::FaultInjector* injector) noexcept {
+  void set_fault_injector(faults::FaultInjector* injector) noexcept override {
     fault_injector_ = injector;
   }
   [[nodiscard]] faults::FaultInjector* fault_injector() const noexcept override {

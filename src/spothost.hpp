@@ -11,6 +11,8 @@
 //   metrics::run_hosting_scenario       — one full hosting run
 //   metrics::ExperimentRunner           — multi-seed aggregation
 //   metrics::SweepRunner                — multi-arm sweeps, memoized traces
+//   live::WallClock + HostingSession    — the same policy layer on wall time
+//   live::PriceFeed / FeedDriver        — streamed price updates (serve mode)
 //   exec::ThreadPool                    — the shared bounded worker pool
 //   obs::Tracer + sinks                 — structured run tracing
 //   faults::FaultPlan / FaultInjector   — deterministic fault injection
@@ -25,6 +27,10 @@
 #include "cloud/volume.hpp"
 #include "faults/fault_plan.hpp"
 #include "faults/injector.hpp"
+#include "live/feed_driver.hpp"
+#include "live/hosting_session.hpp"
+#include "live/price_feed.hpp"
+#include "live/wall_clock.hpp"
 #include "metrics/experiment.hpp"
 #include "metrics/run_metrics.hpp"
 #include "metrics/sweep.hpp"

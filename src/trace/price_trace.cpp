@@ -31,6 +31,17 @@ void PriceTrace::append(sim::SimTime time, double price) {
   end_ = std::max(end_, time);
 }
 
+void PriceTrace::amend_last(double price) {
+  if (!(price > 0) || !std::isfinite(price)) {
+    throw std::invalid_argument(
+        "PriceTrace::amend_last: price must be finite and > 0");
+  }
+  if (points_.empty()) {
+    throw std::logic_error("PriceTrace::amend_last: empty trace");
+  }
+  points_.back().price = price;
+}
+
 void PriceTrace::set_end(sim::SimTime end) {
   if (!points_.empty() && end < points_.back().time) {
     throw std::invalid_argument("PriceTrace::set_end: end before last point");

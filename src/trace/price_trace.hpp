@@ -65,6 +65,13 @@ class PriceTrace {
   /// Marks the trace valid through `end` (exclusive). Must be >= last point.
   void set_end(sim::SimTime end);
 
+  /// Replaces the last point's price in place (build phase only; throws on
+  /// an empty trace). Exists for live accumulation (cloud::SpotMarket's
+  /// push-fed billing record): two feed updates landing in the same
+  /// millisecond collapse to one point, last price wins — append() cannot
+  /// express that because its timestamps must strictly increase.
+  void amend_last(double price);
+
   [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
   [[nodiscard]] sim::SimTime start() const;

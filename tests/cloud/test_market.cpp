@@ -1,4 +1,5 @@
 #include "cloud/market.hpp"
+#include "simcore/simulation.hpp"
 
 #include <gtest/gtest.h>
 

@@ -1,4 +1,5 @@
 #include "cloud/provider.hpp"
+#include "simcore/simulation.hpp"
 
 #include <gtest/gtest.h>
 

@@ -1,4 +1,5 @@
 #include "cloud/volume.hpp"
+#include "simcore/simulation.hpp"
 
 #include <gtest/gtest.h>
 

@@ -10,6 +10,7 @@
 
 #include "obs/jsonl_sink.hpp"
 #include "obs/sink.hpp"
+#include "simcore/simulation.hpp"
 #include "spothost.hpp"
 
 namespace spothost {
@@ -46,18 +47,18 @@ RunResult run_jsonl(const sched::Scenario& scenario,
                     const sched::SchedulerConfig& config,
                     bool detach_injector = false) {
   sched::World world(scenario);
-  if (detach_injector) world.simulation().set_fault_injector(nullptr);
+  if (detach_injector) world.engine().set_fault_injector(nullptr);
   workload::AlwaysOnService service("hosted-service", virt::VmSpec{});
   std::ostringstream os;
   obs::Tracer tracer;
   obs::JsonlSink sink(os);
   tracer.add_sink(&sink);
-  world.simulation().set_tracer(&tracer);
+  world.engine().set_tracer(&tracer);
   service.set_tracer(&tracer);
-  sched::CloudScheduler scheduler(world.simulation(), world.provider(), service,
+  sched::CloudScheduler scheduler(world.clock(), world.provider(), service,
                                   config, world.stream("scheduler-timing"));
   scheduler.start();
-  world.simulation().run_until(world.horizon());
+  world.engine().run_until(world.horizon());
   world.provider().finalize(world.horizon());
   scheduler.finalize(world.horizon());
   tracer.flush();

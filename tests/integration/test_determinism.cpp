@@ -96,12 +96,12 @@ TEST(Determinism, SimulationIsFinite) {
   workload::AlwaysOnService service("svc", virt::VmSpec{});
   auto cfg = sched::proactive_config({"us-east-1a", InstanceSize::kSmall});
   cfg.scope = sched::MarketScope::kMultiRegion;
-  sched::CloudScheduler scheduler(world.simulation(), world.provider(), service,
+  sched::CloudScheduler scheduler(world.clock(), world.provider(), service,
                                   cfg, world.stream("t"));
   scheduler.start();
-  world.simulation().run_until(world.horizon());
-  EXPECT_LT(world.simulation().dispatched(), 2'000'000u);
-  EXPECT_GT(world.simulation().dispatched(), 100u);
+  world.engine().run_until(world.horizon());
+  EXPECT_LT(world.engine().dispatched(), 2'000'000u);
+  EXPECT_GT(world.engine().dispatched(), 100u);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 
 #include "metrics/experiment.hpp"
 #include "sched/baselines.hpp"
+#include "simcore/simulation.hpp"
 #include "trace/profiles.hpp"
 
 namespace spothost {

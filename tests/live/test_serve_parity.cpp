@@ -1,0 +1,181 @@
+// The two-clocks parity contract: replaying a recorded price stream through
+// live::WallClock in fast-replay mode produces the *byte-identical* decision
+// trace the simulation produces from the same prices.
+//
+// This is the license for serving live with the simulated policy layer — any
+// behavioural drift between the sim path (trace-fed SpotMarkets replaying
+// clock events) and the live path (FeedDriver pushing a PriceFeed) shows up
+// here as a one-byte diff.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "live/feed_driver.hpp"
+#include "live/hosting_session.hpp"
+#include "live/price_feed.hpp"
+#include "live/wall_clock.hpp"
+#include "metrics/experiment.hpp"
+#include "obs/jsonl_sink.hpp"
+#include "obs/sink.hpp"
+#include "sched/baselines.hpp"
+#include "sched/market_traces.hpp"
+
+namespace spothost {
+namespace {
+
+using cloud::InstanceSize;
+using sim::kDay;
+
+sched::Scenario parity_scenario(std::uint64_t seed) {
+  sched::Scenario s;
+  s.seed = seed;
+  s.horizon = 5 * kDay;
+  s.regions = {"us-east-1a", "us-east-1b"};
+  s.sizes = {InstanceSize::kSmall, InstanceSize::kLarge};
+  return s;
+}
+
+std::string sim_trace(const sched::Scenario& scenario,
+                      const sched::SchedulerConfig& config,
+                      std::shared_ptr<const sched::MarketTraceSet> traces) {
+  std::ostringstream os;
+  obs::Tracer tracer;
+  obs::JsonlSink sink(os);
+  tracer.add_sink(&sink);
+  (void)metrics::run_hosting_scenario(scenario, config, std::move(traces),
+                                      &tracer, nullptr);
+  return os.str();
+}
+
+std::string live_replay_trace(const sched::Scenario& scenario,
+                              const sched::SchedulerConfig& config,
+                              const sched::MarketTraceSet& traces) {
+  std::ostringstream os;
+  obs::Tracer tracer;
+  obs::JsonlSink sink(os);
+  tracer.add_sink(&sink);
+
+  live::WallClock clock(
+      live::WallClock::Options{live::WallClock::kMaxSpeed, 0,
+                               sim::default_queue_backend()});
+  live::SessionSpec spec;
+  spec.seed = scenario.seed;
+  spec.grace_period = scenario.grace_period;
+  spec.config = config;
+  for (const auto& entry : traces.markets()) {
+    spec.markets.push_back(live::SessionMarket{entry.id, entry.on_demand, nullptr});
+  }
+  live::HostingSession session(clock, spec);
+  session.attach_tracer(&tracer);
+
+  live::TraceReplayFeed feed;
+  for (const auto& entry : traces.markets()) {
+    feed.add_market(entry.id.str(), &entry.prices);
+  }
+  live::FeedDriver driver(clock, session.provider(), feed);
+  driver.start();
+  session.start();
+  clock.run_until(scenario.horizon);
+  session.finalize(scenario.horizon);
+  tracer.flush();
+  return os.str();
+}
+
+TEST(ServeParity, FastReplayMatchesSimulationByteForByte) {
+  const auto scenario =
+      sched::normalized_scenario(parity_scenario(/*seed=*/7));
+  auto cfg = sched::proactive_config({"us-east-1a", InstanceSize::kSmall});
+  cfg.scope = sched::MarketScope::kMultiMarket;
+  const auto traces = sched::MarketTraceSet::generate(scenario);
+
+  const std::string sim = sim_trace(scenario, cfg, traces);
+  const std::string live = live_replay_trace(scenario, cfg, *traces);
+
+  ASSERT_FALSE(sim.empty());
+  EXPECT_EQ(sim.size(), live.size());
+  EXPECT_EQ(sim, live) << "sim and fast-replay decision streams diverged";
+}
+
+TEST(ServeParity, ParityHoldsAcrossSeedsAndPolicies) {
+  for (const std::uint64_t seed : {1u, 4242u}) {
+    const auto scenario = sched::normalized_scenario(parity_scenario(seed));
+    auto cfg = sched::reactive_config({"us-east-1b", InstanceSize::kLarge});
+    const auto traces = sched::MarketTraceSet::generate(scenario);
+    EXPECT_EQ(sim_trace(scenario, cfg, traces),
+              live_replay_trace(scenario, cfg, *traces))
+        << "seed " << seed;
+  }
+}
+
+TEST(ServeParity, ParityHoldsOnHeapBackend) {
+  // The parity contract is backend-independent: both engines honour the
+  // (time, schedule-seq) determinism contract on either queue.
+  const auto scenario = sched::normalized_scenario(parity_scenario(11));
+  auto cfg = sched::proactive_config({"us-east-1a", InstanceSize::kSmall});
+  const auto traces = sched::MarketTraceSet::generate(scenario);
+
+  std::ostringstream os;
+  obs::Tracer tracer;
+  obs::JsonlSink sink(os);
+  tracer.add_sink(&sink);
+  live::WallClock clock(live::WallClock::Options{
+      live::WallClock::kMaxSpeed, 0, sim::QueueBackend::kBinaryHeap});
+  live::SessionSpec spec;
+  spec.seed = scenario.seed;
+  spec.grace_period = scenario.grace_period;
+  spec.config = cfg;
+  for (const auto& entry : traces->markets()) {
+    spec.markets.push_back(live::SessionMarket{entry.id, entry.on_demand, nullptr});
+  }
+  live::HostingSession session(clock, spec);
+  session.attach_tracer(&tracer);
+  live::TraceReplayFeed feed;
+  for (const auto& entry : traces->markets()) {
+    feed.add_market(entry.id.str(), &entry.prices);
+  }
+  live::FeedDriver driver(clock, session.provider(), feed);
+  driver.start();
+  session.start();
+  clock.run_until(scenario.horizon);
+  session.finalize(scenario.horizon);
+  tracer.flush();
+
+  EXPECT_EQ(sim_trace(scenario, cfg, traces), os.str());
+}
+
+TEST(ServeParity, LiveBillingMatchesSimulation) {
+  // Costs come from the push-fed markets' accumulated billing traces; they
+  // must integrate to the same dollars the pre-loaded traces give.
+  const auto scenario = sched::normalized_scenario(parity_scenario(3));
+  auto cfg = sched::proactive_config({"us-east-1a", InstanceSize::kSmall});
+  const auto traces = sched::MarketTraceSet::generate(scenario);
+  const auto sim_metrics = metrics::run_hosting_scenario(scenario, cfg, traces,
+                                                         nullptr, nullptr);
+
+  live::WallClock clock(live::WallClock::Options{
+      live::WallClock::kMaxSpeed, 0, sim::default_queue_backend()});
+  live::SessionSpec spec;
+  spec.seed = scenario.seed;
+  spec.grace_period = scenario.grace_period;
+  spec.config = cfg;
+  for (const auto& entry : traces->markets()) {
+    spec.markets.push_back(live::SessionMarket{entry.id, entry.on_demand, nullptr});
+  }
+  live::HostingSession session(clock, spec);
+  live::TraceReplayFeed feed;
+  for (const auto& entry : traces->markets()) {
+    feed.add_market(entry.id.str(), &entry.prices);
+  }
+  live::FeedDriver driver(clock, session.provider(), feed);
+  driver.start();
+  session.start();
+  clock.run_until(scenario.horizon);
+  session.finalize(scenario.horizon);
+
+  EXPECT_DOUBLE_EQ(session.provider().ledger().total_cost(),
+                   sim_metrics.total_cost);
+}
+
+}  // namespace
+}  // namespace spothost

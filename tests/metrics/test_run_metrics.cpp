@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "sched/baselines.hpp"
+#include "simcore/simulation.hpp"
 
 namespace spothost::metrics {
 namespace {

@@ -1,4 +1,5 @@
 #include "sched/baselines.hpp"
+#include "simcore/simulation.hpp"
 
 #include <gtest/gtest.h>
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "simcore/rng.hpp"
+#include "simcore/simulation.hpp"
 
 namespace spothost::sched {
 namespace {

@@ -107,7 +107,7 @@ TEST_F(FleetTest, RejectsEmptyFleet) {
   World world(scenario());
   FleetConfig cfg;
   cfg.num_services = 0;
-  EXPECT_THROW(FleetScheduler(world.simulation(), world.provider(), cfg,
+  EXPECT_THROW(FleetScheduler(world.clock(), world.provider(), cfg,
                               world.rng()),
                std::invalid_argument);
 }
@@ -118,9 +118,9 @@ TEST_F(FleetTest, HostsWholeFleetThroughTheMonth) {
   cfg.num_services = 4;
   cfg.service_template =
       proactive_config({"us-east-1a", InstanceSize::kSmall});
-  FleetScheduler fleet(world.simulation(), world.provider(), cfg, world.rng());
+  FleetScheduler fleet(world.clock(), world.provider(), cfg, world.rng());
   fleet.start();
-  world.simulation().run_until(world.horizon());
+  world.engine().run_until(world.horizon());
   world.provider().finalize(world.horizon());
   fleet.finalize(world.horizon());
 
@@ -143,9 +143,9 @@ TEST_F(FleetTest, SameMarketFleetSharesRevocations) {
   FleetConfig cfg;
   cfg.num_services = 3;
   cfg.service_template = reactive_config({"us-east-1a", InstanceSize::kSmall});
-  FleetScheduler fleet(world.simulation(), world.provider(), cfg, world.rng());
+  FleetScheduler fleet(world.clock(), world.provider(), cfg, world.rng());
   fleet.start();
-  world.simulation().run_until(world.horizon());
+  world.engine().run_until(world.horizon());
   world.provider().finalize(world.horizon());
   fleet.finalize(world.horizon());
 
@@ -168,9 +168,9 @@ TEST_F(FleetTest, SpreadingHomesReducesCorrelatedOutages) {
     cfg.num_services = 4;
     cfg.service_template = reactive_config({"us-east-1a", InstanceSize::kSmall});
     cfg.home_markets = std::move(homes);
-    FleetScheduler fleet(world.simulation(), world.provider(), cfg, world.rng());
+    FleetScheduler fleet(world.clock(), world.provider(), cfg, world.rng());
     fleet.start();
-    world.simulation().run_until(world.horizon());
+    world.engine().run_until(world.horizon());
     world.provider().finalize(world.horizon());
     fleet.finalize(world.horizon());
     return fleet.metrics(world.horizon());
@@ -197,7 +197,7 @@ TEST_F(FleetTest, LargeFleetHoldsOneSubscriptionPerMarket) {
   cfg.num_services = 128;
   cfg.service_template = proactive_config({"us-east-1a", InstanceSize::kSmall});
   cfg.service_template.scope = MarketScope::kMultiRegion;
-  FleetScheduler fleet(world.simulation(), world.provider(), cfg, world.rng());
+  FleetScheduler fleet(world.clock(), world.provider(), cfg, world.rng());
   fleet.start();
 
   const auto markets = world.provider().all_markets();
@@ -208,7 +208,7 @@ TEST_F(FleetTest, LargeFleetHoldsOneSubscriptionPerMarket) {
         << m.region << "/" << cloud::to_string(m.size);
   }
 
-  world.simulation().run_until(world.horizon());
+  world.engine().run_until(world.horizon());
   world.provider().finalize(world.horizon());
   fleet.finalize(world.horizon());
   const auto metrics = fleet.metrics(world.horizon());
@@ -223,7 +223,7 @@ TEST_F(FleetTest, AccessorsExposeUnits) {
   FleetConfig cfg;
   cfg.num_services = 2;
   cfg.service_template = proactive_config({"us-east-1a", InstanceSize::kSmall});
-  FleetScheduler fleet(world.simulation(), world.provider(), cfg, world.rng());
+  FleetScheduler fleet(world.clock(), world.provider(), cfg, world.rng());
   EXPECT_EQ(fleet.size(), 2);
   EXPECT_EQ(fleet.service(0).name(), "svc-0");
   EXPECT_EQ(fleet.service(1).name(), "svc-1");

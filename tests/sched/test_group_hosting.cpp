@@ -35,10 +35,10 @@ TEST(GroupHosting, FourTenantsShareOneServerThroughAMonth) {
                                virt::default_spec_for_memory(1.7, 8.0));
   SchedulerConfig cfg = group_config(group.size());
   cfg.vm_spec = group.aggregate_spec();
-  CloudScheduler scheduler(world.simulation(), world.provider(), group, cfg,
+  CloudScheduler scheduler(world.clock(), world.provider(), group, cfg,
                            world.stream("t"));
   scheduler.start();
-  world.simulation().run_until(world.horizon());
+  world.engine().run_until(world.horizon());
   world.provider().finalize(world.horizon());
   scheduler.finalize(world.horizon());
 
@@ -70,10 +70,10 @@ TEST(GroupHosting, PackingBeatsDedicatedSmallBoxesOnCost) {
                                  virt::default_spec_for_memory(1.7, 8.0));
     SchedulerConfig cfg = group_config(group.size());
     cfg.vm_spec = group.aggregate_spec();
-    CloudScheduler scheduler(world.simulation(), world.provider(), group, cfg,
+    CloudScheduler scheduler(world.clock(), world.provider(), group, cfg,
                              world.stream("t"));
     scheduler.start();
-    world.simulation().run_until(world.horizon());
+    world.engine().run_until(world.horizon());
     world.provider().finalize(world.horizon());
     scheduler.finalize(world.horizon());
     for (const auto& rec : world.provider().ledger().records()) {

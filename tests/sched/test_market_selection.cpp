@@ -1,4 +1,5 @@
 #include "sched/market_selection.hpp"
+#include "simcore/simulation.hpp"
 
 #include <gtest/gtest.h>
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cloud/billing.hpp"
+#include "simcore/simulation.hpp"
 
 namespace spothost::sched {
 namespace {

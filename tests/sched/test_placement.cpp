@@ -12,6 +12,7 @@
 #include "cloud/billing.hpp"
 #include "sched/baselines.hpp"
 #include "sched/scheduler.hpp"
+#include "simcore/simulation.hpp"
 #include "workload/service.hpp"
 
 namespace spothost::sched {

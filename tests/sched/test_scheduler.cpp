@@ -9,6 +9,7 @@
 
 #include "cloud/billing.hpp"
 #include "sched/baselines.hpp"
+#include "simcore/simulation.hpp"
 #include "workload/service.hpp"
 
 namespace spothost::sched {

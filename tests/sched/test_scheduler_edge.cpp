@@ -6,6 +6,7 @@
 #include "cloud/billing.hpp"
 #include "sched/baselines.hpp"
 #include "sched/scheduler.hpp"
+#include "simcore/simulation.hpp"
 #include "workload/group.hpp"
 #include "workload/service.hpp"
 

@@ -1,0 +1,148 @@
+// sim::Callback: the move-only small-buffer callable behind every scheduled
+// event. Size, inline/heap placement, move semantics, and prompt capture
+// destruction are all contracts the event queues rely on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "simcore/callback.hpp"
+
+namespace spothost::sim {
+namespace {
+
+TEST(Callback, SizeMatchesStdFunctionBudget) {
+  // One cache-line EventArena slot depends on this (see event_arena.hpp).
+  static_assert(sizeof(Callback) == 32);
+  static_assert(alignof(Callback) >= alignof(void*));
+}
+
+TEST(Callback, EmptyAndNullBehave) {
+  Callback cb;
+  EXPECT_FALSE(cb);
+  Callback null_cb = nullptr;
+  EXPECT_FALSE(null_cb);
+  cb = [] {};
+  EXPECT_TRUE(cb);
+  cb = nullptr;
+  EXPECT_FALSE(cb);
+}
+
+TEST(Callback, HotCaptureShapesStayInline) {
+  // The three shapes every hot scheduling site uses.
+  struct Wide {
+    void* self;
+    std::uint64_t a;
+    std::uint64_t b;
+    void operator()() const {}
+  };
+  static_assert(Callback::stores_inline<Wide>());  // 24 B: [this, PricePoint]
+  auto captureless = [] {};
+  auto one_ptr = [p = static_cast<void*>(nullptr)] { (void)p; };
+  static_assert(Callback::stores_inline<decltype(captureless)>());
+  static_assert(Callback::stores_inline<decltype(one_ptr)>());
+
+  struct TooWide {
+    std::uint64_t a, b, c, d;
+    void operator()() const {}
+  };
+  static_assert(!Callback::stores_inline<TooWide>());  // 32 B: heap
+}
+
+TEST(Callback, InvokesInlineAndHeapTargets) {
+  int hits = 0;
+  Callback inline_cb = [&hits] { ++hits; };
+  inline_cb();
+  EXPECT_EQ(hits, 1);
+
+  // Force the heap path with a capture past the inline budget.
+  std::uint64_t a = 1, b = 2, c = 3, d = 4;
+  Callback heap_cb = [&hits, a, b, c, d] { hits += static_cast<int>(a + b + c + d); };
+  static_assert(!Callback::stores_inline<decltype([&hits, a, b, c, d] {
+    hits += static_cast<int>(a + b + c + d);
+  })>());
+  heap_cb();
+  EXPECT_EQ(hits, 11);
+}
+
+TEST(Callback, MoveTransfersTargetAndEmptiesSource) {
+  int hits = 0;
+  Callback a = [&hits] { ++hits; };
+  Callback b = std::move(a);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move) — asserting the contract
+  EXPECT_TRUE(b);
+  b();
+  EXPECT_EQ(hits, 1);
+
+  Callback c;
+  c = std::move(b);
+  EXPECT_FALSE(b);  // NOLINT(bugprone-use-after-move)
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(Callback, HoldsMoveOnlyCaptures) {
+  // std::function cannot do this — it requires copyable targets.
+  auto owned = std::make_unique<int>(7);
+  int got = 0;
+  Callback cb = [p = std::move(owned), &got] { got = *p; };
+  cb();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(Callback, DestroysCapturePromptly) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    Callback cb = [t = std::move(token)] { (void)t; };
+    EXPECT_FALSE(watch.expired());
+    cb.reset();
+    EXPECT_TRUE(watch.expired());  // reset destroys, not just detaches
+  }
+
+  token = std::make_shared<int>(2);
+  watch = token;
+  {
+    Callback cb = [t = std::move(token)] { (void)t; };
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());  // destructor destroys too
+}
+
+TEST(Callback, HeapCaptureSurvivesMoves) {
+  auto payload = std::make_shared<std::uint64_t>(41);
+  std::weak_ptr<std::uint64_t> watch = payload;
+  std::uint64_t got = 0;
+  std::uint64_t pad1 = 0, pad2 = 0, pad3 = 0;
+  Callback a = [p = std::move(payload), &got, pad1, pad2, pad3] {
+    got = *p + 1 + pad1 + pad2 + pad3;
+  };
+  Callback b = std::move(a);
+  Callback c = std::move(b);
+  EXPECT_FALSE(watch.expired());
+  c();
+  EXPECT_EQ(got, 42u);
+  c.reset();
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(Callback, MoveAssignReleasesPreviousTarget) {
+  auto old_token = std::make_shared<int>(1);
+  std::weak_ptr<int> old_watch = old_token;
+  Callback cb = [t = std::move(old_token)] { (void)t; };
+  cb = Callback{[] {}};
+  EXPECT_TRUE(old_watch.expired());
+  cb();  // the new target is live
+}
+
+TEST(Callback, ConstInvocationMatchesStdFunction) {
+  int hits = 0;
+  const Callback cb = [&hits] { ++hits; };
+  cb();
+  EXPECT_EQ(hits, 1);
+}
+
+}  // namespace
+}  // namespace spothost::sim
