@@ -2,7 +2,11 @@
 // the mechanism combo to expose the cost/availability trade-off surface, the
 // way an operator would calibrate the scheduler for their own SLO — then
 // plugs a hand-written PlacementPolicy into the scheduler to show the
-// "where to move" layer is swappable without touching its internals.
+// "where to move" layer is swappable without touching its internals, and
+// lines the shipped policy zoo up against it.
+//
+// PinnedMarketPolicy below is the worked example from docs/POLICIES.md —
+// the policy author's guide walks through it line by line.
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -113,6 +117,38 @@ int main() {
     std::cout << "\nthe custom policy plugs in via SchedulerConfig::placement;\n"
                  "multi-market escapes price spikes the pinned policy must\n"
                  "ride out on the on-demand fallback.\n";
+  }
+
+  std::cout << "\n== sweep 4: the shipped policy zoo, two-region world ==\n\n";
+  {
+    // Same builder seams the custom policy used, stock implementations —
+    // docs/POLICIES.md catalogues the knobs on each.
+    sched::Scenario zoo_scenario = scenario;
+    zoo_scenario.regions = {"us-east-1a", "us-east-1b"};
+    metrics::TextTable table({"policy", "cost %", "unavailability %"});
+    auto run_zoo = [&](const sched::SchedulerConfig& cfg,
+                       std::string_view label) {
+      const auto agg = runner.run(zoo_scenario, cfg);
+      table.add_row({std::string(label),
+                     metrics::fmt(agg.normalized_cost_pct.mean, 1),
+                     metrics::fmt(agg.unavailability_pct.mean, 4)});
+    };
+    auto base = sched::proactive_config(home);
+    base.scope = sched::MarketScope::kMultiRegion;
+    run_zoo(base, "scoped (default)");
+    run_zoo(sched::SchedulerConfigBuilder(home)
+                .scope(sched::MarketScope::kMultiRegion)
+                .placement(std::make_shared<const sched::PortfolioPlacementPolicy>())
+                .build(),
+            "portfolio");
+    auto revocation = sched::reactive_config(home);
+    revocation.scope = sched::MarketScope::kMultiRegion;
+    revocation.placement = std::make_shared<const sched::RevocationAwarePolicy>();
+    run_zoo(revocation, "revocation-aware");
+    auto forecast = base;
+    forecast.bidding = std::make_shared<const sched::ForecastBidPolicy>();
+    run_zoo(forecast, "forecast-bid");
+    table.print(std::cout);
   }
 
   std::cout << "\npick the cheapest row that still meets your availability SLO.\n";

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Docs lint: every intra-repo markdown link must point at a file that
+# exists, and every in-page anchor (#fragment) at a heading that renders
+# to that GitHub-style anchor. External links (http/https/mailto) are not
+# checked; links inside fenced code blocks are ignored.
+#
+# Fails listing every dead link as file:line: [text](target).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+status=0
+
+# GitHub anchor for a heading line: strip the #s, lowercase, drop
+# everything but [a-z0-9 _-], spaces to dashes.
+anchors_of() {
+  sed -n 's/^#\{1,6\} //p' "$1" |
+    tr '[:upper:]' '[:lower:]' |
+    sed 's/[^a-z0-9 _-]//g; s/ /-/g'
+}
+
+# Tracked plus untracked-but-not-ignored markdown (skips build trees).
+files=$(git ls-files --cached --others --exclude-standard '*.md')
+
+for file in $files; do
+  # Strip fenced code blocks, then pull out [text](target) pairs with the
+  # line numbers of the original file.
+  links=$(awk '
+    /^[[:space:]]*```/ { fence = !fence; next }
+    !fence {
+      line = $0
+      while (match(line, /\[[^]]*\]\([^)]+\)/)) {
+        link = substr(line, RSTART, RLENGTH)
+        target = link
+        sub(/^\[[^]]*\]\(/, "", target)
+        sub(/\)$/, "", target)
+        printf "%d\t%s\n", NR, target
+        line = substr(line, RSTART + RLENGTH)
+      }
+    }
+  ' "$file")
+
+  while IFS=$'\t' read -r lineno target; do
+    [ -n "$target" ] || continue
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    path=${target%%#*}
+    fragment=""
+    case "$target" in
+      *'#'*) fragment=${target#*#} ;;
+    esac
+
+    if [ -z "$path" ]; then
+      resolved=$file        # pure in-page anchor: #section
+    else
+      resolved=$(dirname "$file")/$path
+    fi
+
+    if [ ! -e "$resolved" ]; then
+      echo "DEAD LINK: $file:$lineno: ($target) — no such file: $resolved"
+      status=1
+      continue
+    fi
+    if [ -n "$fragment" ]; then
+      case "$resolved" in
+        *.md)
+          # §-style anchors like #9-execution-model need only a prefix
+          # match on the numbered heading; exact match otherwise.
+          if ! anchors_of "$resolved" | grep -qx -e "$fragment"; then
+            echo "DEAD ANCHOR: $file:$lineno: ($target) — no heading in $resolved renders to #$fragment"
+            status=1
+          fi
+          ;;
+      esac
+    fi
+  done <<< "$links"
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "docs OK: all intra-repo markdown links and anchors resolve"
+fi
+exit "$status"

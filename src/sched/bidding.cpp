@@ -1,6 +1,11 @@
 #include "sched/bidding.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "cloud/market.hpp"
+#include "sched/scheduler_config.hpp"
 
 namespace spothost::sched {
 
@@ -24,6 +29,96 @@ double BidPolicy::bid_for(const cloud::CloudProvider& provider,
       return proactive_multiple * pon;
   }
   return pon;
+}
+
+std::string_view StaticBidStrategy::name() const noexcept { return "static"; }
+
+double StaticBidStrategy::bid_for(const cloud::CloudProvider& provider,
+                                  const SchedulerConfig& config,
+                                  const cloud::MarketId& market,
+                                  sim::SimTime /*now*/) const {
+  return config.bid.bid_for(provider, market);
+}
+
+bool StaticBidStrategy::plans_migrations(
+    const SchedulerConfig& config) const noexcept {
+  return config.bid.plans_migrations();
+}
+
+ForecastBidPolicy::ForecastBidPolicy() : ForecastBidPolicy(Params{}) {}
+
+ForecastBidPolicy::ForecastBidPolicy(Params params) : params_(params) {
+  if (params_.lookback <= 0) {
+    throw std::invalid_argument("ForecastBidPolicy: lookback must be > 0");
+  }
+  if (params_.sample_step <= 0) {
+    throw std::invalid_argument("ForecastBidPolicy: sample_step must be > 0");
+  }
+  if (params_.smoothing <= 0.0 || params_.smoothing > 1.0) {
+    throw std::invalid_argument(
+        "ForecastBidPolicy: smoothing must be in (0, 1] (got " +
+        std::to_string(params_.smoothing) + ")");
+  }
+  if (params_.headroom <= 0.0) {
+    throw std::invalid_argument("ForecastBidPolicy: headroom must be > 0 (got " +
+                                std::to_string(params_.headroom) + ")");
+  }
+  if (params_.floor_multiple <= 0.0) {
+    throw std::invalid_argument(
+        "ForecastBidPolicy: floor_multiple must be > 0 (got " +
+        std::to_string(params_.floor_multiple) + ")");
+  }
+  if (params_.cap_multiple < params_.floor_multiple) {
+    throw std::invalid_argument(
+        "ForecastBidPolicy: cap_multiple must be >= floor_multiple (got " +
+        std::to_string(params_.cap_multiple) + " < " +
+        std::to_string(params_.floor_multiple) + ")");
+  }
+}
+
+std::string_view ForecastBidPolicy::name() const noexcept {
+  return "forecast-bid";
+}
+
+double ForecastBidPolicy::forecast(const trace::PriceTrace& price_trace,
+                                   sim::SimTime now) const {
+  const sim::SimTime to = std::min(now, price_trace.end());
+  const sim::SimTime from = std::max(price_trace.start(), to - params_.lookback);
+  trace::PriceCursor cursor;
+  double ewma = price_trace.price_at(from, cursor);
+  for (sim::SimTime t = from + params_.sample_step; t < to;
+       t += params_.sample_step) {
+    ewma = params_.smoothing * price_trace.price_at(t, cursor) +
+           (1.0 - params_.smoothing) * ewma;
+  }
+  return ewma;
+}
+
+double ForecastBidPolicy::bid_for(const cloud::CloudProvider& provider,
+                                  const SchedulerConfig& /*config*/,
+                                  const cloud::MarketId& market,
+                                  sim::SimTime now) const {
+  const double pon = provider.od_price(market);
+  const double floor = params_.floor_multiple * pon;
+  const double cap = params_.cap_multiple * pon;
+  const auto& price_trace = provider.market(market).price_trace();
+  if (price_trace.empty() ||
+      std::min(now, price_trace.end()) <= price_trace.start()) {
+    return cap;  // no committed history to forecast from
+  }
+  return std::clamp(params_.headroom * forecast(price_trace, now), floor, cap);
+}
+
+bool ForecastBidPolicy::plans_migrations(
+    const SchedulerConfig& /*config*/) const noexcept {
+  return true;
+}
+
+std::shared_ptr<const BidStrategy> bid_strategy_for(
+    const SchedulerConfig& config) {
+  if (config.bidding) return config.bidding;
+  static const auto kStatic = std::make_shared<const StaticBidStrategy>();
+  return kStatic;
 }
 
 }  // namespace spothost::sched

@@ -22,6 +22,7 @@ FleetScheduler::FleetScheduler(sim::Clock& clock,
   }
   for (int i = 0; i < config.num_services; ++i) {
     SchedulerConfig cfg = config.service_template;
+    if (config.stagger_placement) cfg.placement_salt = i;
     if (!config.home_markets.empty()) {
       cfg.home_market = config.home_markets[static_cast<std::size_t>(i) %
                                             config.home_markets.size()];

@@ -34,6 +34,11 @@ struct FleetConfig {
   /// Optional per-service home markets (round-robin if smaller than the
   /// fleet; empty = all services use the template's home market).
   std::vector<cloud::MarketId> home_markets{};
+  /// Give service i placement_salt = i, so rotation-based placement
+  /// policies (PortfolioPlacementPolicy) spread the fleet's replicas across
+  /// their basket instead of stampeding one slot. Off by default: every
+  /// service keeps the template's salt, byte-identical to older fleets.
+  bool stagger_placement = false;
 };
 
 struct FleetMetrics {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sched/bidding.hpp"
+
 namespace spothost::sched {
 
 std::string_view ScopedPlacementPolicy::name() const noexcept { return "scoped"; }
@@ -28,7 +30,8 @@ std::optional<Placement> ScopedPlacementPolicy::choose_spot(
                                             config.home_market, config.allowed_regions);
   const auto best = best_spot_market(provider, candidates, options);
   if (!best) return std::nullopt;
-  return Placement{*best, /*on_demand=*/false, config.bid.bid_for(provider, *best)};
+  return Placement{*best, /*on_demand=*/false,
+                   bid_strategy_for(config)->bid_for(provider, config, *best, query.now)};
 }
 
 Placement ScopedPlacementPolicy::choose_on_demand(const cloud::CloudProvider& provider,

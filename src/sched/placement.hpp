@@ -14,6 +14,10 @@
 // effective price (optionally stability-penalised), with the on-demand
 // fallback in the query's fallback region — or, under kMultiRegion, the
 // cheapest allowed region.
+//
+// Shipped alternatives (portfolio spreading, revocation-predictive ranking)
+// live in sched/policy_zoo.hpp. docs/POLICIES.md is the policy author's
+// guide: the full contract, determinism rules, and a worked example.
 #pragma once
 
 #include <memory>

@@ -79,6 +79,7 @@ CloudScheduler::CloudScheduler(sim::Clock& clock,
     config_.allowed_regions = provider_.regions();
   }
   placement_ = placement_policy_for(config_);
+  bidding_ = bid_strategy_for(config_);
   MigrationHost& host = *this;  // private base: convert in class scope
   engine_ = std::make_unique<MigrationEngine>(clock_, provider_, service_,
                                               host, config_, spec_, rng_);
@@ -279,7 +280,7 @@ void CloudScheduler::adopt(InstanceId instance, const MarketId& market,
   if (!on_demand) {
     watcher_.arm_revocation(listener_, instance);
     // Guard against adopting into an already-hot market.
-    if (config_.bid.plans_migrations() && config_.on_demand_allowed() &&
+    if (bidding_->plans_migrations(config_) && config_.on_demand_allowed() &&
         effective_spot_price(provider_, market, units_needed()) > od_threshold()) {
       maybe_schedule_planned();
     }
@@ -308,7 +309,7 @@ void CloudScheduler::on_price_change(const MarketId& market, double new_price) {
   }
 
   if (state_ != State::kOnSpot || !holding_ || market != holding_->market) return;
-  if (!config_.bid.plans_migrations() || !config_.on_demand_allowed()) return;
+  if (!bidding_->plans_migrations(config_) || !config_.on_demand_allowed()) return;
 
   const double eff = effective_spot_price(provider_, market, units_needed());
   const double threshold = od_threshold();
@@ -483,7 +484,7 @@ void CloudScheduler::on_source_released() { hour_check_event_.cancel(); }
 void CloudScheduler::pure_spot_reacquire() {
   if (pending_acquire_ != cloud::kInvalidInstance) return;
   const MarketId& home = config_.home_market;
-  const double bid = config_.bid.bid_for(provider_, home);
+  const double bid = bidding_->bid_for(provider_, config_, home, clock_.now());
   if (provider_.price(home) > bid) return;  // wait for a price-change event
   pending_acquire_ = provider_.request_spot(
       home, bid,

@@ -88,6 +88,7 @@ class CloudScheduler : private MigrationHost {
   [[nodiscard]] const MarketWatcher& watcher() const noexcept { return watcher_; }
   /// The destination-selection strategy in effect.
   [[nodiscard]] const PlacementPolicy& placement() const noexcept { return *placement_; }
+  [[nodiscard]] const BidStrategy& bid_strategy() const noexcept { return *bidding_; }
 
   /// Capacity the hosted endpoint needs, in small-units (after any
   /// override) — the basis for effective-price packing and attribution.
@@ -165,6 +166,7 @@ class CloudScheduler : private MigrationHost {
   std::unique_ptr<MarketWatcher> owned_watcher_;  ///< standalone mode only
   MarketWatcher& watcher_;
   std::shared_ptr<const PlacementPolicy> placement_;
+  std::shared_ptr<const BidStrategy> bidding_;
   std::unique_ptr<MigrationEngine> engine_;
   MarketWatcher::ListenerId listener_ = MarketWatcher::kInvalidListener;
 

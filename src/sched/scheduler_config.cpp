@@ -58,6 +58,11 @@ void SchedulerConfig::validate() const {
         "SchedulerConfig: bid.proactive_multiple must be > 0 (got " +
         std::to_string(bid.proactive_multiple) + ")");
   }
+  if (placement_salt < 0) {
+    throw std::invalid_argument(
+        "SchedulerConfig: placement_salt must be >= 0 (got " +
+        std::to_string(placement_salt) + ")");
+  }
   if (stability_penalty_weight < 0.0) {
     throw std::invalid_argument(
         "SchedulerConfig: stability_penalty_weight must be >= 0 (got " +
@@ -189,6 +194,17 @@ SchedulerConfigBuilder& SchedulerConfigBuilder::capacity_units_override(int unit
 SchedulerConfigBuilder& SchedulerConfigBuilder::placement(
     std::shared_ptr<const PlacementPolicy> policy) {
   cfg_.placement = std::move(policy);
+  return *this;
+}
+
+SchedulerConfigBuilder& SchedulerConfigBuilder::bidding(
+    std::shared_ptr<const BidStrategy> strategy) {
+  cfg_.bidding = std::move(strategy);
+  return *this;
+}
+
+SchedulerConfigBuilder& SchedulerConfigBuilder::placement_salt(int salt) {
+  cfg_.placement_salt = salt;
   return *this;
 }
 

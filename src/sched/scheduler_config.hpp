@@ -101,8 +101,20 @@ struct SchedulerConfig {
   int capacity_units_override = 0;
   /// Destination-selection strategy. Null = the scope-driven default
   /// (ScopedPlacementPolicy); supply a custom PlacementPolicy to change
-  /// where the scheduler migrates without touching its internals.
+  /// where the scheduler migrates without touching its internals. Shipped
+  /// alternatives live in sched/policy_zoo.hpp; docs/POLICIES.md is the
+  /// author's guide.
   std::shared_ptr<const PlacementPolicy> placement{};
+  /// Bid-selection strategy. Null = the static `bid` above (reactive /
+  /// proactive multiples); supply a BidStrategy (e.g. ForecastBidPolicy) to
+  /// derive bids from market history instead.
+  std::shared_ptr<const BidStrategy> bidding{};
+  /// Deterministic per-service offset consulted by placement policies that
+  /// rotate preference over time (PortfolioPlacementPolicy): replicas with
+  /// distinct salts spread across the basket instead of stampeding one
+  /// market. FleetScheduler assigns per-service salts under
+  /// FleetConfig::stagger_placement; single services leave it 0.
+  int placement_salt = 0;
   /// Fault-recovery policy (retry / backoff / graceful degradation); see
   /// RetryPolicy. Only consulted when the fault injector actually fires.
   RetryPolicy retry{};
@@ -145,6 +157,8 @@ class SchedulerConfigBuilder {
   SchedulerConfigBuilder& stability_window(sim::SimTime window);
   SchedulerConfigBuilder& capacity_units_override(int units);
   SchedulerConfigBuilder& placement(std::shared_ptr<const PlacementPolicy> policy);
+  SchedulerConfigBuilder& bidding(std::shared_ptr<const BidStrategy> strategy);
+  SchedulerConfigBuilder& placement_salt(int salt);
   SchedulerConfigBuilder& retry(RetryPolicy policy);
 
   /// Validates and returns the finished config (throws on nonsense).

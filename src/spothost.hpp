@@ -52,6 +52,7 @@
 #include "sched/market_watcher.hpp"
 #include "sched/migration_engine.hpp"
 #include "sched/placement.hpp"
+#include "sched/policy_zoo.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/scheduler_config.hpp"
 #include "simcore/event_queue.hpp"

@@ -21,11 +21,23 @@ TraceFeatures extract_features(const PriceTrace& price_trace,
   if (price_trace.empty()) {
     throw std::invalid_argument("extract_features: empty trace");
   }
+  return extract_features(price_trace, reference_price, price_trace.start(),
+                          price_trace.end());
+}
+
+TraceFeatures extract_features(const PriceTrace& price_trace,
+                               double reference_price, sim::SimTime from,
+                               sim::SimTime to) {
+  if (price_trace.empty()) {
+    throw std::invalid_argument("extract_features: empty trace");
+  }
   if (reference_price <= 0) {
     throw std::invalid_argument("extract_features: reference must be > 0");
   }
-  const sim::SimTime from = price_trace.start();
-  const sim::SimTime to = price_trace.end();
+  if (from < price_trace.start() || to > price_trace.end() || from >= to) {
+    throw std::invalid_argument(
+        "extract_features: window must satisfy start() <= from < to <= end()");
+  }
   const double days = static_cast<double>(to - from) / static_cast<double>(sim::kDay);
 
   // Every pass below restarts at `from`; the shared cursor costs one
@@ -36,17 +48,20 @@ TraceFeatures extract_features(const PriceTrace& price_trace,
   f.stddev = trace_stddev(price_trace, from, to);
   f.min_price = price_trace.min_price(from, to, cursor);
   f.max_price = price_trace.max_price(from, to, cursor);
-  f.changes_per_day = static_cast<double>(price_trace.size()) / std::max(days, 1e-9);
   f.fraction_below_reference =
       price_trace.fraction_below(reference_price, from, to, cursor);
   f.max_over_reference = f.max_price / reference_price;
 
-  // Excursions above the reference.
+  // Excursions above the reference; the same walk counts the price segments
+  // intersecting [from, to) — over the full window that count equals
+  // size(), so changes_per_day is unchanged for full-trace callers.
+  std::size_t segments = 0;
   sim::SimTime t = from;
   bool in_excursion = false;
   sim::SimTime excursion_start = 0;
   sim::SimTime excursion_total = 0;
   while (t < to) {
+    ++segments;
     const double price = price_trace.price_at(t, cursor);
     const auto next = price_trace.next_change_after(t, cursor);
     const sim::SimTime segment_end = next ? std::min(next->time, to) : to;
@@ -60,6 +75,7 @@ TraceFeatures extract_features(const PriceTrace& price_trace,
     }
     t = segment_end;
   }
+  f.changes_per_day = static_cast<double>(segments) / std::max(days, 1e-9);
   if (in_excursion) {
     ++f.excursions_above_reference;
     excursion_total += to - excursion_start;

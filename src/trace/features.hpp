@@ -29,6 +29,15 @@ struct TraceFeatures {
 TraceFeatures extract_features(const PriceTrace& price_trace,
                                double reference_price);
 
+/// Windowed form: features over [from, to) only. Used by trailing-window
+/// consumers (the revocation-predictive placement policy scores markets by
+/// crossing statistics against its own bid). Requires a non-empty trace,
+/// reference_price > 0, and start() <= from < to <= end(). In the windowed
+/// form changes_per_day counts price segments intersecting the window.
+TraceFeatures extract_features(const PriceTrace& price_trace,
+                               double reference_price, sim::SimTime from,
+                               sim::SimTime to);
+
 /// Scalar dissimilarity between two fingerprints: mean relative error over
 /// the comparable feature dimensions (0 = identical fingerprints). Useful
 /// as a calibration objective.

@@ -96,5 +96,46 @@ TEST(Features, RejectsBadInput) {
   EXPECT_THROW(extract_features(step_trace(), 0.0), std::invalid_argument);
 }
 
+TEST(Features, WindowedOverFullRangeMatchesUnwindowed) {
+  const auto t = step_trace();
+  const auto full = extract_features(t, 0.06);
+  const auto windowed = extract_features(t, 0.06, t.start(), t.end());
+  EXPECT_EQ(windowed.excursions_above_reference,
+            full.excursions_above_reference);
+  EXPECT_DOUBLE_EQ(windowed.mean_excursion_minutes,
+                   full.mean_excursion_minutes);
+  EXPECT_DOUBLE_EQ(windowed.fraction_below_reference,
+                   full.fraction_below_reference);
+  EXPECT_DOUBLE_EQ(windowed.min_price, full.min_price);
+  EXPECT_DOUBLE_EQ(windowed.max_price, full.max_price);
+  EXPECT_DOUBLE_EQ(windowed.mean_price, full.mean_price);
+  EXPECT_DOUBLE_EQ(windowed.changes_per_day, full.changes_per_day);
+}
+
+TEST(Features, WindowedCountsOnlyWindowExcursions) {
+  // Both excursions of step_trace() fall in the first day; the second day
+  // is flat at 0.02.
+  const auto t = step_trace();
+  const auto day2 = extract_features(t, 0.06, kDay, 2 * kDay);
+  EXPECT_EQ(day2.excursions_above_reference, 0);
+  EXPECT_DOUBLE_EQ(day2.fraction_below_reference, 1.0);
+  EXPECT_DOUBLE_EQ(day2.max_price, 0.02);
+
+  // A window holding exactly the 2 h excursion sees one excursion covering
+  // the whole window.
+  const auto spike = extract_features(t, 0.06, 10 * kHour, 12 * kHour);
+  EXPECT_EQ(spike.excursions_above_reference, 1);
+  EXPECT_NEAR(spike.mean_excursion_minutes, 120.0, 1e-9);
+  EXPECT_DOUBLE_EQ(spike.fraction_below_reference, 0.0);
+}
+
+TEST(Features, WindowedRejectsBadWindows) {
+  const auto t = step_trace();
+  EXPECT_THROW(extract_features(t, 0.06, -kHour, kDay), std::invalid_argument);
+  EXPECT_THROW(extract_features(t, 0.06, 0, t.end() + kHour),
+               std::invalid_argument);
+  EXPECT_THROW(extract_features(t, 0.06, kDay, kDay), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace spothost::trace
