@@ -55,7 +55,16 @@ const trace::PriceTrace& SpotMarket::billable_trace(sim::SimTime through) {
 
 SpotMarket::SubscriptionId SpotMarket::subscribe(PriceObserver observer) {
   const SubscriptionId sid = next_subscription_++;
-  observers_.emplace(sid, std::move(observer));
+  observers_.emplace(sid, Subscription{nullptr, std::move(observer)});
+  return sid;
+}
+
+SpotMarket::SubscriptionId SpotMarket::subscribe(PriceListener* listener) {
+  if (listener == nullptr) {
+    throw std::invalid_argument("SpotMarket::subscribe: null listener");
+  }
+  const SubscriptionId sid = next_subscription_++;
+  observers_.emplace(sid, Subscription{listener, nullptr});
   return sid;
 }
 
@@ -142,7 +151,11 @@ void SpotMarket::dispatch(double new_price) {
   for (const SubscriptionId sid : dispatch_ids_) {
     const auto it = observers_.find(sid);
     if (it == observers_.end()) continue;  // unsubscribed mid-dispatch
-    it->second(*this, new_price);
+    if (it->second.listener != nullptr) {
+      it->second.listener->on_price(*this, new_price);
+    } else {
+      it->second.fn(*this, new_price);
+    }
   }
 }
 

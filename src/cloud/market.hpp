@@ -54,6 +54,19 @@ class SpotMarket {
   using PriceObserver = std::function<void(const SpotMarket&, double new_price)>;
   using SubscriptionId = std::uint64_t;
 
+  /// The hot-path subscription surface: one virtual call per price step per
+  /// subscriber, no std::function dispatch, no capture storage. The two
+  /// per-market permanent subscribers (CloudProvider's revocation logic and
+  /// the fleet's shared MarketWatcher) implement this; ad-hoc observers
+  /// (tests, probes) can keep using the std::function overload.
+  class PriceListener {
+   public:
+    virtual ~PriceListener() = default;
+    /// Called on every committed price change, synchronously, in
+    /// subscription order. `market.id()` identifies the market.
+    virtual void on_price(const SpotMarket& market, double new_price) = 0;
+  };
+
   /// Trace mode: replays `price_trace` (must be non-empty).
   SpotMarket(sim::Clock& clock, MarketId id, trace::PriceTrace price_trace,
              double on_demand_price_per_hour);
@@ -83,6 +96,9 @@ class SpotMarket {
 
   /// Registers a price-change observer; fires on every change event.
   SubscriptionId subscribe(PriceObserver observer);
+  /// Interface flavour (not owned; must outlive the subscription). The hot
+  /// dispatch path calls on_price directly — no type-erased invocation.
+  SubscriptionId subscribe(PriceListener* listener);
   void unsubscribe(SubscriptionId id);
   /// Live observers (the provider's own revocation logic counts as one).
   [[nodiscard]] std::size_t observer_count() const noexcept {
@@ -140,7 +156,13 @@ class SpotMarket {
 
   // Ordered by subscription id so observer dispatch order is deterministic
   // (the provider's revocation logic subscribes first and must run first).
-  std::map<SubscriptionId, PriceObserver> observers_;
+  // A subscription is either an interface pointer (hot path — provider,
+  // watcher) or a type-erased function (tests, probes); exactly one is set.
+  struct Subscription {
+    PriceListener* listener = nullptr;
+    PriceObserver fn;
+  };
+  std::map<SubscriptionId, Subscription> observers_;
   // Reused id snapshot for dispatch: observers may (un)subscribe reentrantly,
   // so each price step walks a stable list of ids — not live map iterators —
   // and re-looks each id up before calling. Snapshotting ids instead of the

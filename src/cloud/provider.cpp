@@ -50,9 +50,7 @@ void CloudProvider::add_live_market(MarketId id, double od_price) {
 }
 
 void CloudProvider::adopt_market(MarketId id, std::unique_ptr<SpotMarket> market_ptr) {
-  market_ptr->subscribe([this, mid = id](const SpotMarket&, double new_price) {
-    on_price_change(mid, new_price);
-  });
+  market_ptr->subscribe(static_cast<SpotMarket::PriceListener*>(this));
   markets_.emplace(id, std::move(market_ptr));
   market_order_.push_back(std::move(id));
 }

@@ -54,7 +54,7 @@ struct Instance {
   sim::SimTime termination_time = 0;  ///< valid once warned
 };
 
-class CloudProvider {
+class CloudProvider : private SpotMarket::PriceListener {
  public:
   using ReadyCallback = std::function<void(InstanceId)>;
   using FailCallback = std::function<void(AllocFailure)>;
@@ -133,6 +133,11 @@ class CloudProvider {
   };
 
   void adopt_market(MarketId id, std::unique_ptr<SpotMarket> market_ptr);
+  /// SpotMarket::PriceListener — one virtual hop per price step, replacing a
+  /// per-market std::function that captured the MarketId by value.
+  void on_price(const SpotMarket& market, double new_price) override {
+    on_price_change(market.id(), new_price);
+  }
   void on_price_change(const MarketId& id, double new_price);
   void complete_grant(InstanceId id);
   void complete_lease(Instance& inst, TerminationCause cause, sim::SimTime end);

@@ -1,0 +1,60 @@
+// ShardTraceBuffer: per-shard trace capture for deterministic merge.
+//
+// The sharded engine (simcore/sharded_sim.hpp) runs shard lanes in parallel
+// between barriers, but the observability contract is unchanged: sinks see
+// one globally ordered stream, byte-identical to the serial run. Each lane
+// therefore emits into its own ShardTraceBuffer during a parallel window —
+// no lock, no cross-thread traffic — and at the barrier the engine splices
+// the buffers downstream in global sequence order: it walks the merged
+// dispatch log (ordered by (time, virtual global sequence)) and forwards
+// each dispatch's trace slice via splice_to(). Outside windows the buffer is
+// a transparent passthrough, so serial-phase events reach sinks immediately
+// in emission order, exactly as a serial engine would deliver them.
+//
+// One buffer is single-writer: the owning lane's thread during a window, the
+// barrier thread otherwise. The phase switch (set_passthrough) happens only
+// on the barrier thread while no window is running.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "obs/sink.hpp"
+
+namespace spothost::obs {
+
+class ShardTraceBuffer final : public TraceSink {
+ public:
+  /// Capture mode (downstream == nullptr): on_event appends to the buffer.
+  /// Passthrough mode: on_event forwards to `downstream` immediately.
+  void set_passthrough(Tracer* downstream) noexcept { passthrough_ = downstream; }
+
+  void on_event(const TraceEvent& event) override {
+    if (passthrough_ != nullptr) {
+      passthrough_->emit(event);
+    } else {
+      buffer_.push_back(event);
+    }
+  }
+
+  /// Events captured since the last clear_buffered().
+  [[nodiscard]] std::size_t buffered() const noexcept { return buffer_.size(); }
+
+  /// Forwards buffer_[first, first + count) to `downstream` in capture
+  /// order. The engine calls this once per merged dispatch-log entry, so the
+  /// global output interleaves lanes deterministically.
+  void splice_to(Tracer& downstream, std::size_t first, std::size_t count) {
+    for (std::size_t i = first; i < first + count; ++i) {
+      downstream.emit(buffer_[i]);
+    }
+  }
+
+  /// Drops spliced events (capacity is kept for the next window).
+  void clear_buffered() noexcept { buffer_.clear(); }
+
+ private:
+  Tracer* passthrough_ = nullptr;
+  std::vector<TraceEvent> buffer_;
+};
+
+}  // namespace spothost::obs

@@ -35,6 +35,14 @@ struct Scenario {
   /// draws and emits zero events, so runs stay byte-identical to a build
   /// without the subsystem.
   faults::FaultPlan fault_plan{};
+  /// Shard lanes for the default engine: 0 = the SPOTHOST_SHARDS env knob
+  /// (which defaults to 1 = the plain serial Simulation), 1 = serial, K > 1
+  /// = the sharded engine with exactly K lanes. A sharded run is
+  /// byte-identical to the serial one (pinned by the golden tests), so this
+  /// is an execution choice, not a scenario parameter — it is deliberately
+  /// excluded from the trace-cache key. Ignored when a World is built over a
+  /// caller-supplied engine.
+  int shards = 0;
 };
 
 /// Allocation latencies per region family, from Table 1.

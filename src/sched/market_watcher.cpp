@@ -1,6 +1,7 @@
 #include "sched/market_watcher.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 namespace spothost::sched {
@@ -14,8 +15,12 @@ constexpr std::size_t kSweepFloor = 16;
 MarketWatcher::MarketWatcher(sim::Clock& clock, cloud::CloudProvider& provider)
     : clock_(clock), provider_(provider) {}
 
-MarketWatcher::ListenerId MarketWatcher::add_listener(TriggerCallback callback) {
-  listeners_.push_back(std::move(callback));
+MarketWatcher::ListenerId MarketWatcher::add_listener(TriggerListener* listener) {
+  if (listener == nullptr) {
+    throw std::invalid_argument("MarketWatcher::add_listener: null listener");
+  }
+  listeners_.push_back(listener);
+  shard_of_.push_back(kNoShard);
   ++live_listeners_;
   return static_cast<ListenerId>(listeners_.size());
 }
@@ -38,16 +43,21 @@ void MarketWatcher::watch(ListenerId id, const std::vector<cloud::MarketId>& mar
       // First interest in this market: subscribe the one shared provider
       // feed. Later listeners piggyback on the same subscription.
       const auto sub = provider_.market(market).subscribe(
-          [this](const cloud::SpotMarket& m, double new_price) {
-            on_price_change(m.id(), new_price);
-          });
+          static_cast<cloud::SpotMarket::PriceListener*>(this));
       subscribed_.emplace(market, sub);
     }
   }
 }
 
 sim::EventHandle MarketWatcher::schedule_hour_tick(ListenerId id, sim::SimTime at) {
-  return clock_.at(at, [this, id] {
+  // A shard-pinned listener's hour tick is shard-local work: schedule it on
+  // the shard's own clock so it runs inside the parallel window.
+  sim::Clock* clock = &clock_;
+  if (router_ != nullptr && alive(id)) {
+    const std::uint32_t shard = shard_of_[static_cast<std::size_t>(id - 1)];
+    if (shard != kNoShard) clock = &router_->shard_clock(shard);
+  }
+  return clock->at(at, [this, id] {
     Trigger trigger;
     trigger.kind = TriggerKind::kHourBoundary;
     deliver(id, trigger);
@@ -65,6 +75,25 @@ void MarketWatcher::arm_revocation(ListenerId id, cloud::InstanceId instance) {
       });
 }
 
+void MarketWatcher::bind_shards(sim::ShardRouter& router) {
+  if (router_ != nullptr) {
+    throw std::logic_error("MarketWatcher::bind_shards: already bound");
+  }
+  router_ = &router;
+  shard_batch_.resize(router.shard_count());
+}
+
+void MarketWatcher::assign_shard(ListenerId id, std::size_t shard) {
+  if (router_ == nullptr) {
+    throw std::logic_error("MarketWatcher::assign_shard: bind_shards first");
+  }
+  if (shard >= router_->shard_count()) {
+    throw std::out_of_range("MarketWatcher::assign_shard: shard out of range");
+  }
+  if (!alive(id)) return;
+  shard_of_[static_cast<std::size_t>(id - 1)] = static_cast<std::uint32_t>(shard);
+}
+
 void MarketWatcher::on_price_change(const cloud::MarketId& market, double new_price) {
   const auto it = interest_.find(market);
   if (it == interest_.end()) return;
@@ -75,7 +104,7 @@ void MarketWatcher::on_price_change(const cloud::MarketId& market, double new_pr
   // One pass over the interest list, by index: a handler may watch() (grows
   // the same vector — appendees are not part of this step), remove_listener
   // (tombstones — skipped by deliver), or add_listener, all without
-  // invalidating the iteration. No snapshot, no allocation.
+  // invalidating the iteration. No snapshot, no allocation (serial path).
   ++dispatch_depth_;
   auto& ids = it->second;
   std::size_t dead = 0;
@@ -86,9 +115,27 @@ void MarketWatcher::on_price_change(const cloud::MarketId& market, double new_pr
       ++dead;
       continue;
     }
-    listeners_[static_cast<std::size_t>(id - 1)](trigger);
+    const std::uint32_t shard = shard_of_[static_cast<std::size_t>(id - 1)];
+    if (shard == kNoShard) {
+      listeners_[static_cast<std::size_t>(id - 1)]->on_trigger(trigger);
+    } else {
+      // Batched for the shard's mailbox; posted below, once per shard.
+      shard_batch_[shard].push_back(id);
+    }
   }
   --dispatch_depth_;
+  // Fan the batches out — one mailbox message per shard with interest, in
+  // ascending shard order (post order is delivery order within a window
+  // head, and must not depend on interest-list layout).
+  if (router_ != nullptr) {
+    for (std::size_t s = 0; s < shard_batch_.size(); ++s) {
+      if (shard_batch_[s].empty()) continue;
+      router_->post(s, [this, trigger, batch = std::move(shard_batch_[s])] {
+        for (const ListenerId id : batch) deliver(id, trigger);
+      });
+      shard_batch_[s].clear();  // moved-from: restore to a known empty state
+    }
+  }
   // Sweep tombstones once they dominate, but never under a reentrant
   // dispatch that may still be iterating this list.
   if (dispatch_depth_ == 0 && ids.size() >= kSweepFloor && 2 * dead > ids.size()) {
@@ -98,7 +145,7 @@ void MarketWatcher::on_price_change(const cloud::MarketId& market, double new_pr
 
 void MarketWatcher::deliver(ListenerId id, const Trigger& trigger) {
   if (!alive(id)) return;
-  listeners_[static_cast<std::size_t>(id - 1)](trigger);
+  listeners_[static_cast<std::size_t>(id - 1)]->on_trigger(trigger);
 }
 
 }  // namespace spothost::sched

@@ -16,23 +16,37 @@
 //
 // Fan-out is batched for fleet scale: one price step is one pass over the
 // market's interest list — no per-service events, no snapshot allocation,
-// no std::function copies. Listeners live in a dense vector indexed by
-// ListenerId (ids are never reused); removal tombstones the slot, dispatch
-// iterates by index with the list length captured up front, so listeners
-// may (un)register and watch() reentrantly mid-dispatch. Tombstoned ids are
-// swept out of interest lists only between dispatches. Listeners within one
-// market fire in registration order; identical registration order yields
-// identical dispatch order, every run.
+// and since PR 9 no type-erased hops anywhere on the path: the provider
+// feed arrives through SpotMarket::PriceListener and leaves through
+// TriggerListener — two devirtualizable virtual calls per (tick, listener).
+// Listeners live in a dense vector indexed by ListenerId (ids are never
+// reused); removal tombstones the slot, dispatch iterates by index with the
+// list length captured up front, so listeners may (un)register and watch()
+// reentrantly mid-dispatch. Tombstoned ids are swept out of interest lists
+// only between dispatches. Listeners within one market fire in registration
+// order; identical registration order yields identical dispatch order,
+// every run.
+//
+// Sharded runs (simcore/sharded_sim.hpp): bind_shards() attaches a
+// ShardRouter and assign_shard() pins a listener to a shard lane. Price
+// triggers for pinned listeners are then BATCHED per shard and posted as
+// one mailbox message per (price step, shard) — delivered at the head of
+// the next parallel window, on the shard's thread, in (shard, registration)
+// order — instead of being delivered inline. Hour ticks for pinned
+// listeners are scheduled on the shard's own clock and fire inside the
+// parallel window. Unpinned listeners keep the synchronous serial-phase
+// contract verbatim. register/watch/arm/assign calls are serial-phase
+// operations — never call them from a window callback.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "cloud/provider.hpp"
 #include "simcore/clock.hpp"
+#include "simcore/shard_router.hpp"
 
 namespace spothost::sched {
 
@@ -59,7 +73,7 @@ class CrossingDetector {
   std::optional<bool> above_;
 };
 
-class MarketWatcher {
+class MarketWatcher : private cloud::SpotMarket::PriceListener {
  public:
   using ListenerId = std::uint64_t;
   inline static constexpr ListenerId kInvalidListener = 0;
@@ -75,23 +89,31 @@ class MarketWatcher {
     sim::SimTime t_term = 0;                             ///< kRevocation
   };
 
-  using TriggerCallback = std::function<void(const Trigger&)>;
+  /// The listener surface. Direct interface dispatch — the watcher holds a
+  /// raw pointer per listener; no std::function, no capture storage.
+  class TriggerListener {
+   public:
+    virtual ~TriggerListener() = default;
+    /// Listener contract:
+    ///  * Delivery is synchronous, inside the provider/simulation event that
+    ///    caused it — the callback observes the world exactly as the trigger
+    ///    left it, and may issue provider requests or (un)register listeners
+    ///    reentrantly (dispatch tolerates mid-pass mutation). Exception:
+    ///    listeners pinned to a shard receive price triggers at the head of
+    ///    the next parallel window instead (see the class comment).
+    ///  * Listeners sharing a market fire in registration (ListenerId)
+    ///    order; same registrations, same dispatch order, every run.
+    ///  * The listener object must stay valid until remove_listener
+    ///    returns; after that no further triggers are delivered, including
+    ///    to recipients the in-flight dispatch has not reached yet.
+    virtual void on_trigger(const Trigger& trigger) = 0;
+  };
 
   MarketWatcher(sim::Clock& clock, cloud::CloudProvider& provider);
 
-  /// Registers a listener; triggers are delivered through `callback`.
-  ///
-  /// Listener contract:
-  ///  * Delivery is synchronous, inside the provider/simulation event that
-  ///    caused it — a callback observes the world exactly as the trigger
-  ///    left it, and may issue provider requests or (un)register listeners
-  ///    reentrantly (dispatch tolerates mid-pass mutation).
-  ///  * Listeners sharing a market fire in registration (ListenerId) order;
-  ///    same registrations, same dispatch order, every run.
-  ///  * The callback must stay valid until remove_listener returns; after
-  ///    that no further triggers are delivered, including to recipients the
-  ///    in-flight dispatch has not reached yet.
-  ListenerId add_listener(TriggerCallback callback);
+  /// Registers a listener (not owned; see TriggerListener::on_trigger for
+  /// the delivery contract).
+  ListenerId add_listener(TriggerListener* listener);
 
   /// Deregisters: no further triggers are delivered. Provider-side feed
   /// subscriptions are kept (they are bounded by the market count and the
@@ -104,7 +126,9 @@ class MarketWatcher {
   void watch(ListenerId id, const std::vector<cloud::MarketId>& markets);
 
   /// Schedules a kHourBoundary trigger for `id` at absolute time `at`.
-  /// Returns the event handle — cancel through it.
+  /// Returns the event handle — cancel through it. For a shard-pinned
+  /// listener the tick lives on the shard's own clock (the handle cancels
+  /// through that clock; do so only from the owning shard or serial phase).
   sim::EventHandle schedule_hour_tick(ListenerId id, sim::SimTime at);
 
   /// Routes the provider's revocation warning for `instance` to `id` as a
@@ -116,7 +140,21 @@ class MarketWatcher {
   /// instant itself (kWarningDropped) — still strictly before the instance
   /// is torn down, but possibly with `t_term == now`. Listeners must not
   /// assume the full grace window is left when the trigger fires.
+  /// Revocation triggers are always delivered synchronously in the serial
+  /// phase, even for shard-pinned listeners — a revocation reply talks to
+  /// the provider, which is global-lane state.
   void arm_revocation(ListenerId id, cloud::InstanceId instance);
+
+  /// Attaches the sharded engine's router. Call once, before any
+  /// assign_shard. Serial runs never call this and keep the inline path.
+  void bind_shards(sim::ShardRouter& router);
+
+  /// Pins `id` to `shard`: its price triggers are posted to that shard's
+  /// mailbox (batched per price step) and its hour ticks run on that
+  /// shard's clock. Requires bind_shards() first; `shard` must be
+  /// < router.shard_count(). Pinning is a statement that the listener only
+  /// touches shard-local state from those triggers.
+  void assign_shard(ListenerId id, std::size_t shard);
 
   /// Provider-side price-feed subscriptions this watcher holds — bounded by
   /// the market count, never by the listener count.
@@ -129,18 +167,28 @@ class MarketWatcher {
   }
 
  private:
+  inline static constexpr std::uint32_t kNoShard = 0xffffffffu;
+
   [[nodiscard]] bool alive(ListenerId id) const noexcept {
     return id != kInvalidListener && id <= listeners_.size() &&
            listeners_[static_cast<std::size_t>(id - 1)] != nullptr;
+  }
+  /// cloud::SpotMarket::PriceListener — the one shared feed subscription.
+  void on_price(const cloud::SpotMarket& market, double new_price) override {
+    on_price_change(market.id(), new_price);
   }
   void on_price_change(const cloud::MarketId& market, double new_price);
   void deliver(ListenerId id, const Trigger& trigger);
 
   sim::Clock& clock_;
   cloud::CloudProvider& provider_;
-  /// Dense listener table indexed by id-1; a removed listener leaves an
-  /// empty slot (ids are never reused, so no generation counter is needed).
-  std::vector<TriggerCallback> listeners_;
+  /// Dense listener table indexed by id-1; a removed listener leaves a
+  /// null slot (ids are never reused, so no generation counter is needed).
+  std::vector<TriggerListener*> listeners_;
+  /// Shard pin per listener slot, kNoShard = inline delivery. Parallel to
+  /// listeners_. Only read concurrently (window-side deliver); mutated in
+  /// serial phase only.
+  std::vector<std::uint32_t> shard_of_;
   std::size_t live_listeners_ = 0;
   /// Per-market listener ids, in registration order. May contain tombstoned
   /// ids between sweeps; dispatch skips them.
@@ -152,6 +200,11 @@ class MarketWatcher {
   /// Depth of in-flight price dispatches; interest lists are swept only at
   /// depth zero so index-based iteration never sees entries shift.
   int dispatch_depth_ = 0;
+  /// Sharded-run routing (nullptr in serial runs — the common case).
+  sim::ShardRouter* router_ = nullptr;
+  /// Per-shard batch scratch for one price step; the filled vectors are
+  /// moved into the posted message, so reuse only saves the outer vector.
+  std::vector<std::vector<ListenerId>> shard_batch_;
 };
 
 }  // namespace spothost::sched

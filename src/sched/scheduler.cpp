@@ -84,7 +84,7 @@ CloudScheduler::CloudScheduler(sim::Clock& clock,
   engine_ = std::make_unique<MigrationEngine>(clock_, provider_, service_,
                                               host, config_, spec_, rng_);
   listener_ = watcher_.add_listener(
-      [this](const MarketWatcher::Trigger& trigger) { on_trigger(trigger); });
+      static_cast<MarketWatcher::TriggerListener*>(this));
 }
 
 CloudScheduler::~CloudScheduler() {

@@ -46,7 +46,8 @@
 
 namespace spothost::sched {
 
-class CloudScheduler : private MigrationHost {
+class CloudScheduler : private MigrationHost,
+                       private MarketWatcher::TriggerListener {
  public:
   enum class State { kAcquiring, kOnSpot, kOnDemand, kDown };
 
@@ -107,7 +108,9 @@ class CloudScheduler : private MigrationHost {
   };
 
   // --- triggers (MarketWatcher listener) ------------------------------
-  void on_trigger(const MarketWatcher::Trigger& trigger);
+  /// MarketWatcher::TriggerListener — direct interface delivery; no
+  /// per-scheduler std::function on the price-tick path.
+  void on_trigger(const MarketWatcher::Trigger& trigger) override;
   void on_price_change(const cloud::MarketId& market, double new_price);
   void on_hour_check();
 

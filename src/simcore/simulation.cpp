@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "simcore/sharded_sim.hpp"
+
 namespace spothost::sim {
 
 EventHandle Simulation::at(SimTime when, Callback cb) {
@@ -42,7 +44,9 @@ bool Simulation::step() {
 }
 
 std::unique_ptr<Engine> make_simulation_engine() {
-  return std::make_unique<Simulation>();
+  // 0 = "ask the environment": SPOTHOST_SHARDS selects the sharded engine,
+  // defaulting to 1 — the plain serial Simulation, byte-transparent.
+  return make_simulation_engine(0);
 }
 
 }  // namespace spothost::sim

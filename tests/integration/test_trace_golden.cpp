@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 
@@ -38,12 +39,13 @@ std::uint64_t fnv1a(const std::string& s) {
   return h;
 }
 
-TEST(TraceGolden, ProactiveMultiMarketRunIsByteIdentical) {
+std::string run_golden_scenario(int shards) {
   sched::Scenario scenario;
   scenario.seed = 20150615;
   scenario.horizon = 10 * sim::kDay;
   scenario.regions = {"us-east-1a", "us-east-1b"};
   scenario.sizes = {cloud::InstanceSize::kSmall, cloud::InstanceSize::kLarge};
+  scenario.shards = shards;
   sched::SchedulerConfig cfg =
       sched::proactive_config({"us-east-1a", cloud::InstanceSize::kSmall});
   cfg.scope = sched::MarketScope::kMultiMarket;
@@ -53,15 +55,36 @@ TEST(TraceGolden, ProactiveMultiMarketRunIsByteIdentical) {
   obs::JsonlSink sink(os);
   tracer.add_sink(&sink);
   (void)metrics::run_hosting_scenario(scenario, cfg, &tracer, nullptr);
+  return os.str();
+}
 
-  const std::string text = os.str();
+void expect_golden(const std::string& text, const std::string& label) {
   std::size_t lines = 0;
   for (const char c : text) {
     if (c == '\n') ++lines;
   }
-  EXPECT_EQ(text.size(), kGoldenBytes);
-  EXPECT_EQ(lines, kGoldenLines);
-  EXPECT_EQ(fnv1a(text), kGoldenHash);
+  EXPECT_EQ(text.size(), kGoldenBytes) << label;
+  EXPECT_EQ(lines, kGoldenLines) << label;
+  EXPECT_EQ(fnv1a(text), kGoldenHash) << label;
+}
+
+TEST(TraceGolden, ProactiveMultiMarketRunIsByteIdentical) {
+  expect_golden(run_golden_scenario(/*shards=*/0), "serial default");
+}
+
+TEST(TraceGolden, ShardedRunIsByteIdenticalToSerial) {
+  // Scenario::shards is an explicit program choice, so it is never
+  // hardware-clamped: the sharded engine runs on every machine, and its
+  // barrier/merge machinery must reproduce the serial bytes exactly —
+  // under both queue backends.
+  for (const char* backend : {"wheel", "heap"}) {
+    ASSERT_EQ(setenv("SPOTHOST_EVENT_QUEUE", backend, 1), 0);
+    for (const int shards : {2, 4}) {
+      expect_golden(run_golden_scenario(shards),
+                    std::string(backend) + " shards=" + std::to_string(shards));
+    }
+  }
+  ASSERT_EQ(unsetenv("SPOTHOST_EVENT_QUEUE"), 0);
 }
 
 }  // namespace

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "cloud/billing.hpp"
@@ -13,6 +16,16 @@
 
 namespace spothost::sched {
 namespace {
+
+// The production surface is the TriggerListener interface (CloudScheduler
+// implements it directly); tests wrap ad-hoc lambdas in an adapter the
+// fixture owns.
+struct FnListener final : MarketWatcher::TriggerListener {
+  std::function<void(const MarketWatcher::Trigger&)> fn;
+  explicit FnListener(std::function<void(const MarketWatcher::Trigger&)> f)
+      : fn(std::move(f)) {}
+  void on_trigger(const MarketWatcher::Trigger& t) override { fn(t); }
+};
 
 using cloud::InstanceSize;
 using cloud::MarketId;
@@ -48,6 +61,13 @@ class MarketWatcherTest : public ::testing::Test {
     provider_->add_market(market, std::move(t), 0.06);
   }
 
+  MarketWatcher::ListenerId add_listener(
+      std::function<void(const MarketWatcher::Trigger&)> fn) {
+    owned_.push_back(std::make_unique<FnListener>(std::move(fn)));
+    return watcher_->add_listener(owned_.back().get());
+  }
+
+  std::vector<std::unique_ptr<FnListener>> owned_;
   std::unique_ptr<sim::RngFactory> rng_;
   std::unique_ptr<sim::Simulation> sim_;
   std::unique_ptr<cloud::CloudProvider> provider_;
@@ -55,8 +75,8 @@ class MarketWatcherTest : public ::testing::Test {
 };
 
 TEST_F(MarketWatcherTest, SubscribesToEachProviderFeedOnce) {
-  const auto l1 = watcher_->add_listener([](const MarketWatcher::Trigger&) {});
-  const auto l2 = watcher_->add_listener([](const MarketWatcher::Trigger&) {});
+  const auto l1 = add_listener([](const MarketWatcher::Trigger&) {});
+  const auto l2 = add_listener([](const MarketWatcher::Trigger&) {});
   watcher_->watch(l1, {kA, kB});
   watcher_->watch(l2, {kA});
   watcher_->watch(l2, {kA});  // duplicate interest is a no-op
@@ -71,11 +91,11 @@ TEST_F(MarketWatcherTest, SubscribesToEachProviderFeedOnce) {
 TEST_F(MarketWatcherTest, DeliversPriceTriggersToInterestedListenersOnly) {
   std::vector<std::pair<MarketId, double>> seen_a;
   std::vector<std::pair<MarketId, double>> seen_b;
-  const auto la = watcher_->add_listener([&](const MarketWatcher::Trigger& t) {
+  const auto la = add_listener([&](const MarketWatcher::Trigger& t) {
     ASSERT_EQ(t.kind, MarketWatcher::TriggerKind::kPriceChange);
     seen_a.emplace_back(t.market, t.price);
   });
-  const auto lb = watcher_->add_listener([&](const MarketWatcher::Trigger& t) {
+  const auto lb = add_listener([&](const MarketWatcher::Trigger& t) {
     seen_b.emplace_back(t.market, t.price);
   });
   watcher_->watch(la, {kA});
@@ -91,9 +111,9 @@ TEST_F(MarketWatcherTest, DeliversPriceTriggersToInterestedListenersOnly) {
 
 TEST_F(MarketWatcherTest, FanOutFollowsRegistrationOrder) {
   std::vector<int> order;
-  const auto first = watcher_->add_listener(
+  const auto first = add_listener(
       [&](const MarketWatcher::Trigger&) { order.push_back(1); });
-  const auto second = watcher_->add_listener(
+  const auto second = add_listener(
       [&](const MarketWatcher::Trigger&) { order.push_back(2); });
   // Watch in reverse order: delivery must still follow listener
   // registration, which is what fleet determinism keys on.
@@ -105,7 +125,7 @@ TEST_F(MarketWatcherTest, FanOutFollowsRegistrationOrder) {
 
 TEST_F(MarketWatcherTest, RemovedListenerReceivesNothing) {
   int fired = 0;
-  const auto id = watcher_->add_listener(
+  const auto id = add_listener(
       [&](const MarketWatcher::Trigger&) { ++fired; });
   watcher_->watch(id, {kA});
   watcher_->remove_listener(id);
@@ -118,7 +138,7 @@ TEST_F(MarketWatcherTest, RemovedListenerReceivesNothing) {
 
 TEST_F(MarketWatcherTest, HourTickArrivesAsTypedTrigger) {
   std::vector<sim::SimTime> ticks;
-  const auto id = watcher_->add_listener([&](const MarketWatcher::Trigger& t) {
+  const auto id = add_listener([&](const MarketWatcher::Trigger& t) {
     ASSERT_EQ(t.kind, MarketWatcher::TriggerKind::kHourBoundary);
     ticks.push_back(sim_->now());
   });
@@ -131,7 +151,7 @@ TEST_F(MarketWatcherTest, HourTickArrivesAsTypedTrigger) {
 
 TEST_F(MarketWatcherTest, CancelledHourTickNeverFires) {
   int fired = 0;
-  const auto id = watcher_->add_listener(
+  const auto id = add_listener(
       [&](const MarketWatcher::Trigger&) { ++fired; });
   auto ev = watcher_->schedule_hour_tick(id, 2 * kHour);
   EXPECT_TRUE(ev.cancel());
@@ -142,7 +162,7 @@ TEST_F(MarketWatcherTest, CancelledHourTickNeverFires) {
 TEST_F(MarketWatcherTest, ArmedRevocationRoutesWarningToListener) {
   // Bid low enough that kA's step to 0.04 at t=1h outbids the instance.
   std::vector<MarketWatcher::Trigger> warnings;
-  const auto id = watcher_->add_listener([&](const MarketWatcher::Trigger& t) {
+  const auto id = add_listener([&](const MarketWatcher::Trigger& t) {
     if (t.kind == MarketWatcher::TriggerKind::kRevocation) warnings.push_back(t);
   });
   cloud::InstanceId granted = cloud::kInvalidInstance;
