@@ -80,7 +80,8 @@ void MarketWatcher::bind_shards(sim::ShardRouter& router) {
     throw std::logic_error("MarketWatcher::bind_shards: already bound");
   }
   router_ = &router;
-  shard_batch_.resize(router.shard_count());
+  shard_batch_.assign(
+      1, std::vector<std::vector<ListenerId>>(router.shard_count()));
 }
 
 void MarketWatcher::assign_shard(ListenerId id, std::size_t shard) {
@@ -105,7 +106,14 @@ void MarketWatcher::on_price_change(const cloud::MarketId& market, double new_pr
   // the same vector — appendees are not part of this step), remove_listener
   // (tombstones — skipped by deliver), or add_listener, all without
   // invalidating the iteration. No snapshot, no allocation (serial path).
+  // Each dispatch batches into its own depth's scratch, so a reentrant
+  // dispatch cannot move or clear this pass's partially accumulated batches.
+  const auto depth = static_cast<std::size_t>(dispatch_depth_);
   ++dispatch_depth_;
+  if (router_ != nullptr && shard_batch_.size() <= depth) {
+    shard_batch_.resize(depth + 1, std::vector<std::vector<ListenerId>>(
+                                       router_->shard_count()));
+  }
   auto& ids = it->second;
   std::size_t dead = 0;
   const std::size_t count = ids.size();
@@ -120,7 +128,7 @@ void MarketWatcher::on_price_change(const cloud::MarketId& market, double new_pr
       listeners_[static_cast<std::size_t>(id - 1)]->on_trigger(trigger);
     } else {
       // Batched for the shard's mailbox; posted below, once per shard.
-      shard_batch_[shard].push_back(id);
+      shard_batch_[depth][shard].push_back(id);
     }
   }
   --dispatch_depth_;
@@ -128,12 +136,13 @@ void MarketWatcher::on_price_change(const cloud::MarketId& market, double new_pr
   // ascending shard order (post order is delivery order within a window
   // head, and must not depend on interest-list layout).
   if (router_ != nullptr) {
-    for (std::size_t s = 0; s < shard_batch_.size(); ++s) {
-      if (shard_batch_[s].empty()) continue;
-      router_->post(s, [this, trigger, batch = std::move(shard_batch_[s])] {
+    auto& batches = shard_batch_[depth];
+    for (std::size_t s = 0; s < batches.size(); ++s) {
+      if (batches[s].empty()) continue;
+      router_->post(s, [this, trigger, batch = std::move(batches[s])] {
         for (const ListenerId id : batch) deliver(id, trigger);
       });
-      shard_batch_[s].clear();  // moved-from: restore to a known empty state
+      batches[s].clear();  // moved-from: restore to a known empty state
     }
   }
   // Sweep tombstones once they dominate, but never under a reentrant

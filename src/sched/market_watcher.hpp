@@ -202,9 +202,12 @@ class MarketWatcher : private cloud::SpotMarket::PriceListener {
   int dispatch_depth_ = 0;
   /// Sharded-run routing (nullptr in serial runs — the common case).
   sim::ShardRouter* router_ = nullptr;
-  /// Per-shard batch scratch for one price step; the filled vectors are
-  /// moved into the posted message, so reuse only saves the outer vector.
-  std::vector<std::vector<ListenerId>> shard_batch_;
+  /// Per-shard batch scratch, indexed [dispatch depth][shard]: a listener's
+  /// on_trigger may reentrantly dispatch another price change, and the
+  /// nested pass must not touch the outer pass's partially accumulated
+  /// batches. The filled inner vectors are moved into the posted message,
+  /// so reuse only saves the outer vectors.
+  std::vector<std::vector<std::vector<ListenerId>>> shard_batch_;
 };
 
 }  // namespace spothost::sched

@@ -1,7 +1,6 @@
 #include "simcore/sharded_sim.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <chrono>
 #include <cstdio>
 #include <functional>
@@ -221,7 +220,21 @@ bool ShardedSimulation::lane_cancel(Lane& lane, EventId id) {
     throw std::logic_error(
         "ShardedSimulation: cross-shard cancel from a parallel window");
   }
-  return lane.queue->cancel(id);
+  if (lane.queue->cancel(id)) return true;
+  // Barrier step: run_time pops every event due at the barrier time before
+  // running any of them, but the serial engine pops one at a time — so a
+  // callback canceling a same-tick event that has not yet fired must still
+  // suppress it. Staged-but-not-run entries (strictly after staged_exec_i_)
+  // are exactly those events; entries at or before it already fired, where
+  // the serial cancel fails too. staged_ is empty outside the barrier step.
+  for (std::size_t i = staged_exec_i_ + 1; i < staged_.size(); ++i) {
+    Staged& s = staged_[i];
+    if (s.lane == &lane && s.id == id && !s.canceled) {
+      s.canceled = true;
+      return true;
+    }
+  }
+  return false;
 }
 
 void ShardedSimulation::assign_vgs(Lane& lane, EventId id, std::uint64_t vgs) {
@@ -231,10 +244,16 @@ void ShardedSimulation::assign_vgs(Lane& lane, EventId id, std::uint64_t vgs) {
 }
 
 std::uint64_t ShardedSimulation::vgs_of(const Lane& lane, EventId id) const {
+  // Checked unconditionally (this sits on the serial merge path, not the
+  // parallel hot loop): an event reaching dispatch with no vgs assigned
+  // must fail diagnosably, not reorder events on a garbage sequence number.
   const std::uint32_t slot = EventArena::slot_of(id);
-  assert(slot < lane.cells.size() &&
-         lane.cells[slot].gen == EventArena::gen_of(id) &&
-         "vgs cell read before assignment — merge-order invariant broken");
+  if (slot >= lane.cells.size() ||
+      lane.cells[slot].gen != EventArena::gen_of(id)) {
+    throw std::logic_error(
+        "ShardedSimulation::vgs_of: cell read before assignment — "
+        "merge-order invariant broken");
+  }
   return lane.cells[slot].vgs;
 }
 
@@ -378,8 +397,8 @@ void ShardedSimulation::run_time(SimTime t) {
       Lane& lane = *lane_ptr;
       EventQueue::Fired fired;
       while (lane.queue->pop_due(t, fired)) {
-        staged_.push_back(
-            Staged{vgs_of(lane, fired.id), &lane, std::move(fired.callback)});
+        staged_.push_back(Staged{vgs_of(lane, fired.id), fired.id, &lane,
+                                 std::move(fired.callback), false});
       }
     }
     if (staged_.empty()) break;
@@ -388,7 +407,10 @@ void ShardedSimulation::run_time(SimTime t) {
       std::sort(staged_.begin(), staged_.end(),
                 [](const Staged& a, const Staged& b) { return a.vgs < b.vgs; });
     }
-    for (Staged& s : staged_) {
+    for (std::size_t i = 0; i < staged_.size(); ++i) {
+      staged_exec_i_ = i;
+      Staged& s = staged_[i];
+      if (s.canceled) continue;  // suppressed by an earlier same-tick event
       s.lane->now_t = t;
       ++s.lane->dispatched;
       s.cb();

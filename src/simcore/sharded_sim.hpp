@@ -146,10 +146,17 @@ class ShardedSimulation final : public Engine, public ShardRouter {
   // Serial-phase scratch, reused across barriers.
   struct Staged {
     std::uint64_t vgs;
+    EventId id;
     Lane* lane;
     Callback cb;
+    bool canceled;
   };
   std::vector<Staged> staged_;
+  /// Index of the staged entry whose callback is currently executing.
+  /// Entries after it are events the serial engine would not yet have
+  /// popped, so cancel must still be able to suppress them (lane_cancel
+  /// flags them canceled when the queue no longer knows the id).
+  std::size_t staged_exec_i_ = 0;
   std::vector<Lane*> active_;
   friend struct Lane;
 };

@@ -181,6 +181,88 @@ TEST_F(MarketWatcherTest, ArmedRevocationRoutesWarningToListener) {
   EXPECT_EQ(warnings[0].t_term, kHour + provider_->grace_period());
 }
 
+// Captures ShardRouter posts so the test can inspect batch content and
+// delivery order, then drain the "mailbox" by hand.
+struct FakeRouter final : sim::ShardRouter {
+  sim::Clock& clock;
+  std::size_t shards;
+  std::vector<std::pair<std::size_t, sim::Callback>> posts;
+  FakeRouter(sim::Clock& c, std::size_t k) : clock(c), shards(k) {}
+  [[nodiscard]] std::size_t shard_count() const noexcept override {
+    return shards;
+  }
+  [[nodiscard]] sim::Clock& shard_clock(std::size_t) override { return clock; }
+  void post(std::size_t shard, sim::Callback cb) override {
+    posts.emplace_back(shard, std::move(cb));
+  }
+};
+
+TEST(MarketWatcherSharded, ReentrantDispatchKeepsShardBatchesIntact) {
+  // A listener's on_trigger may reentrantly dispatch another price change.
+  // The nested pass must not move or clear the outer pass's partially
+  // accumulated shard batches: every pinned listener receives exactly its
+  // own market's trigger, and outer-batched ids are not dropped.
+  sim::RngFactory rng(7);
+  sim::Simulation sim;
+  cloud::CloudProvider provider(sim, rng);
+  const MarketId pa{"push-a", InstanceSize::kSmall};
+  const MarketId pb{"push-b", InstanceSize::kSmall};
+  provider.add_live_market(pa, 0.06);
+  provider.add_live_market(pb, 0.06);
+  provider.start();
+  provider.market(pa).prime(0.02);
+  provider.market(pb).prime(0.05);
+
+  MarketWatcher watcher(sim, provider);
+  FakeRouter router(sim, 2);
+  watcher.bind_shards(router);
+
+  std::vector<std::pair<MarketId, double>> seen_a, seen_b, seen_c;
+  FnListener pinned_a([&](const MarketWatcher::Trigger& t) {
+    seen_a.emplace_back(t.market, t.price);
+  });
+  FnListener reentrant([&](const MarketWatcher::Trigger&) {
+    // Mid-pass over pa's interest list (pinned_a batched, pinned_c not
+    // yet): a synchronous price step on pb nests a second dispatch.
+    provider.market(pb).push_price(0.01);
+  });
+  FnListener pinned_b([&](const MarketWatcher::Trigger& t) {
+    seen_b.emplace_back(t.market, t.price);
+  });
+  FnListener pinned_c([&](const MarketWatcher::Trigger& t) {
+    seen_c.emplace_back(t.market, t.price);
+  });
+  const auto id_a = watcher.add_listener(&pinned_a);
+  const auto id_r = watcher.add_listener(&reentrant);
+  const auto id_b = watcher.add_listener(&pinned_b);
+  const auto id_c = watcher.add_listener(&pinned_c);
+  watcher.watch(id_a, {pa});
+  watcher.watch(id_r, {pa});
+  watcher.watch(id_c, {pa});
+  watcher.watch(id_b, {pb});
+  watcher.assign_shard(id_a, 0);
+  watcher.assign_shard(id_b, 0);
+  watcher.assign_shard(id_c, 1);
+
+  provider.market(pa).push_price(0.03);
+
+  // Three posts: the nested pb batch lands first (the nested dispatch
+  // completes inside the outer pass), then the outer pa batches in
+  // ascending shard order.
+  ASSERT_EQ(router.posts.size(), 3u);
+  EXPECT_EQ(router.posts[0].first, 0u);
+  EXPECT_EQ(router.posts[1].first, 0u);
+  EXPECT_EQ(router.posts[2].first, 1u);
+  for (auto& [shard, cb] : router.posts) cb();
+
+  ASSERT_EQ(seen_a.size(), 1u);
+  EXPECT_EQ(seen_a[0], (std::pair{pa, 0.03}));
+  ASSERT_EQ(seen_b.size(), 1u);
+  EXPECT_EQ(seen_b[0], (std::pair{pb, 0.01}));
+  ASSERT_EQ(seen_c.size(), 1u);
+  EXPECT_EQ(seen_c[0], (std::pair{pa, 0.03}));
+}
+
 TEST(CrossingDetector, FirstObservationBelowIsSteadyState) {
   CrossingDetector d;
   EXPECT_EQ(d.observe(false), CrossingDetector::Edge::kNone);

@@ -296,6 +296,45 @@ TEST(ShardedSim, SerialPhaseMayScheduleAcrossLanes) {
   EXPECT_EQ(fired, 2);
 }
 
+TEST(ShardedSim, SameTickCancelSuppressesStagedVictim) {
+  // The serial engine pops one event at a time, so a barrier-time callback
+  // canceling another event due at the SAME timestamp suppresses it (cancel
+  // returns true, victim never fires). The sharded barrier step bulk-stages
+  // all same-tick events before running any of them; the staged victims must
+  // still be cancellable — on the global lane, the canceler's own lane, and
+  // across lanes.
+  ShardedSimulation eng(2);
+  int fired = 0;
+  EventHandle victim_global, victim_shard0, victim_shard1;
+  // Scheduled first -> lowest vgs -> runs first at the barrier.
+  eng.at(10, [&] {
+    EXPECT_TRUE(victim_global.cancel());
+    EXPECT_TRUE(victim_shard0.cancel());
+    EXPECT_TRUE(victim_shard1.cancel());
+  });
+  victim_global = eng.at(10, [&fired] { fired += 1; });
+  victim_shard0 = eng.shard_clock(0).at(10, [&fired] { fired += 10; });
+  victim_shard1 = eng.shard_clock(1).at(10, [&fired] { fired += 100; });
+  eng.run_until(kHour);
+  EXPECT_EQ(fired, 0);
+  // Suppressed events are not dispatches (serial parity: only the canceler
+  // and this trailing probe fire).
+  int probed = 0;
+  eng.at(kHour + 1, [&probed] { ++probed; });
+  eng.run_until(2 * kHour);
+  EXPECT_EQ(probed, 1);
+  EXPECT_EQ(eng.dispatched(), 2u);
+}
+
+TEST(ShardedSim, SameTickCancelOfAlreadyFiredEventFails) {
+  ShardedSimulation eng(2);
+  int fired = 0;
+  EventHandle first = eng.at(10, [&fired] { ++fired; });
+  eng.at(10, [&first] { EXPECT_FALSE(first.cancel()); });
+  eng.run_until(kHour);
+  EXPECT_EQ(fired, 1);
+}
+
 TEST(ShardedSim, ArgumentValidation) {
   EXPECT_THROW(ShardedSimulation eng(0), std::invalid_argument);
   ShardedSimulation eng(2);
