@@ -6,22 +6,6 @@
 
 using namespace spothost;
 
-namespace {
-
-sched::FleetMetrics run_fleet(const sched::Scenario& scenario,
-                              const sched::FleetConfig& cfg) {
-  sched::World world(scenario);
-  sched::FleetScheduler fleet(world.clock(), world.provider(), cfg,
-                              world.rng());
-  fleet.start();
-  world.engine().run_until(world.horizon());
-  world.provider().finalize(world.horizon());
-  fleet.finalize(world.horizon());
-  return fleet.metrics(world.horizon());
-}
-
-}  // namespace
-
 int main() {
   sched::Scenario scenario = bench::full_scenario();
   scenario.regions = {"us-east-1a", "us-east-1b", "us-west-1a"};
@@ -48,7 +32,7 @@ int main() {
     cfg.service_template =
         sched::proactive_config(bench::market("us-east-1a", "small"));
     cfg.home_markets = homes;
-    const auto m = run_fleet(scenario, cfg);
+    const auto m = metrics::run_fleet_scenario(scenario, cfg);
     table.add_row({label, metrics::fmt(m.normalized_cost_pct, 1),
                    metrics::fmt(m.mean_unavailability_pct, 4),
                    metrics::fmt(m.any_down_pct, 4),

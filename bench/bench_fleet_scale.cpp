@@ -33,6 +33,7 @@
 // Knobs: SPOTHOST_RUNS=1 selects the CI smoke sizes and a trimmed shard
 // sweep; SPOTHOST_FLEET_EVENTS overrides the ~per-arm fired-event budget.
 // SPOTHOST_THREADS sizes the shared pool the sharded arms run windows on.
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdint>
@@ -277,8 +278,13 @@ int main() {
   const std::vector<std::size_t> shard_sizes =
       smoke ? std::vector<std::size_t>{10000}
             : std::vector<std::size_t>{100000, 1000000};
+  // The smoke's sharded arm width follows the SPOTHOST_SHARDS knob (the
+  // same one that shards World-based fleet runs), so CI pins the exact
+  // configuration it exercises; the full sweep stays fixed.
+  const std::size_t smoke_shards =
+      std::max<std::uint64_t>(2, exec::env_u64("SPOTHOST_SHARDS", 2));
   const std::vector<std::size_t> shard_counts =
-      smoke ? std::vector<std::size_t>{1, 2}
+      smoke ? std::vector<std::size_t>{1, smoke_shards}
             : std::vector<std::size_t>{1, 2, 4, 8};
   const std::uint64_t budget = exec::env_u64("SPOTHOST_FLEET_EVENTS", 2000000);
 

@@ -31,6 +31,9 @@ double on_demand_cost(double price_per_hour, sim::SimTime launch, sim::SimTime e
 double spot_cost(const trace::PriceTrace& price_trace, sim::SimTime launch,
                  sim::SimTime end, TerminationCause cause);
 
+/// Sentinel owner tag: the lease was never attributed to anyone.
+inline constexpr std::uint64_t kNoOwner = ~std::uint64_t{0};
+
 /// One finished (or finalized) instance lease, for auditing and metrics.
 struct BillingRecord {
   std::uint64_t instance_id = 0;
@@ -40,6 +43,11 @@ struct BillingRecord {
   sim::SimTime end = 0;
   TerminationCause cause = TerminationCause::kCustomer;
   double cost = 0.0;
+  /// Opaque customer-side owner tag (e.g. the fleet service index), copied
+  /// from the instance at lease completion. kNoOwner when never tagged —
+  /// billing itself never reads it; attribution (FleetScheduler::metrics)
+  /// does.
+  std::uint64_t owner = kNoOwner;
 };
 
 /// Append-only ledger of completed leases.

@@ -264,6 +264,10 @@ void CloudProvider::cancel_request(InstanceId id) {
   instance_mut(id).state = InstanceState::kTerminated;
 }
 
+void CloudProvider::set_instance_owner(InstanceId id, std::uint64_t owner) {
+  instance_mut(id).owner = owner;
+}
+
 void CloudProvider::set_revocation_handler(InstanceId id, RevocationHandler handler) {
   const Instance& inst = instance(id);
   if (inst.mode != BillingMode::kSpot) {
@@ -398,6 +402,7 @@ void CloudProvider::complete_lease(Instance& inst, TerminationCause cause,
   record.launch = inst.launch;
   record.end = end;
   record.cause = cause;
+  record.owner = inst.owner;
   if (inst.mode == BillingMode::kOnDemand) {
     record.cost = on_demand_cost(od_price(inst.market), inst.launch, end);
   } else {

@@ -52,6 +52,7 @@ struct Instance {
   sim::SimTime requested_at = 0;
   sim::SimTime launch = 0;            ///< valid once running
   sim::SimTime termination_time = 0;  ///< valid once warned
+  std::uint64_t owner = kNoOwner;     ///< see BillingRecord::owner
 };
 
 class CloudProvider : private SpotMarket::PriceListener {
@@ -108,6 +109,12 @@ class CloudProvider : private SpotMarket::PriceListener {
 
   /// Cancels a still-pending request. No-op if it already completed.
   void cancel_request(InstanceId id);
+
+  /// Tags `id` with an opaque owner for cost attribution; the tag is copied
+  /// into the BillingRecord when the lease completes. Call right after the
+  /// request (requests return the id synchronously), or any time before
+  /// termination. Re-tagging overwrites.
+  void set_instance_owner(InstanceId id, std::uint64_t owner);
 
   /// Installs the revocation-warning handler for a running spot instance.
   void set_revocation_handler(InstanceId id, RevocationHandler handler);

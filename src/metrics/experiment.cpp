@@ -75,6 +75,28 @@ RunMetrics run_hosting_scenario(
   return m;
 }
 
+sched::FleetMetrics run_fleet_scenario(const sched::Scenario& scenario,
+                                       const sched::FleetConfig& config,
+                                       obs::Tracer* tracer,
+                                       obs::RunProfile* profile) {
+  sched::World world(scenario);
+  // Tracer first: FleetScheduler::start() wires each service's availability
+  // events to its lane's tracer, resolved at start time.
+  if (tracer != nullptr) world.engine().set_tracer(tracer);
+  sched::FleetScheduler fleet(world.clock(), world.provider(), config,
+                              world.rng(), world.shard_router());
+  fleet.start();
+  {
+    std::optional<obs::ProfileScope> scope;
+    if (profile != nullptr) scope.emplace(world.engine(), *profile);
+    world.engine().run_until(world.horizon());
+  }
+  world.provider().finalize(world.horizon());
+  fleet.finalize(world.horizon());
+  if (tracer != nullptr) tracer->flush();
+  return fleet.metrics(world.horizon());
+}
+
 Aggregate Aggregate::of(std::span<const double> xs) {
   Aggregate a;
   if (xs.empty()) return a;

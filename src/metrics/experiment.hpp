@@ -16,6 +16,7 @@
 #include "obs/profile.hpp"
 #include "sched/baselines.hpp"
 #include "sched/config.hpp"
+#include "sched/fleet.hpp"
 #include "sched/market_traces.hpp"
 
 namespace spothost::obs {
@@ -44,6 +45,19 @@ RunMetrics run_hosting_scenario(
     const sched::Scenario& scenario, const sched::SchedulerConfig& config,
     std::shared_ptr<const sched::MarketTraceSet> traces,
     obs::Tracer* tracer = nullptr, obs::RunProfile* profile = nullptr);
+
+/// One simulated month of FLEET hosting: `config.num_services` services in
+/// one world, sharing a MarketWatcher. When the scenario selects a sharded
+/// engine (Scenario::shards > 1, or 0 with SPOTHOST_SHARDS=K set), the
+/// fleet is pinned onto the engine's shard lanes (service i -> lane i % K)
+/// and per-service work runs inside parallel windows — byte-identical
+/// results either way (pinned by the fleet golden test). A non-null
+/// `tracer` observes the run; a non-null `profile` records dispatch
+/// throughput.
+sched::FleetMetrics run_fleet_scenario(const sched::Scenario& scenario,
+                                       const sched::FleetConfig& config,
+                                       obs::Tracer* tracer = nullptr,
+                                       obs::RunProfile* profile = nullptr);
 
 struct Aggregate {
   double mean = 0.0;

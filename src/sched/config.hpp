@@ -13,6 +13,7 @@
 #include "faults/injector.hpp"
 #include "simcore/engine.hpp"
 #include "simcore/rng.hpp"
+#include "simcore/shard_router.hpp"
 #include "trace/profiles.hpp"
 
 namespace spothost::sched {
@@ -86,6 +87,14 @@ class World {
   /// Run control: run_until, set_tracer, dispatched, ...
   [[nodiscard]] sim::Engine& engine() noexcept { return *engine_; }
   [[nodiscard]] const sim::Engine& engine() const noexcept { return *engine_; }
+
+  /// The sharding seam of this world's engine, or nullptr when the engine
+  /// is the plain serial Simulation (Scenario::shards <= 1). Pass to
+  /// FleetScheduler to pin services onto shard lanes; a nullptr keeps the
+  /// fleet on the global clock — same bytes either way.
+  [[nodiscard]] sim::ShardRouter* shard_router() noexcept {
+    return dynamic_cast<sim::ShardRouter*>(engine_.get());
+  }
   [[nodiscard]] cloud::CloudProvider& provider() noexcept { return *provider_; }
   [[nodiscard]] const cloud::CloudProvider& provider() const noexcept {
     return *provider_;

@@ -10,7 +10,8 @@ namespace spothost::sched {
 
 FleetScheduler::FleetScheduler(sim::Clock& clock,
                                cloud::CloudProvider& provider, FleetConfig config,
-                               const sim::RngFactory& rng_factory)
+                               const sim::RngFactory& rng_factory,
+                               sim::ShardRouter* router)
     : provider_(provider),
       watcher_(std::make_unique<MarketWatcher>(clock, provider)),
       services_(config.num_services > 0
@@ -20,6 +21,7 @@ FleetScheduler::FleetScheduler(sim::Clock& clock,
   if (config.num_services <= 0) {
     throw std::invalid_argument("FleetScheduler: num_services must be > 0");
   }
+  if (router != nullptr) watcher_->bind_shards(*router);
   for (int i = 0; i < config.num_services; ++i) {
     SchedulerConfig cfg = config.service_template;
     if (config.stagger_placement) cfg.placement_salt = i;
@@ -31,14 +33,28 @@ FleetScheduler::FleetScheduler(sim::Clock& clock,
         "svc-" + std::to_string(i),
         virt::default_spec_for_memory(cloud::type_info(cfg.home_market.size).memory_gb,
                                       cloud::type_info(cfg.home_market.size).disk_gb));
-    schedulers_.emplace_back(
+    auto& scheduler = schedulers_.emplace_back(
         clock, provider, *watcher_, service, std::move(cfg),
         rng_factory.stream("fleet-timing", static_cast<std::uint64_t>(i)));
+    // Owner-tag every lease with the service index so the ledger pro-rates
+    // per owning service (metrics), in sharded and serial runs alike.
+    scheduler.set_owner_tag(static_cast<std::uint64_t>(i));
+    if (router != nullptr) {
+      scheduler.pin_to_shard(
+          *router, static_cast<std::size_t>(i) % router->shard_count());
+    }
   }
 }
 
 void FleetScheduler::start() {
-  for (auto& scheduler : schedulers_) scheduler.start();
+  for (std::size_t i = 0; i < schedulers_.size(); ++i) {
+    // Availability transitions trace through the lane the service lives on:
+    // the shard's buffering tracer when pinned (merged back in global order
+    // at window ends), the engine's tracer directly otherwise. Wired at
+    // start() so an engine tracer attached after construction is seen.
+    services_[i].set_tracer(schedulers_[i].lane_clock().tracer());
+    schedulers_[i].start();
+  }
 }
 
 void FleetScheduler::finalize(sim::SimTime horizon) {
@@ -87,9 +103,10 @@ FleetMetrics FleetScheduler::metrics(sim::SimTime horizon) const {
 
   // Fleet bill: the ledger is shared across all services of this provider,
   // so sum it once; attributed cost pro-rates each lease by the packing
-  // share of the service size that leased it. With a homogeneous fleet the
-  // share is the template's; for mixed fleets this is an approximation the
-  // per-record owner tracking would refine.
+  // share of the service that leased it, resolved through the owner tag the
+  // scheduler stamped on the instance (mixed-size fleets pro-rate each
+  // record by ITS owner's need, not service 0's). Untagged records — none
+  // in a fleet this class built — fall back to service 0's share.
   std::vector<std::vector<workload::OutageRecord>> outages;
   outages.reserve(schedulers_.size());
   double worst = 0.0;
@@ -116,7 +133,12 @@ FleetMetrics FleetScheduler::metrics(sim::SimTime horizon) const {
   for (const auto& record : provider_.ledger().records()) {
     m.total_cost += record.cost;
     const int capacity = cloud::type_info(record.market.size).capacity_units;
-    const int units_needed = schedulers_[0].units_needed();
+    const std::size_t owner =
+        record.owner != cloud::kNoOwner &&
+                record.owner < schedulers_.size()
+            ? static_cast<std::size_t>(record.owner)
+            : 0;
+    const int units_needed = schedulers_[owner].units_needed();
     m.attributed_cost +=
         record.cost * std::min(1.0, static_cast<double>(units_needed) / capacity);
   }

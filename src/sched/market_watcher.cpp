@@ -50,14 +50,11 @@ void MarketWatcher::watch(ListenerId id, const std::vector<cloud::MarketId>& mar
 }
 
 sim::EventHandle MarketWatcher::schedule_hour_tick(ListenerId id, sim::SimTime at) {
-  // A shard-pinned listener's hour tick is shard-local work: schedule it on
-  // the shard's own clock so it runs inside the parallel window.
-  sim::Clock* clock = &clock_;
-  if (router_ != nullptr && alive(id)) {
-    const std::uint32_t shard = shard_of_[static_cast<std::size_t>(id - 1)];
-    if (shard != kNoShard) clock = &router_->shard_clock(shard);
-  }
-  return clock->at(at, [this, id] {
+  // Always the global clock, also for pinned listeners: hour checks reach
+  // the provider, and holders cancel these handles from serial-phase paths
+  // — a shard-clock handle would make either side an illegal cross-lane
+  // operation (see the header comment).
+  return clock_.at(at, [this, id] {
     Trigger trigger;
     trigger.kind = TriggerKind::kHourBoundary;
     deliver(id, trigger);
@@ -80,8 +77,8 @@ void MarketWatcher::bind_shards(sim::ShardRouter& router) {
     throw std::logic_error("MarketWatcher::bind_shards: already bound");
   }
   router_ = &router;
-  shard_batch_.assign(
-      1, std::vector<std::vector<ListenerId>>(router.shard_count()));
+  stage_.resize(1);
+  stage_[0].shard_idx.resize(router.shard_count());
 }
 
 void MarketWatcher::assign_shard(ListenerId id, std::size_t shard) {
@@ -102,49 +99,87 @@ void MarketWatcher::on_price_change(const cloud::MarketId& market, double new_pr
   trigger.kind = TriggerKind::kPriceChange;
   trigger.market = market;
   trigger.price = new_price;
-  // One pass over the interest list, by index: a handler may watch() (grows
-  // the same vector — appendees are not part of this step), remove_listener
-  // (tombstones — skipped by deliver), or add_listener, all without
-  // invalidating the iteration. No snapshot, no allocation (serial path).
-  // Each dispatch batches into its own depth's scratch, so a reentrant
-  // dispatch cannot move or clear this pass's partially accumulated batches.
+  // Iteration is by index with the length captured up front: a handler may
+  // watch() (grows the same vector — appendees are not part of this step),
+  // remove_listener (tombstones — skipped by deliver), or add_listener, all
+  // without invalidating the iteration. No snapshot; each dispatch depth
+  // owns its own stage scratch, so a reentrant dispatch from a handler
+  // cannot clobber the outer pass's entries.
   const auto depth = static_cast<std::size_t>(dispatch_depth_);
   ++dispatch_depth_;
-  if (router_ != nullptr && shard_batch_.size() <= depth) {
-    shard_batch_.resize(depth + 1, std::vector<std::vector<ListenerId>>(
-                                       router_->shard_count()));
-  }
   auto& ids = it->second;
   std::size_t dead = 0;
   const std::size_t count = ids.size();
-  for (std::size_t i = 0; i < count; ++i) {
-    const ListenerId id = ids[i];
-    if (!alive(id)) {
-      ++dead;
-      continue;
-    }
-    const std::uint32_t shard = shard_of_[static_cast<std::size_t>(id - 1)];
-    if (shard == kNoShard) {
+  if (router_ == nullptr) {
+    // Serial engine: one inline pass in registration order.
+    for (std::size_t i = 0; i < count; ++i) {
+      const ListenerId id = ids[i];
+      if (!alive(id)) {
+        ++dead;
+        continue;
+      }
       listeners_[static_cast<std::size_t>(id - 1)]->on_trigger(trigger);
-    } else {
-      // Batched for the shard's mailbox; posted below, once per shard.
-      shard_batch_[depth][shard].push_back(id);
+    }
+  } else {
+    // Sharded engine, pass 1: collect pinned listeners (in interest order)
+    // for the parallel pre-screen. Unpinned listeners are handled in the
+    // delivery pass only.
+    if (stage_.size() <= depth) stage_.resize(depth + 1);
+    StageScratch& scratch = stage_[depth];
+    scratch.entries.clear();
+    scratch.shard_idx.resize(router_->shard_count());
+    for (auto& idx : scratch.shard_idx) idx.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+      const ListenerId id = ids[i];
+      if (!alive(id)) continue;
+      const std::uint32_t shard = shard_of_[static_cast<std::size_t>(id - 1)];
+      if (shard == kNoShard) continue;
+      scratch.shard_idx[shard].push_back(
+          static_cast<std::uint32_t>(scratch.entries.size()));
+      scratch.entries.push_back(StageEntry{
+          i, listeners_[static_cast<std::size_t>(id - 1)], std::uint8_t{1}});
+    }
+    // Stage: each shard evaluates its own listeners' wants_trigger in
+    // parallel. Entries are disjoint across shards and the watcher is not
+    // mutated until run_stage returns, so the only shared reads are frozen
+    // tick state. run_stage is synchronous — capturing locals is safe.
+    if (!scratch.entries.empty()) {
+      std::vector<sim::Callback> tasks(router_->shard_count());
+      for (std::size_t s = 0; s < tasks.size(); ++s) {
+        if (scratch.shard_idx[s].empty()) continue;
+        tasks[s] = [&scratch, &trigger, s] {
+          for (const std::uint32_t e : scratch.shard_idx[s]) {
+            StageEntry& entry = scratch.entries[e];
+            entry.want = entry.listener->wants_trigger(trigger) ? 1 : 0;
+          }
+        };
+      }
+      router_->run_stage(std::move(tasks));
+    }
+    // Pass 2: deliver serially in registration order — the exact serial
+    // interleaving of pinned and unpinned listeners — skipping pinned
+    // listeners whose pre-screen declined (their on_trigger is by contract
+    // a no-op, so skipping changes no bytes). The cursor re-matches pass-1
+    // entries by interest index, so reentrant mutation between the passes
+    // (there is none today — run_stage tasks cannot touch the watcher)
+    // or during delivery cannot misalign the verdicts.
+    std::size_t cursor = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const ListenerId id = ids[i];
+      if (cursor < scratch.entries.size() && scratch.entries[cursor].index == i) {
+        const bool want = scratch.entries[cursor].want != 0;
+        ++cursor;
+        if (want) deliver(id, trigger);
+        continue;
+      }
+      if (!alive(id)) {
+        ++dead;
+        continue;
+      }
+      listeners_[static_cast<std::size_t>(id - 1)]->on_trigger(trigger);
     }
   }
   --dispatch_depth_;
-  // Fan the batches out — one mailbox message per shard with interest, in
-  // ascending shard order (post order is delivery order within a window
-  // head, and must not depend on interest-list layout).
-  if (router_ != nullptr) {
-    auto& batches = shard_batch_[depth];
-    for (std::size_t s = 0; s < batches.size(); ++s) {
-      if (batches[s].empty()) continue;
-      router_->post(s, [this, trigger, batch = std::move(batches[s])] {
-        for (const ListenerId id : batch) deliver(id, trigger);
-      });
-      batches[s].clear();  // moved-from: restore to a known empty state
-    }
-  }
   // Sweep tombstones once they dominate, but never under a reentrant
   // dispatch that may still be iterating this list.
   if (dispatch_depth_ == 0 && ids.size() >= kSweepFloor && 2 * dead > ids.size()) {

@@ -28,18 +28,23 @@
 // every run.
 //
 // Sharded runs (simcore/sharded_sim.hpp): bind_shards() attaches a
-// ShardRouter and assign_shard() pins a listener to a shard lane. Price
-// triggers for pinned listeners are then BATCHED per shard and posted as
-// one mailbox message per (price step, shard) — delivered at the head of
-// the next parallel window, on the shard's thread, in (shard, registration)
-// order — instead of being delivered inline. Hour ticks for pinned
-// listeners are scheduled on the shard's own clock and fire inside the
-// parallel window. Unpinned listeners keep the synchronous serial-phase
-// contract verbatim. register/watch/arm/assign calls are serial-phase
-// operations — never call them from a window callback.
+// ShardRouter and assign_shard() pins a listener to a shard lane. A price
+// step then runs in two passes: a parallel *stage* evaluates every pinned
+// listener's wants_trigger() on its own shard lane
+// (ShardRouter::run_stage), and the serial delivery pass invokes
+// on_trigger, in registration order, only where the stage said the trigger
+// matters (unpinned listeners are always delivered inline). A declined
+// trigger is by contract a complete no-op, so delivery order, state, and
+// trace bytes are identical to the serial engine, while the predicate
+// evaluation — the O(listeners x ticks) fleet-scale term — runs across
+// shard lanes. Hour ticks and revocations stay on the global clock in the
+// serial phase: both may talk to the provider, which is global-lane state.
+// register/watch/arm/assign calls are serial-phase operations — never call
+// them from a window callback or a stage task.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -61,10 +66,18 @@ class CrossingDetector {
   enum class Edge { kNone, kUp, kDown };
 
   Edge observe(bool above) noexcept {
-    const bool crossed = above_ ? *above_ != above : above;
+    const bool crossed = would_edge(above);
     above_ = above;
     if (!crossed) return Edge::kNone;
     return above ? Edge::kUp : Edge::kDown;
+  }
+
+  /// Whether observe(above) WOULD report an edge, without recording the
+  /// observation — the side-effect-free form pre-screens (wants_trigger)
+  /// need. Note an unobserved detector treats `above == false` as steady
+  /// state, same as observe().
+  [[nodiscard]] bool would_edge(bool above) const noexcept {
+    return above_ ? *above_ != above : above;
   }
 
   void reset() noexcept { above_.reset(); }
@@ -107,6 +120,20 @@ class MarketWatcher : private cloud::SpotMarket::PriceListener {
     ///    returns; after that no further triggers are delivered, including
     ///    to recipients the in-flight dispatch has not reached yet.
     virtual void on_trigger(const Trigger& trigger) = 0;
+
+    /// Pre-screen, consulted for shard-pinned listeners only: runs on the
+    /// listener's shard lane, in parallel with other shards, before the
+    /// serial delivery pass. Return false iff on_trigger(trigger) would be
+    /// a complete no-op (no state change, no provider call, no trace) so
+    /// delivery can skip the listener without changing any observable
+    /// behavior. Must be const-pure (a run_stage task: no scheduling, no
+    /// tracing) and read only shard-local state plus shared state frozen
+    /// for the tick, e.g. market prices. Returning true when on_trigger
+    /// would no-op is always safe — merely unparallel.
+    [[nodiscard]] virtual bool wants_trigger(const Trigger& trigger) const {
+      (void)trigger;
+      return true;
+    }
   };
 
   MarketWatcher(sim::Clock& clock, cloud::CloudProvider& provider);
@@ -125,10 +152,14 @@ class MarketWatcher : private cloud::SpotMarket::PriceListener {
   /// in a market, once, no matter how many listeners watch it afterwards.
   void watch(ListenerId id, const std::vector<cloud::MarketId>& markets);
 
-  /// Schedules a kHourBoundary trigger for `id` at absolute time `at`.
-  /// Returns the event handle — cancel through it. For a shard-pinned
-  /// listener the tick lives on the shard's own clock (the handle cancels
-  /// through that clock; do so only from the owning shard or serial phase).
+  /// Schedules a kHourBoundary trigger for `id` at absolute time `at`, on
+  /// the GLOBAL clock — also for shard-pinned listeners. Returns the event
+  /// handle — cancel through it. Hour checks may talk to the provider
+  /// (billing-hour boundaries are global-lane state), and holders cancel
+  /// these handles from serial-phase code paths; a handle minted on a shard
+  /// clock would make that cancel an illegal cross-lane operation under the
+  /// DESIGN.md §9.2 window rules (the sharded engine throws). Keeping the
+  /// tick global makes both sides legal by construction.
   sim::EventHandle schedule_hour_tick(ListenerId id, sim::SimTime at);
 
   /// Routes the provider's revocation warning for `instance` to `id` as a
@@ -149,11 +180,11 @@ class MarketWatcher : private cloud::SpotMarket::PriceListener {
   /// assign_shard. Serial runs never call this and keep the inline path.
   void bind_shards(sim::ShardRouter& router);
 
-  /// Pins `id` to `shard`: its price triggers are posted to that shard's
-  /// mailbox (batched per price step) and its hour ticks run on that
-  /// shard's clock. Requires bind_shards() first; `shard` must be
-  /// < router.shard_count(). Pinning is a statement that the listener only
-  /// touches shard-local state from those triggers.
+  /// Pins `id` to `shard`: its price triggers are pre-screened by
+  /// wants_trigger() on that shard's lane before the serial delivery pass.
+  /// Requires bind_shards() first; `shard` must be < router.shard_count().
+  /// Pinning is a statement that the listener's wants_trigger touches only
+  /// shard-local and frozen-shared state.
   void assign_shard(ListenerId id, std::size_t shard);
 
   /// Provider-side price-feed subscriptions this watcher holds — bounded by
@@ -202,12 +233,30 @@ class MarketWatcher : private cloud::SpotMarket::PriceListener {
   int dispatch_depth_ = 0;
   /// Sharded-run routing (nullptr in serial runs — the common case).
   sim::ShardRouter* router_ = nullptr;
-  /// Per-shard batch scratch, indexed [dispatch depth][shard]: a listener's
-  /// on_trigger may reentrantly dispatch another price change, and the
-  /// nested pass must not touch the outer pass's partially accumulated
-  /// batches. The filled inner vectors are moved into the posted message,
-  /// so reuse only saves the outer vectors.
-  std::vector<std::vector<std::vector<ListenerId>>> shard_batch_;
+  /// One pinned listener collected by the pre-pass of a sharded price
+  /// dispatch. `index` is the listener's interest-list position, so the
+  /// delivery pass can re-walk the list in registration order and match
+  /// entries even if a reentrant handler mutates listener state between
+  /// collection and delivery. `want` is written by exactly one stage task
+  /// (the entry's shard) — entries are disjoint across shards, so the
+  /// parallel stage is race-free.
+  struct StageEntry {
+    std::size_t index;
+    TriggerListener* listener;
+    std::uint8_t want;
+  };
+  /// Stage scratch, indexed by dispatch depth: a listener's on_trigger may
+  /// reentrantly dispatch another price change, and the nested pass must
+  /// not touch the outer pass's entries. `shard_idx[s]` holds indices into
+  /// `entries` for shard s's stage task.
+  struct StageScratch {
+    std::vector<StageEntry> entries;
+    std::vector<std::vector<std::uint32_t>> shard_idx;
+  };
+  /// Deque, not vector: a reentrant dispatch grows this by one depth while
+  /// the outer pass still holds a reference to its own scratch — deque
+  /// growth leaves existing elements' addresses stable.
+  std::deque<StageScratch> stage_;
 };
 
 }  // namespace spothost::sched

@@ -43,6 +43,7 @@ MigrationEngine::MigrationEngine(sim::Clock& clock,
                                  MigrationHost& host, const SchedulerConfig& config,
                                  const virt::VmSpec& spec, sim::RngStream& timing_rng)
     : clock_(clock),
+      lane_clock_(&clock),
       provider_(provider),
       service_(service),
       host_(host),
@@ -128,6 +129,9 @@ void MigrationEngine::begin_voluntary(virt::MigrationClass cls, const Placement&
           // reverse: try again next billing hour).
           host_.on_voluntary_dest_failed(cls);
         });
+  }
+  if (owner_ != cloud::kNoOwner) {
+    provider_.set_instance_owner(migration_->dest, owner_);
   }
   auto e = host_.trace_event(obs::EventKind::kMigrationBegin, migration_code(cls));
   e.instance = source;
@@ -224,13 +228,19 @@ void MigrationEngine::complete_switchover() {
   if (downtime > 0 && service_.is_up()) {
     service_.begin_outage(clock_.now(), cause);
     const SimTime up_at = clock_.now() + downtime;
-    clock_.at(up_at, [this, degraded] {
+    // Service-local timeline: the outage end (and its degraded tail) touch
+    // only the service, so in a pinned fleet they run on the shard lane,
+    // inside parallel windows. Absolute times, and now() read back from the
+    // lane clock — the global clock lags inside a window. The nested
+    // schedule runs on the lane's own clock from its own window: legal, and
+    // after() is correct there (lane now == the firing time).
+    lane_clock_->at(up_at, [this, degraded] {
       if (forced_) return;  // a forced flow took over mid-switchover
       if (!service_.is_up()) {
-        service_.end_outage(clock_.now(), degraded > 0);
+        service_.end_outage(lane_clock_->now(), degraded > 0);
         if (degraded > 0) {
-          clock_.after(degraded,
-                            [this] { service_.end_degraded(clock_.now()); });
+          lane_clock_->after(
+              degraded, [this] { service_.end_degraded(lane_clock_->now()); });
         }
       }
     });
@@ -272,15 +282,17 @@ std::optional<virt::MigrationClass> MigrationEngine::dest_warned(InstanceId inst
 // ---------------------------------------------------------------------------
 
 InstanceId MigrationEngine::request_forced_dest(const MarketId& od_market) {
-  return provider_.request_on_demand(
+  const InstanceId iid = provider_.request_on_demand(
       od_market,
-      [this](InstanceId iid) {
-        if (!forced_ || forced_->dest != iid) return;
+      [this](InstanceId granted) {
+        if (!forced_ || forced_->dest != granted) return;
         forced_->dest_ready = true;
         forced_->dest_ready_at = clock_.now();
         forced_try_resume();
       },
       [this](cloud::AllocFailure) { on_forced_dest_failed(); });
+  if (owner_ != cloud::kNoOwner) provider_.set_instance_owner(iid, owner_);
+  return iid;
 }
 
 void MigrationEngine::on_forced_dest_failed() {
@@ -426,8 +438,10 @@ void MigrationEngine::forced_try_resume() {
     if (!service_.is_up()) {
       service_.end_outage(clock_.now(), degraded > 0);
       if (degraded > 0) {
-        clock_.after(degraded,
-                          [this] { service_.end_degraded(clock_.now()); });
+        // Service-local tail of a global-lane callback: absolute time (the
+        // lane clock may lag here), then lane-resident execution.
+        lane_clock_->at(clock_.now() + degraded,
+                        [this] { service_.end_degraded(lane_clock_->now()); });
       }
     }
     const auto& inst = provider_.instance(f.dest);

@@ -59,6 +59,7 @@ CloudScheduler::CloudScheduler(sim::Clock& clock,
                                workload::ServiceEndpoint& service,
                                SchedulerConfig config, sim::RngStream timing_rng)
     : clock_(clock),
+      lane_clock_(&clock),
       provider_(provider),
       service_(service),
       config_(std::move(config)),
@@ -91,6 +92,17 @@ CloudScheduler::~CloudScheduler() {
   if (listener_ != MarketWatcher::kInvalidListener) {
     watcher_.remove_listener(listener_);
   }
+}
+
+void CloudScheduler::pin_to_shard(sim::ShardRouter& router, std::size_t shard) {
+  lane_clock_ = &router.shard_clock(shard);
+  engine_->bind_lane(*lane_clock_);
+  watcher_.assign_shard(listener_, shard);
+}
+
+void CloudScheduler::set_owner_tag(std::uint64_t owner) {
+  owner_tag_ = owner;
+  engine_->set_owner_tag(owner);
 }
 
 int CloudScheduler::units_needed() const {
@@ -174,6 +186,41 @@ void CloudScheduler::on_trigger(const MarketWatcher::Trigger& trigger) {
   }
 }
 
+bool CloudScheduler::wants_trigger(const MarketWatcher::Trigger& trigger) const {
+  // Mirror of on_price_change, early return by early return: `false` here
+  // asserts the delivery would be a complete no-op. Hour and revocation
+  // triggers always carry work (and are never staged — see the watcher).
+  if (trigger.kind != MarketWatcher::TriggerKind::kPriceChange) return true;
+  if (engine_->forced_active()) return false;
+  if (!config_.on_demand_allowed() &&
+      (state_ == State::kDown || state_ == State::kAcquiring)) {
+    // pure_spot_reacquire: acts only when no request is pending and the
+    // home market has dipped back to the standing bid (bid_for is
+    // const-pure by the BidStrategy contract).
+    if (pending_acquire_ != cloud::kInvalidInstance) return false;
+    const cloud::MarketId& home = config_.home_market;
+    return provider_.price(home) <=
+           bidding_->bid_for(provider_, config_, home, clock_.now());
+  }
+  if (state_ != State::kOnSpot || !holding_ || trigger.market != holding_->market) {
+    return false;
+  }
+  if (!bidding_->plans_migrations(config_) || !config_.on_demand_allowed()) {
+    return false;
+  }
+  const double eff =
+      effective_spot_price(provider_, trigger.market, units_needed());
+  const bool above = eff > od_threshold();
+  if (above) return true;                      // plans (or re-checks) a move
+  if (crossing_.would_edge(above)) return true;  // kDown crossing trace
+  if (planned_begin_event_.valid()) return true; // cancel pending planned
+  if (engine_->voluntary_class() == virt::MigrationClass::kPlanned &&
+      !engine_->transfer_started() && config_.cancel_planned_on_price_drop) {
+    return true;  // abandon the in-flight planned move
+  }
+  return false;
+}
+
 void CloudScheduler::acquire_initial() {
   if (!config_.on_demand_allowed()) {
     pure_spot_reacquire();
@@ -202,6 +249,9 @@ void CloudScheduler::acquire_initial() {
           }
           acquire_initial();  // price moved; re-evaluate (likely on-demand now)
         });
+    if (owner_tag_ != cloud::kNoOwner) {
+      provider_.set_instance_owner(pending_acquire_, owner_tag_);
+    }
     return;
   }
   const Placement od = placement_->choose_on_demand(provider_, config_, query);
@@ -215,6 +265,9 @@ void CloudScheduler::acquire_initial() {
         pending_acquire_ = cloud::kInvalidInstance;
         on_acquire_capacity_failed(od_market, /*was_spot=*/false);
       });
+  if (owner_tag_ != cloud::kNoOwner) {
+    provider_.set_instance_owner(pending_acquire_, owner_tag_);
+  }
 }
 
 void CloudScheduler::on_acquire_capacity_failed(const MarketId& market,
@@ -441,9 +494,14 @@ void CloudScheduler::on_revocation_warning(InstanceId instance, SimTime t_term) 
                                 holding_->market.region, holding_->market.region);
     const SimTime t_stop = std::max(clock_.now(),
                                     t_term - sim::from_seconds(timings.flush_s));
-    clock_.at(t_stop, [this] {
+    // Service-local: in a pinned fleet the outage bookkeeping runs on the
+    // shard lane (inside a parallel window), so read the lane clock — the
+    // global clock lags inside a window. t_term stays global: it drives
+    // reacquisition through the provider.
+    lane_clock_->at(t_stop, [this] {
       if (service_.is_up()) {
-        service_.begin_outage(clock_.now(), workload::OutageCause::kSpotLoss);
+        service_.begin_outage(lane_clock_->now(),
+                              workload::OutageCause::kSpotLoss);
       }
     });
     clock_.at(t_term, [this] {
@@ -504,8 +562,11 @@ void CloudScheduler::pure_spot_reacquire() {
           if (!service_.is_up()) {
             service_.end_outage(clock_.now(), degraded > 0);
             if (degraded > 0) {
-              clock_.after(degraded,
-                                [this] { service_.end_degraded(clock_.now()); });
+              // Service-local tail of a global-lane callback: absolute time
+              // (the lane clock may lag here), lane-resident execution.
+              lane_clock_->at(clock_.now() + degraded, [this] {
+                service_.end_degraded(lane_clock_->now());
+              });
             }
           }
           adopt(iid, home, /*on_demand=*/false);
@@ -524,6 +585,9 @@ void CloudScheduler::pure_spot_reacquire() {
         // Price failure: wait for the next price change; on_price_change
         // retries.
       });
+  if (owner_tag_ != cloud::kNoOwner) {
+    provider_.set_instance_owner(pending_acquire_, owner_tag_);
+  }
 }
 
 // ---------------------------------------------------------------------------

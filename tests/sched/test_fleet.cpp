@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "cloud/billing.hpp"
+#include "cloud/instance_types.hpp"
 #include "sched/baselines.hpp"
 #include "sched/config.hpp"
 
@@ -131,6 +135,48 @@ TEST_F(FleetTest, HostsWholeFleetThroughTheMonth) {
   EXPECT_LT(m.normalized_cost_pct, 60.0);
   EXPECT_LT(m.mean_unavailability_pct, 0.1);
   EXPECT_GE(m.worst_unavailability_pct, m.mean_unavailability_pct);
+}
+
+TEST_F(FleetTest, MixedSizeFleetAttributesEachLeaseToItsOwner) {
+  // Two-size fleet: services 0/2 are small-home (1 capacity unit), services
+  // 1/3 large-home (a full box). attributed_cost must pro-rate every ledger
+  // record by ITS owner's capacity need — the old code used service 0's
+  // need for all records, undercounting every large service's lease.
+  World world(scenario());
+  FleetConfig cfg;
+  cfg.num_services = 4;
+  cfg.service_template = proactive_config({"us-east-1a", InstanceSize::kSmall});
+  cfg.home_markets = {{"us-east-1a", InstanceSize::kSmall},
+                      {"us-east-1a", InstanceSize::kLarge}};
+  FleetScheduler fleet(world.clock(), world.provider(), cfg, world.rng());
+  fleet.start();
+  world.engine().run_until(world.horizon());
+  world.provider().finalize(world.horizon());
+  fleet.finalize(world.horizon());
+
+  const int units0 = fleet.scheduler(0).units_needed();
+  bool mixed = false;
+  double expected = 0.0;
+  double service0_formula = 0.0;
+  for (const auto& record : world.provider().ledger().records()) {
+    // Every lease a fleet scheduler requests carries its service index.
+    ASSERT_NE(record.owner, cloud::kNoOwner);
+    ASSERT_LT(record.owner, 4u);
+    const int capacity = cloud::type_info(record.market.size).capacity_units;
+    const int units =
+        fleet.scheduler(static_cast<int>(record.owner)).units_needed();
+    if (units != units0) mixed = true;
+    expected +=
+        record.cost * std::min(1.0, static_cast<double>(units) / capacity);
+    service0_formula +=
+        record.cost * std::min(1.0, static_cast<double>(units0) / capacity);
+  }
+  ASSERT_TRUE(mixed);  // the scenario actually exercises two needs
+  const auto m = fleet.metrics(world.horizon());
+  EXPECT_DOUBLE_EQ(m.attributed_cost, expected);
+  // A large service fills its whole box: per-owner attribution strictly
+  // exceeds the old every-record-uses-service-0 formula.
+  EXPECT_GT(m.attributed_cost, service0_formula);
 }
 
 TEST_F(FleetTest, SameMarketFleetSharesRevocations) {

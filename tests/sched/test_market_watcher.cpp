@@ -181,80 +181,144 @@ TEST_F(MarketWatcherTest, ArmedRevocationRoutesWarningToListener) {
   EXPECT_EQ(warnings[0].t_term, kHour + provider_->grace_period());
 }
 
-// Captures ShardRouter posts so the test can inspect batch content and
-// delivery order, then drain the "mailbox" by hand.
+// Inline ShardRouter double: run_stage executes tasks synchronously on the
+// calling thread (the real engine's bit-identity makes that equivalent),
+// recording how many stages ran and how many shards each staged.
 struct FakeRouter final : sim::ShardRouter {
   sim::Clock& clock;
   std::size_t shards;
-  std::vector<std::pair<std::size_t, sim::Callback>> posts;
+  int stages = 0;
+  std::vector<std::size_t> staged_shards;  ///< non-null task count per stage
   FakeRouter(sim::Clock& c, std::size_t k) : clock(c), shards(k) {}
   [[nodiscard]] std::size_t shard_count() const noexcept override {
     return shards;
   }
   [[nodiscard]] sim::Clock& shard_clock(std::size_t) override { return clock; }
-  void post(std::size_t shard, sim::Callback cb) override {
-    posts.emplace_back(shard, std::move(cb));
+  void post(std::size_t, sim::Callback cb) override { cb(); }
+  void run_stage(std::vector<sim::Callback> tasks) override {
+    ++stages;
+    std::size_t active = 0;
+    for (auto& task : tasks) {
+      if (!task) continue;
+      ++active;
+      task();
+    }
+    staged_shards.push_back(active);
   }
 };
 
-TEST(MarketWatcherSharded, ReentrantDispatchKeepsShardBatchesIntact) {
-  // A listener's on_trigger may reentrantly dispatch another price change.
-  // The nested pass must not move or clear the outer pass's partially
-  // accumulated shard batches: every pinned listener receives exactly its
-  // own market's trigger, and outer-batched ids are not dropped.
-  sim::RngFactory rng(7);
+// FnListener with a controllable pre-screen verdict, counting how many
+// times the watcher's stage consulted it.
+struct ScreenedListener final : MarketWatcher::TriggerListener {
+  std::function<void(const MarketWatcher::Trigger&)> fn;
+  bool want = true;
+  mutable int screened = 0;
+  explicit ScreenedListener(std::function<void(const MarketWatcher::Trigger&)> f)
+      : fn(std::move(f)) {}
+  void on_trigger(const MarketWatcher::Trigger& t) override { fn(t); }
+  [[nodiscard]] bool wants_trigger(const MarketWatcher::Trigger&) const override {
+    ++screened;
+    return want;
+  }
+};
+
+struct ShardedWatcherTest : ::testing::Test {
+  sim::RngFactory rng{7};
   sim::Simulation sim;
-  cloud::CloudProvider provider(sim, rng);
+  cloud::CloudProvider provider{sim, rng};
   const MarketId pa{"push-a", InstanceSize::kSmall};
   const MarketId pb{"push-b", InstanceSize::kSmall};
-  provider.add_live_market(pa, 0.06);
-  provider.add_live_market(pb, 0.06);
-  provider.start();
-  provider.market(pa).prime(0.02);
-  provider.market(pb).prime(0.05);
+  FakeRouter router{sim, 2};
+  std::unique_ptr<MarketWatcher> watcher;
 
-  MarketWatcher watcher(sim, provider);
-  FakeRouter router(sim, 2);
-  watcher.bind_shards(router);
+  void SetUp() override {
+    provider.add_live_market(pa, 0.06);
+    provider.add_live_market(pb, 0.06);
+    provider.start();
+    provider.market(pa).prime(0.02);
+    provider.market(pb).prime(0.05);
+    watcher = std::make_unique<MarketWatcher>(sim, provider);
+    watcher->bind_shards(router);
+  }
+};
 
-  std::vector<std::pair<MarketId, double>> seen_a, seen_b, seen_c;
-  FnListener pinned_a([&](const MarketWatcher::Trigger& t) {
-    seen_a.emplace_back(t.market, t.price);
+TEST_F(ShardedWatcherTest, PrescreenSkipsDecliningPinnedListeners) {
+  // The stage evaluates every pinned listener's wants_trigger; delivery then
+  // skips decliners and keeps strict registration order across the pinned /
+  // unpinned interleaving — the property fleet byte-identity keys on.
+  std::vector<int> order;
+  ScreenedListener decliner([&](const MarketWatcher::Trigger&) {
+    order.push_back(1);
   });
-  FnListener reentrant([&](const MarketWatcher::Trigger&) {
-    // Mid-pass over pa's interest list (pinned_a batched, pinned_c not
-    // yet): a synchronous price step on pb nests a second dispatch.
-    provider.market(pb).push_price(0.01);
+  decliner.want = false;
+  FnListener unpinned([&](const MarketWatcher::Trigger&) { order.push_back(2); });
+  ScreenedListener accepter([&](const MarketWatcher::Trigger&) {
+    order.push_back(3);
   });
-  FnListener pinned_b([&](const MarketWatcher::Trigger& t) {
-    seen_b.emplace_back(t.market, t.price);
-  });
-  FnListener pinned_c([&](const MarketWatcher::Trigger& t) {
-    seen_c.emplace_back(t.market, t.price);
-  });
-  const auto id_a = watcher.add_listener(&pinned_a);
-  const auto id_r = watcher.add_listener(&reentrant);
-  const auto id_b = watcher.add_listener(&pinned_b);
-  const auto id_c = watcher.add_listener(&pinned_c);
-  watcher.watch(id_a, {pa});
-  watcher.watch(id_r, {pa});
-  watcher.watch(id_c, {pa});
-  watcher.watch(id_b, {pb});
-  watcher.assign_shard(id_a, 0);
-  watcher.assign_shard(id_b, 0);
-  watcher.assign_shard(id_c, 1);
+  const auto id_d = watcher->add_listener(&decliner);
+  const auto id_u = watcher->add_listener(&unpinned);
+  const auto id_a = watcher->add_listener(&accepter);
+  watcher->watch(id_d, {pa});
+  watcher->watch(id_u, {pa});
+  watcher->watch(id_a, {pa});
+  watcher->assign_shard(id_d, 0);
+  watcher->assign_shard(id_a, 1);
 
   provider.market(pa).push_price(0.03);
 
-  // Three posts: the nested pb batch lands first (the nested dispatch
-  // completes inside the outer pass), then the outer pa batches in
-  // ascending shard order.
-  ASSERT_EQ(router.posts.size(), 3u);
-  EXPECT_EQ(router.posts[0].first, 0u);
-  EXPECT_EQ(router.posts[1].first, 0u);
-  EXPECT_EQ(router.posts[2].first, 1u);
-  for (auto& [shard, cb] : router.posts) cb();
+  EXPECT_EQ(decliner.screened, 1);
+  EXPECT_EQ(accepter.screened, 1);
+  EXPECT_EQ(order, (std::vector<int>{2, 3}));  // decliner skipped
+  EXPECT_EQ(router.stages, 1);
+  ASSERT_EQ(router.staged_shards.size(), 1u);
+  EXPECT_EQ(router.staged_shards[0], 2u);  // one task per populated shard
+}
 
+TEST_F(ShardedWatcherTest, TickWithoutPinnedListenersStagesNothing) {
+  FnListener unpinned([](const MarketWatcher::Trigger&) {});
+  const auto id = watcher->add_listener(&unpinned);
+  watcher->watch(id, {pa});
+  provider.market(pa).push_price(0.03);
+  EXPECT_EQ(router.stages, 0);
+}
+
+TEST_F(ShardedWatcherTest, ReentrantDispatchKeepsStageScratchIntact) {
+  // A listener's on_trigger may reentrantly dispatch another price change.
+  // The nested pass runs its own stage + delivery without moving or
+  // clearing the outer pass's scratch: every pinned listener receives
+  // exactly its own market's trigger, pre-screened entries after the
+  // reentry point included.
+  std::vector<std::pair<MarketId, double>> seen_a, seen_b, seen_c;
+  ScreenedListener pinned_a([&](const MarketWatcher::Trigger& t) {
+    seen_a.emplace_back(t.market, t.price);
+  });
+  FnListener reentrant([&](const MarketWatcher::Trigger&) {
+    // Mid-delivery over pa's interest list (pinned_a delivered, pinned_c
+    // screened but not yet delivered): a synchronous price step on pb
+    // nests a second stage + dispatch.
+    provider.market(pb).push_price(0.01);
+  });
+  ScreenedListener pinned_b([&](const MarketWatcher::Trigger& t) {
+    seen_b.emplace_back(t.market, t.price);
+  });
+  ScreenedListener pinned_c([&](const MarketWatcher::Trigger& t) {
+    seen_c.emplace_back(t.market, t.price);
+  });
+  const auto id_a = watcher->add_listener(&pinned_a);
+  const auto id_r = watcher->add_listener(&reentrant);
+  const auto id_b = watcher->add_listener(&pinned_b);
+  const auto id_c = watcher->add_listener(&pinned_c);
+  watcher->watch(id_a, {pa});
+  watcher->watch(id_r, {pa});
+  watcher->watch(id_c, {pa});
+  watcher->watch(id_b, {pb});
+  watcher->assign_shard(id_a, 0);
+  watcher->assign_shard(id_b, 0);
+  watcher->assign_shard(id_c, 1);
+
+  provider.market(pa).push_price(0.03);
+
+  EXPECT_EQ(router.stages, 2);  // outer pa stage + nested pb stage
   ASSERT_EQ(seen_a.size(), 1u);
   EXPECT_EQ(seen_a[0], (std::pair{pa, 0.03}));
   ASSERT_EQ(seen_b.size(), 1u);

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -95,6 +96,27 @@ TEST(ShardRace, DenseWindowsOnAllPoolThreads) {
   // Event count is a pure function of the workload — recompute serially.
   ShardedSimulation serial(kShards, default_queue_backend(), &pool);
   EXPECT_EQ(hammer(serial, kShards, 2 * kHour), events);
+}
+
+TEST(ShardRace, ConcurrentDefaultShardCountLookups) {
+  // Engines on different driver threads read the SPOTHOST_SHARDS knob
+  // concurrently (sweeps construct one World per worker). The oversize
+  // value forces every call down the clamp-warning path, whose once-only
+  // latch used to be an unsynchronized static bool — TSan flags that
+  // design; the std::once_flag one is clean.
+  ::setenv("SPOTHOST_SHARDS", "1048576", 1);
+  constexpr int kThreads = 8;
+  std::vector<std::size_t> seen(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&seen, i] { seen[i] = default_shard_count(); });
+  }
+  for (auto& t : threads) t.join();
+  ::unsetenv("SPOTHOST_SHARDS");
+  for (int i = 0; i < kThreads; ++i) {
+    EXPECT_EQ(seen[i], seen[0]);
+    EXPECT_GE(seen[i], 1u);
+  }
 }
 
 TEST(ShardRace, ConcurrentEnginesShareOnePool) {
